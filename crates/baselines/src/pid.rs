@@ -1,0 +1,140 @@
+//! A discrete PID controller, the building block of the HPM baseline.
+//!
+//! HPM [Muthukaruppan et al., DAC'13] "employs multiple PID controllers to
+//! meet the demand of tasks in asymmetric multi-cores under TDP constraint"
+//! (§5.3). This is a standard velocity-form-free PID with clamped integral
+//! (anti-windup) and clamped output.
+
+use std::fmt;
+
+use ppm_platform::units::SimDuration;
+
+/// PID gains and limits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PidConfig {
+    /// Proportional gain.
+    pub kp: f64,
+    /// Integral gain (per second).
+    pub ki: f64,
+    /// Derivative gain (seconds).
+    pub kd: f64,
+    /// Output clamp.
+    pub output_limits: (f64, f64),
+    /// Integral-term clamp (anti-windup).
+    pub integral_limits: (f64, f64),
+}
+
+impl PidConfig {
+    /// A proportional-integral controller (the common HPM loop shape).
+    pub fn pi(kp: f64, ki: f64, output_limits: (f64, f64)) -> PidConfig {
+        PidConfig {
+            kp,
+            ki,
+            kd: 0.0,
+            output_limits,
+            integral_limits: output_limits,
+        }
+    }
+}
+
+/// A discrete PID controller.
+#[derive(Debug, Clone)]
+pub struct Pid {
+    config: PidConfig,
+    integral: f64,
+    last_error: Option<f64>,
+}
+
+impl Pid {
+    /// A controller at rest.
+    pub fn new(config: PidConfig) -> Pid {
+        Pid {
+            config,
+            integral: 0.0,
+            last_error: None,
+        }
+    }
+
+    /// Advance the controller by `dt` with the current `error`
+    /// (setpoint − measurement) and return the control output.
+    pub fn update(&mut self, error: f64, dt: SimDuration) -> f64 {
+        let dts = dt.as_secs_f64();
+        self.integral = (self.integral + error * dts)
+            .clamp(self.config.integral_limits.0, self.config.integral_limits.1);
+        let derivative = match self.last_error {
+            Some(prev) if dts > 0.0 => (error - prev) / dts,
+            _ => 0.0,
+        };
+        self.last_error = Some(error);
+        let out = self.config.kp * error + self.config.ki * self.integral + self.config.kd * derivative;
+        out.clamp(self.config.output_limits.0, self.config.output_limits.1)
+    }
+
+    /// Reset integral and derivative history.
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.last_error = None;
+    }
+
+    /// The gains in force.
+    pub fn config(&self) -> &PidConfig {
+        &self.config
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid[i={:.3}]", self.integral)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_action() {
+        let mut pid = Pid::new(PidConfig::pi(2.0, 0.0, (-10.0, 10.0)));
+        assert_eq!(pid.update(1.0, SimDuration::from_millis(100)), 2.0);
+        assert_eq!(pid.update(-1.0, SimDuration::from_millis(100)), -2.0);
+    }
+
+    #[test]
+    fn integral_accumulates_and_clamps() {
+        let mut pid = Pid::new(PidConfig::pi(0.0, 1.0, (-2.0, 2.0)));
+        let mut out = 0.0;
+        for _ in 0..100 {
+            out = pid.update(1.0, SimDuration::from_secs(1));
+        }
+        assert_eq!(out, 2.0, "output clamps at the limit");
+    }
+
+    #[test]
+    fn output_clamps() {
+        let mut pid = Pid::new(PidConfig::pi(100.0, 0.0, (-1.0, 1.0)));
+        assert_eq!(pid.update(5.0, SimDuration::from_millis(10)), 1.0);
+    }
+
+    #[test]
+    fn derivative_damps_fast_changes() {
+        let cfg = PidConfig {
+            kp: 0.0,
+            ki: 0.0,
+            kd: 1.0,
+            output_limits: (-100.0, 100.0),
+            integral_limits: (-100.0, 100.0),
+        };
+        let mut pid = Pid::new(cfg);
+        pid.update(0.0, SimDuration::from_secs(1));
+        let out = pid.update(1.0, SimDuration::from_secs(1));
+        assert_eq!(out, 1.0); // d(error)/dt = 1
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut pid = Pid::new(PidConfig::pi(0.0, 1.0, (-10.0, 10.0)));
+        pid.update(5.0, SimDuration::from_secs(1));
+        pid.reset();
+        assert_eq!(pid.update(0.0, SimDuration::from_secs(1)), 0.0);
+    }
+}

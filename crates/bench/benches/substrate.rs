@@ -1,0 +1,81 @@
+//! Substrate micro-benchmarks: simulator step throughput under each power
+//! manager, task execution/heartbeat accounting, and the CFS water-filling
+//! allocator. These bound the cost of the evaluation harness itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ppm_baselines::hl::{HlConfig, HlManager};
+use ppm_core::config::PpmConfig;
+use ppm_core::manager::{place_on_little, PpmManager};
+use ppm_platform::chip::Chip;
+use ppm_platform::core::{CoreClass, CoreId};
+use ppm_platform::units::{ProcessingUnits, SimDuration, SimTime};
+use ppm_sched::executor::{AllocationPolicy, PowerManager, Simulation, System};
+use ppm_sched::runqueue::{fair_allocate, Claimant};
+use ppm_workload::benchmarks::{Benchmark, BenchmarkSpec, Input};
+use ppm_workload::sets::set_by_name;
+use ppm_workload::task::{Priority, Task, TaskId};
+
+fn simulate_one_second<M: PowerManager>(manager: M) {
+    let set = set_by_name("m1").expect("m1 exists");
+    let mut sys = System::new(Chip::tc2(), AllocationPolicy::Market);
+    for t in set.spawn(0, Priority::NORMAL) {
+        sys.add_task(t, CoreId(0));
+    }
+    place_on_little(&mut sys);
+    let mut sim = Simulation::new(sys, manager);
+    sim.run_for(SimDuration::from_secs(1));
+}
+
+fn bench_simulation(cr: &mut Criterion) {
+    let mut group = cr.benchmark_group("substrate/simulated_second");
+    group.throughput(Throughput::Elements(1000)); // quanta per simulated second
+    group.bench_function("ppm", |b| {
+        b.iter(|| simulate_one_second(PpmManager::new(PpmConfig::tc2())))
+    });
+    group.bench_function("hl", |b| {
+        b.iter(|| simulate_one_second(HlManager::new(HlConfig::new())))
+    });
+    group.finish();
+}
+
+fn bench_task_execute(cr: &mut Criterion) {
+    let mut group = cr.benchmark_group("substrate/task_execute");
+    let spec = BenchmarkSpec::of(Benchmark::X264, Input::Native).expect("variant");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("1ms_quantum", |b| {
+        let mut task = Task::new(TaskId(0), spec.clone(), Priority(1));
+        let supply = ProcessingUnits(800.0);
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            now += SimDuration::from_millis(1);
+            task.execute(
+                supply.cycles_over(SimDuration::from_millis(1)),
+                CoreClass::Little,
+                now,
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_fair_allocate(cr: &mut Criterion) {
+    let mut group = cr.benchmark_group("substrate/fair_allocate");
+    for n in [2usize, 8, 32] {
+        let claims: Vec<Claimant> = (0..n)
+            .map(|i| Claimant {
+                task: TaskId(i),
+                weight: 1024,
+                share: ProcessingUnits::ZERO,
+                cap: ProcessingUnits(if i % 3 == 0 { 120.0 } else { 1e9 }),
+            })
+            .collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &claims, |b, claims| {
+            b.iter(|| fair_allocate(ProcessingUnits(1000.0), claims));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_task_execute, bench_fair_allocate);
+criterion_main!(benches);

@@ -1,0 +1,203 @@
+//! Ablation studies over the design knobs the paper calls out.
+//!
+//! * **Tolerance factor δ** (§3.2.2): "the lower the value of δ, the faster
+//!   the response … frequent V-F transitions, and hence thermal cycling".
+//! * **Buffer zone width** (§3.2.3): "with larger buffer zone … the stable
+//!   state is reached quickly, but the chip might be severely
+//!   under-utilized. A smaller buffer zone leads to frequent oscillations
+//!   around the TDP, but achieves higher utilization."
+//! * **Savings cap** (§3.2.3): "large amount of savings may allow the tasks
+//!   to keep the system in an emergency state longer than permissible."
+//! * **LBT module on/off** (§3.3): what load balancing and migration buy.
+//! * **Bid-round period** (§3.4): responsiveness vs overhead.
+//!
+//! Each row is a 90 s deterministic run on the TC2 model.
+
+use ppm_bench::DEFAULT_WARMUP;
+use ppm_core::config::PpmConfig;
+use ppm_core::manager::{place_on_little, PpmManager};
+use ppm_platform::chip::Chip;
+use ppm_platform::core::CoreId;
+use ppm_platform::units::{SimDuration, Watts};
+use ppm_sched::executor::{AllocationPolicy, Simulation, System};
+use ppm_sched::metrics::RunMetrics;
+use ppm_workload::sets::set_by_name;
+use ppm_workload::task::Priority;
+
+const RUN: SimDuration = SimDuration(90_000_000);
+
+fn run(set_name: &str, config: PpmConfig, tdp_accounting: Option<Watts>) -> RunMetrics {
+    let set = set_by_name(set_name).expect("Table 6 set");
+    let mut sys = System::new(Chip::tc2(), AllocationPolicy::Market);
+    for t in set.spawn(0, Priority::NORMAL) {
+        sys.add_task(t, CoreId(0));
+    }
+    place_on_little(&mut sys);
+    if let Some(t) = tdp_accounting {
+        sys.set_tdp_accounting(t);
+    }
+    let mut sim = Simulation::new(sys, PpmManager::new(config)).with_warmup(DEFAULT_WARMUP);
+    sim.run_for(RUN);
+    sim.into_system().into_metrics()
+}
+
+fn main() {
+    println!("# Ablations over the PPM design knobs (workloads m1/h3, 90 s runs)\n");
+
+    // --- δ sweep: responsiveness vs V-F churn (thermal cycling proxy). ---
+    println!("## Tolerance factor δ (workload m1, no TDP)\n");
+    println!("| δ | any-miss | avg power | V-F transitions |");
+    println!("|---|---|---|---|");
+    for delta in [0.05, 0.10, 0.20, 0.30, 0.40] {
+        let mut c = PpmConfig::tc2();
+        c.tolerance = delta;
+        let m = run("m1", c, None);
+        println!(
+            "| {delta:.2} | {:.1}% | {:.2} W | {} |",
+            m.any_miss_fraction() * 100.0,
+            m.average_power().value(),
+            m.vf_transitions
+        );
+    }
+    println!(
+        "\nPaper expectation: smaller δ reacts faster (fewer misses) at the \
+         cost of more V-F transitions (thermal cycling); larger δ is calmer \
+         but sluggish.\n"
+    );
+
+    // --- Buffer zone width under a 4 W cap. ---
+    println!("## Buffer zone W_th/W_tdp (workload h3, 4 W TDP)\n");
+    println!("| W_th/W_tdp | any-miss | avg power | % time above TDP | V-F transitions |");
+    println!("|---|---|---|---|---|");
+    for frac in [0.70, 0.80, 0.875, 0.95] {
+        let mut c = PpmConfig::tc2();
+        c.tdp = Watts(4.0);
+        c.threshold = Watts(4.0 * frac);
+        let m = run("h3", c, Some(Watts(4.0)));
+        println!(
+            "| {frac:.3} | {:.1}% | {:.2} W | {:.1}% | {} |",
+            m.any_miss_fraction() * 100.0,
+            m.average_power().value(),
+            m.time_above_tdp.as_secs_f64() / m.total_time().as_secs_f64() * 100.0,
+            m.vf_transitions
+        );
+    }
+    println!(
+        "\nPaper expectation: a wide zone under-utilizes the budget (higher \
+         misses, less power); a narrow zone uses more of it but oscillates \
+         around the TDP.\n"
+    );
+
+    // --- Savings cap under a 4 W cap. ---
+    println!("## Savings cap (×allowance) (workload h3, 4 W TDP)\n");
+    println!("| cap | any-miss | % time above TDP |");
+    println!("|---|---|---|");
+    for cap in [0.0, 1.0, 3.0, 10.0] {
+        let mut c = PpmConfig::tc2_with_tdp(Watts(4.0));
+        c.savings_cap_factor = cap;
+        let m = run("h3", c, Some(Watts(4.0)));
+        println!(
+            "| {cap:.0} | {:.1}% | {:.1}% |",
+            m.any_miss_fraction() * 100.0,
+            m.time_above_tdp.as_secs_f64() / m.total_time().as_secs_f64() * 100.0,
+        );
+    }
+    println!(
+        "\nPaper §3.2.3 warns that big war chests can hold the system in \
+         the emergency state; with this implementation's forced emergency \
+         step-down the excursions stay brief at every cap (the knob now \
+         mainly shapes the Figure 8 savings dynamics).\n"
+    );
+
+    // --- LBT on/off. ---
+    println!("## LBT module (workload h1, no TDP)\n");
+    println!("| LBT | any-miss | avg power | migrations (intra/inter) |");
+    println!("|---|---|---|---|");
+    for lbt in [true, false] {
+        let c = if lbt {
+            PpmConfig::tc2()
+        } else {
+            PpmConfig::tc2().without_lbt()
+        };
+        let m = run("h1", c, None);
+        println!(
+            "| {} | {:.1}% | {:.2} W | {}/{} |",
+            if lbt { "on" } else { "off" },
+            m.any_miss_fraction() * 100.0,
+            m.average_power().value(),
+            m.migrations_intra,
+            m.migrations_inter
+        );
+    }
+    println!(
+        "\nWithout migration the heavy set is trapped on the (booted) \
+         LITTLE cluster — 4260 PU of demand against a 3000 PU cluster — and \
+         the supply-demand module alone cannot satisfy it.\n"
+    );
+
+    // --- Bid-round period. ---
+    println!("## Bid-round period (workload m1, no TDP)\n");
+    println!("| period | any-miss | avg power | V-F transitions |");
+    println!("|---|---|---|---|");
+    for ms in [10.0, 31.7, 100.0, 300.0] {
+        let mut c = PpmConfig::tc2();
+        c.bid_period = SimDuration::from_micros((ms * 1000.0) as u64);
+        let m = run("m1", c, None);
+        println!(
+            "| {ms} ms | {:.1}% | {:.2} W | {} |",
+            m.any_miss_fraction() * 100.0,
+            m.average_power().value(),
+            m.vf_transitions
+        );
+    }
+    println!(
+        "\nPaper choice: max(Linux epoch, shortest task period) = 31.7 ms — \
+         fast enough to track phases, slow enough to amortize overhead."
+    );
+
+    // --- Actuation: exact shares vs quantized nice values. ---
+    println!("\n## Share actuation (workload m1, no TDP)\n");
+    println!("| actuation | any-miss | avg power |");
+    println!("|---|---|---|");
+    for nice in [false, true] {
+        let c = if nice {
+            PpmConfig::tc2().with_nice_actuation()
+        } else {
+            PpmConfig::tc2()
+        };
+        let m = run("m1", c, None);
+        println!(
+            "| {} | {:.1}% | {:.2} W |",
+            if nice {
+                "nice values (paper's kernel realization)"
+            } else {
+                "exact shares (idealized)"
+            },
+            m.any_miss_fraction() * 100.0,
+            m.average_power().value(),
+        );
+    }
+
+    // --- Online estimation vs off-line profiles. ---
+    println!("\n## Demand knowledge (workload m1, no TDP)\n");
+    println!("| LBT speculation input | any-miss | avg power |");
+    println!("|---|---|---|");
+    for online in [false, true] {
+        let c = if online {
+            PpmConfig::tc2().with_online_estimation()
+        } else {
+            PpmConfig::tc2()
+        };
+        let m = run("m1", c, None);
+        println!(
+            "| {} | {:.1}% | {:.2} W |",
+            if online {
+                "online estimator (future work)"
+            } else {
+                "off-line profiles (paper)"
+            },
+            m.any_miss_fraction() * 100.0,
+            m.average_power().value(),
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Figures 4 and 5: the no-TDP comparative study.
+//!
+//! Runs all nine Table 6 workload sets under PPM, HPM and HL with no power
+//! cap and reports (a) the percentage of time the reference heart-rate
+//! range of any task is not met (Figure 4) and (b) the average chip power
+//! (Figure 5).
+//!
+//! Paper shapes to reproduce:
+//! * HL wins on light sets (it throws everything at the A15s) but loses on
+//!   medium/heavy sets;
+//! * PPM beats HPM and HL on medium and heavy sets;
+//! * HL's average power (~6 W on the board) dwarfs HPM's (~3.4 W) and
+//!   PPM's (~3.0 W).
+
+use ppm_bench::{print_matrix, run_workload, RunSummary, Scheme, DEFAULT_DURATION};
+use ppm_workload::sets::table6_sets;
+
+fn main() {
+    println!("# Figures 4 & 5 — comparative study, no TDP constraint");
+    println!(
+        "(simulated {}s per run per scheme)",
+        DEFAULT_DURATION.as_secs_f64()
+    );
+    let mut rows: Vec<Vec<RunSummary>> = Vec::new();
+    for set in table6_sets() {
+        let mut row = Vec::new();
+        for scheme in Scheme::ALL {
+            eprintln!("running {} under {}...", set.name(), scheme.name());
+            row.push(run_workload(&set, scheme, None, DEFAULT_DURATION));
+        }
+        rows.push(row);
+    }
+
+    print_matrix("Figure 4 — % time reference heart rate missed", &rows, |r| {
+        format!("{:.1}%", r.any_miss * 100.0)
+    });
+    print_matrix("Figure 5 — average power consumption [W]", &rows, |r| {
+        format!("{:.2}", r.avg_power.value())
+    });
+    print_matrix("migrations (intra/inter)", &rows, |r| {
+        format!("{}/{}", r.migrations.0, r.migrations.1)
+    });
+
+    // Cross-scheme aggregates, as quoted in §5.3.
+    let avg = |scheme: Scheme, f: &dyn Fn(&RunSummary) -> f64| -> f64 {
+        let v: Vec<f64> = rows
+            .iter()
+            .flat_map(|r| r.iter())
+            .filter(|r| r.scheme == scheme)
+            .map(f)
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    println!("\n## Aggregates (paper: HL 5.99 W >> HPM 3.43 W ~ PPM 2.96 W)\n");
+    for s in Scheme::ALL {
+        println!(
+            "{:>4}: mean power {:.2} W, mean miss {:.1}%",
+            s.name(),
+            avg(s, &|r| r.avg_power.value()),
+            avg(s, &|r| r.any_miss * 100.0)
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Tables 5 and 6: the benchmark catalogue and the workload sets with
+//! their intensity classification.
+
+use ppm_platform::core::CoreClass;
+use ppm_workload::benchmarks::BenchmarkSpec;
+use ppm_workload::sets::{table6_sets, TC2_LITTLE_CAPACITY};
+
+fn main() {
+    println!("# Table 5 — benchmark variants\n");
+    println!("| variant | suite | target hr [hb/s] | demand A7 [PU] | demand A15 [PU] | speedup | phases |");
+    println!("|---|---|---|---|---|---|---|");
+    for spec in BenchmarkSpec::catalog() {
+        let phases: Vec<String> = spec
+            .phases()
+            .iter()
+            .map(|p| {
+                if p.heartbeats.is_finite() {
+                    format!("{:.0}hb@{:.2}x", p.heartbeats, p.cost_scale)
+                } else {
+                    "steady".to_string()
+                }
+            })
+            .collect();
+        println!(
+            "| {} | {} | {:.0} | {:.0} | {:.0} | {:.2} | {} |",
+            spec.label(),
+            spec.benchmark().suite(),
+            spec.target_range().target(),
+            spec.profiled_demand(CoreClass::Little).value(),
+            spec.profiled_demand(CoreClass::Big).value(),
+            spec.speedup(),
+            phases.join(", ")
+        );
+    }
+
+    println!("\n# Table 6 — workload sets (LITTLE capacity = {TC2_LITTLE_CAPACITY})\n");
+    println!("| set | members | total A7 demand [PU] | intensity | class |");
+    println!("|---|---|---|---|---|");
+    for set in table6_sets() {
+        let members: Vec<String> = set.members().iter().map(|m| m.label()).collect();
+        println!(
+            "| {} | {} | {:.0} | {:+.3} | {} |",
+            set.name(),
+            members.join(", "),
+            set.total_little_demand().value(),
+            set.intensity(TC2_LITTLE_CAPACITY),
+            set.class(TC2_LITTLE_CAPACITY)
+        );
+    }
+}

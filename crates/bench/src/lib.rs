@@ -1,0 +1,211 @@
+//! # ppm-bench — evaluation harness
+//!
+//! Shared machinery for regenerating the paper's tables and figures: a
+//! [`Scheme`] selector over the three power managers (PPM, HPM, HL), a
+//! [`run_workload`] driver that executes one workload set on a TC2 system
+//! and summarises the QoS/power metrics the paper reports, and small
+//! formatting helpers for the experiment binaries under `src/bin/`.
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1_2_3` | the running examples of Tables 1–3 |
+//! | `workloads` | Tables 5/6 (benchmarks, sets, intensity) |
+//! | `fig4_fig5` | Figures 4 and 5 (miss % and power, no TDP) |
+//! | `fig6` | Figure 6 (miss % under a 4 W TDP) |
+//! | `fig7` | Figures 7a/7b (priority study traces) |
+//! | `fig8` | Figure 8 (savings study trace) |
+//! | `table7` | Table 7 (LBT overhead scaling) |
+//! | `migration_costs` | the §5.1 migration-cost table |
+
+#![warn(missing_docs)]
+
+use ppm_baselines::hl::{HlConfig, HlManager};
+use ppm_baselines::hpm::{HpmConfig, HpmManager};
+use ppm_core::config::PpmConfig;
+use ppm_core::manager::{place_on_little, PpmManager};
+use ppm_platform::chip::Chip;
+use ppm_platform::core::CoreId;
+use ppm_platform::units::{SimDuration, Watts};
+use ppm_sched::executor::{AllocationPolicy, PowerManager, Simulation, System};
+use ppm_sched::metrics::RunMetrics;
+use ppm_workload::sets::WorkloadSet;
+use ppm_workload::task::{Priority, TaskId};
+
+/// The three power-management schemes of the comparative study (§5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// The paper's price-theory manager.
+    Ppm,
+    /// The hierarchical PID baseline.
+    Hpm,
+    /// The heterogeneity-aware Linux scheduler + ondemand.
+    Hl,
+}
+
+impl Scheme {
+    /// All schemes, in the paper's plotting order.
+    pub const ALL: [Scheme; 3] = [Scheme::Ppm, Scheme::Hpm, Scheme::Hl];
+
+    /// Display name used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Ppm => "PPM",
+            Scheme::Hpm => "HPM",
+            Scheme::Hl => "HL",
+        }
+    }
+}
+
+/// Outcome of one workload-set run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// The scheme that ran.
+    pub scheme: Scheme,
+    /// Workload set name.
+    pub workload: String,
+    /// Fraction of time any task missed its reference heart-rate range
+    /// (the Figure 4/6 metric).
+    pub any_miss: f64,
+    /// Average chip power (the Figure 5 metric).
+    pub avg_power: Watts,
+    /// Peak chip power.
+    pub peak_power: Watts,
+    /// Fraction of time above the TDP (cap experiments).
+    pub above_tdp: f64,
+    /// Migration counts `(intra, inter)`.
+    pub migrations: (u64, u64),
+}
+
+/// Default per-run simulated duration (the paper's traces span 300 s; the
+/// steady-state statistics converge well before that).
+pub const DEFAULT_DURATION: SimDuration = SimDuration(120_000_000);
+
+/// Warm-up excluded from the metrics.
+pub const DEFAULT_WARMUP: SimDuration = SimDuration(5_000_000);
+
+/// Execute `set` under `scheme` on a TC2 chip for `duration`, optionally
+/// with a TDP cap, and summarise the metrics.
+pub fn run_workload(
+    set: &WorkloadSet,
+    scheme: Scheme,
+    tdp: Option<Watts>,
+    duration: SimDuration,
+) -> RunSummary {
+    let policy = match scheme {
+        Scheme::Hl => AllocationPolicy::FairWeights,
+        _ => AllocationPolicy::Market,
+    };
+    let mut sys = System::new(Chip::tc2(), policy);
+    // All tasks start on the LITTLE cluster (Linux boots there on TC2) at
+    // equal priority, as in the comparative study.
+    for task in set.spawn(0, Priority::NORMAL) {
+        sys.add_task(task, CoreId(0));
+    }
+    place_on_little(&mut sys);
+    if let Some(t) = tdp {
+        sys.set_tdp_accounting(t);
+    }
+
+    let metrics = match scheme {
+        Scheme::Ppm => {
+            let config = match tdp {
+                Some(t) => PpmConfig::tc2_with_tdp(t),
+                None => PpmConfig::tc2(),
+            };
+            run(sys, PpmManager::new(config), duration)
+        }
+        Scheme::Hpm => {
+            let mut config = HpmConfig::new();
+            if let Some(t) = tdp {
+                config = config.with_tdp(t);
+            }
+            run(sys, HpmManager::new(config), duration)
+        }
+        Scheme::Hl => {
+            let mut config = HlConfig::new();
+            if let Some(t) = tdp {
+                config = config.with_tdp(t);
+            }
+            run(sys, HlManager::new(config), duration)
+        }
+    };
+
+    RunSummary {
+        scheme,
+        workload: set.name().to_string(),
+        any_miss: metrics.any_miss_fraction(),
+        avg_power: metrics.average_power(),
+        peak_power: metrics.chip_energy.peak_power(),
+        above_tdp: if metrics.total_time().is_zero() {
+            0.0
+        } else {
+            metrics.time_above_tdp.as_secs_f64() / metrics.total_time().as_secs_f64()
+        },
+        migrations: (metrics.migrations_intra, metrics.migrations_inter),
+    }
+}
+
+fn run<M: PowerManager>(sys: System, manager: M, duration: SimDuration) -> RunMetrics {
+    let mut sim = Simulation::new(sys, manager).with_warmup(DEFAULT_WARMUP);
+    sim.run_for(duration);
+    sim.into_system().into_metrics()
+}
+
+/// Print a markdown table: rows = workload sets, columns = schemes.
+pub fn print_matrix<F: Fn(&RunSummary) -> String>(
+    title: &str,
+    rows: &[Vec<RunSummary>],
+    cell: F,
+) {
+    println!("\n## {title}\n");
+    print!("| workload |");
+    for s in Scheme::ALL {
+        print!(" {} |", s.name());
+    }
+    println!();
+    print!("|---|");
+    for _ in Scheme::ALL {
+        print!("---|");
+    }
+    println!();
+    for row in rows {
+        print!("| {} |", row[0].workload);
+        for r in row {
+            print!(" {} |", cell(r));
+        }
+        println!();
+    }
+}
+
+/// Per-task miss fraction for trace-style experiments.
+pub fn task_miss(metrics: &RunMetrics, id: TaskId) -> f64 {
+    metrics.task(id).map_or(0.0, |t| t.miss_fraction())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_workload::sets::set_by_name;
+
+    #[test]
+    fn short_comparative_run_produces_sane_numbers() {
+        let set = set_by_name("l1").expect("l1 exists");
+        let s = run_workload(&set, Scheme::Ppm, None, SimDuration::from_secs(10));
+        assert_eq!(s.scheme, Scheme::Ppm);
+        assert!(s.avg_power.value() > 0.0);
+        assert!((0.0..=1.0).contains(&s.any_miss));
+    }
+
+    #[test]
+    fn hl_uses_more_power_than_ppm_on_light_sets() {
+        let set = set_by_name("l1").expect("l1 exists");
+        let ppm = run_workload(&set, Scheme::Ppm, None, SimDuration::from_secs(20));
+        let hl = run_workload(&set, Scheme::Hl, None, SimDuration::from_secs(20));
+        assert!(
+            hl.avg_power.value() > ppm.avg_power.value() * 1.5,
+            "HL {} vs PPM {}",
+            hl.avg_power,
+            ppm.avg_power
+        );
+    }
+}

@@ -1,0 +1,319 @@
+//! The four agent roles of the market (§3.1), as pure decision functions.
+//!
+//! The paper realises each agent as a kernel module; here each agent's
+//! decision rule is a standalone, independently-tested function, and the
+//! [`crate::market::Market`] round engine wires them together in the
+//! bid → price → purchase → regulate loop. Keeping them pure makes the
+//! running examples replayable and the rules testable in isolation.
+
+use ppm_platform::units::{Money, Price, ProcessingUnits};
+
+use crate::market::VfStep;
+
+/// Task-agent decisions: bidding (§3.2.1).
+pub mod task_agent {
+    use super::*;
+
+    /// Eq. 1: the bid for round N+1 from round N's demand, supply and
+    /// price, clamped into `[b_min, allowance + savings]`.
+    ///
+    /// ```
+    /// use ppm_core::agents::task_agent::next_bid;
+    /// use ppm_platform::units::{Money, Price, ProcessingUnits};
+    ///
+    /// // Table 1, round 2: b = 1 + (200-150)·(1/150) ... with P=0.00667.
+    /// let b = next_bid(
+    ///     Money(1.0),
+    ///     ProcessingUnits(200.0),
+    ///     ProcessingUnits(150.0),
+    ///     Price(2.0 / 300.0),
+    ///     Money(10.0),
+    ///     Money(0.01),
+    /// );
+    /// assert!((b.value() - 1.3333).abs() < 1e-3);
+    /// ```
+    pub fn next_bid(
+        prev_bid: Money,
+        prev_demand: ProcessingUnits,
+        prev_supply: ProcessingUnits,
+        prev_price: Price,
+        cap: Money,
+        min_bid: Money,
+    ) -> Money {
+        let adjust = prev_price * (prev_demand - prev_supply);
+        (prev_bid + adjust).clamp(min_bid, cap.max(min_bid))
+    }
+
+    /// Savings update after a round: `m' = m + a − b`, floored at zero and
+    /// capped at `cap_factor · a` (§3.2.3 *Savings*).
+    pub fn next_savings(savings: Money, allowance: Money, bid: Money, cap_factor: f64) -> Money {
+        (savings + allowance - bid).clamp(Money::ZERO, allowance * cap_factor)
+    }
+}
+
+/// Core-agent decisions: price discovery and distribution (§3.2.1).
+pub mod core_agent {
+    use super::*;
+
+    /// Discover the price `P_c = Σ b_t / S_c` and each bidder's purchase
+    /// `s_t = b_t / P_c`. An idle or gated core (zero supply) prices at
+    /// zero and sells nothing.
+    ///
+    /// The purchases always exhaust the supply: `Σ s_t = S_c` whenever any
+    /// bid is positive.
+    pub fn discover(bids: &[Money], supply: ProcessingUnits) -> (Price, Vec<ProcessingUnits>) {
+        let total: Money = bids.iter().copied().sum();
+        let price = Price::discover(total, supply);
+        let purchases = bids.iter().map(|&b| price.purchase(b)).collect();
+        (price, purchases)
+    }
+}
+
+/// Cluster-agent decisions: inflation/deflation control via DVFS (§3.2.2).
+pub mod cluster_agent {
+    use super::*;
+
+    /// Everything a cluster agent looks at in one round.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ClusterView {
+        /// Current price on the constrained core.
+        pub price: Price,
+        /// The anchored base price.
+        pub base_price: Price,
+        /// Tolerance factor δ.
+        pub tolerance: f64,
+        /// Whether a higher V-F level exists.
+        pub can_step_up: bool,
+        /// Per-core supply one level down, when a lower level exists.
+        pub supply_down: Option<ProcessingUnits>,
+        /// Demand of the constrained core.
+        pub constrained_demand: ProcessingUnits,
+        /// Whether the chip is in the emergency state.
+        pub emergency: bool,
+    }
+
+    /// The cluster agent's step decision:
+    ///
+    /// * **Emergency**: step down unconditionally — power "must be brought
+    ///   down quickly", and with bids on the `b_min` floor the deflation
+    ///   signal disappears.
+    /// * **Inflation** (`P ≥ base·(1+δ)`): step up if possible.
+    /// * **Deflation** (`P ≤ base·(1−δ)`): step down, unless the lower
+    ///   level would not cover the constrained demand (§3.2.4's
+    ///   round-demand-up rule).
+    pub fn decide_step(view: ClusterView) -> Option<VfStep> {
+        if view.emergency {
+            return view.supply_down.map(|_| VfStep::Down);
+        }
+        if view.price.value() >= view.base_price.inflated_by(view.tolerance).value() {
+            if view.can_step_up {
+                return Some(VfStep::Up);
+            }
+        } else if view.price.value() <= view.base_price.deflated_by(view.tolerance).value() {
+            if let Some(down) = view.supply_down {
+                if down >= view.constrained_demand {
+                    return Some(VfStep::Down);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Chip-agent decisions: allowance distribution (§3.2.3). The Δ policy
+/// itself lives in [`crate::state::allowance_delta`].
+pub mod chip_agent {
+    use super::*;
+
+    /// Distribute the global allowance `A` over clusters inversely to their
+    /// power draw: `A_v = A·(W−W_v)/W`, normalised over the clusters that
+    /// host tasks. Falls back to priority-proportional weights when the
+    /// power readings carry no signal (boot, or a single active cluster).
+    ///
+    /// `clusters` supplies `(cluster power W_v, summed priority R_v)`;
+    /// entries with zero priority mass receive nothing. Returns one
+    /// allowance per entry; the results sum to `A` (money conservation)
+    /// whenever any entry has priority mass.
+    pub fn distribute(
+        allowance: Money,
+        chip_power: f64,
+        clusters: &[(f64, u32)],
+    ) -> Vec<Money> {
+        let active: Vec<usize> = clusters
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, r))| *r > 0)
+            .map(|(i, _)| i)
+            .collect();
+        let mut out = vec![Money::ZERO; clusters.len()];
+        if active.is_empty() {
+            return out;
+        }
+        let mut weights = vec![0.0; clusters.len()];
+        let mut sum = 0.0;
+        for &i in &active {
+            let w = if active.len() == 1 {
+                1.0
+            } else if chip_power > 1e-9 {
+                ((chip_power - clusters[i].0) / chip_power).max(0.0)
+            } else {
+                0.0
+            };
+            weights[i] = w;
+            sum += w;
+        }
+        if sum <= 1e-12 {
+            sum = 0.0;
+            for &i in &active {
+                weights[i] = clusters[i].1 as f64;
+                sum += weights[i];
+            }
+        }
+        for &i in &active {
+            out[i] = allowance * (weights[i] / sum);
+        }
+        out
+    }
+
+    /// Split a cluster allowance among its tasks proportionally to priority:
+    /// `a_t = A_v · r_t / R_v` (the core-level split `A_c·r_t/R_c` composes
+    /// to the same values).
+    pub fn split_by_priority(cluster_allowance: Money, priorities: &[u32]) -> Vec<Money> {
+        let total: u32 = priorities.iter().sum();
+        if total == 0 {
+            return vec![Money::ZERO; priorities.len()];
+        }
+        priorities
+            .iter()
+            .map(|&r| cluster_allowance * (r as f64 / total as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bid_clamps_to_floor_and_cap() {
+        let b = task_agent::next_bid(
+            Money(1.0),
+            ProcessingUnits(0.0),
+            ProcessingUnits(1000.0),
+            Price(1.0),
+            Money(5.0),
+            Money(0.01),
+        );
+        assert_eq!(b, Money(0.01), "deep deflation floors at b_min");
+        let b = task_agent::next_bid(
+            Money(1.0),
+            ProcessingUnits(1000.0),
+            ProcessingUnits(0.0),
+            Price(1.0),
+            Money(5.0),
+            Money(0.01),
+        );
+        assert_eq!(b, Money(5.0), "deep inflation caps at a+m");
+    }
+
+    #[test]
+    fn savings_follow_the_surplus() {
+        let m = task_agent::next_savings(Money(1.0), Money(3.0), Money(2.0), 10.0);
+        assert_eq!(m, Money(2.0)); // +1 surplus
+        let m = task_agent::next_savings(Money(1.0), Money(3.0), Money(5.0), 10.0);
+        assert_eq!(m, Money::ZERO); // overdraft clamps at zero
+        let m = task_agent::next_savings(Money(100.0), Money(3.0), Money(0.5), 2.0);
+        assert_eq!(m, Money(6.0)); // cap at 2x allowance
+    }
+
+    #[test]
+    fn price_discovery_sells_everything() {
+        let bids = vec![Money(1.0), Money(3.0)];
+        let (price, purchases) = core_agent::discover(&bids, ProcessingUnits(400.0));
+        assert!((price.value() - 0.01).abs() < 1e-12);
+        assert!((purchases[0].value() - 100.0).abs() < 1e-9);
+        assert!((purchases[1].value() - 300.0).abs() < 1e-9);
+        let total: f64 = purchases.iter().map(|p| p.value()).sum();
+        assert!((total - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gated_core_sells_nothing() {
+        let (price, purchases) = core_agent::discover(&[Money(1.0)], ProcessingUnits::ZERO);
+        assert_eq!(price, Price::ZERO);
+        assert_eq!(purchases[0], ProcessingUnits::ZERO);
+    }
+
+    #[test]
+    fn cluster_agent_band_logic() {
+        use cluster_agent::{decide_step, ClusterView};
+        let base = ClusterView {
+            price: Price(0.0066),
+            base_price: Price(0.0066),
+            tolerance: 0.2,
+            can_step_up: true,
+            supply_down: Some(ProcessingUnits(300.0)),
+            constrained_demand: ProcessingUnits(250.0),
+            emergency: false,
+        };
+        // Inside the band: hold.
+        assert_eq!(decide_step(base), None);
+        // Inflation: up.
+        let mut v = base;
+        v.price = Price(0.0066 * 1.25);
+        assert_eq!(decide_step(v), Some(VfStep::Up));
+        // Inflation at the top level: nothing to do.
+        v.can_step_up = false;
+        assert_eq!(decide_step(v), None);
+        // Deflation with room below: down.
+        let mut v = base;
+        v.price = Price(0.0066 * 0.7);
+        assert_eq!(decide_step(v), Some(VfStep::Down));
+        // Deflation blocked by the round-up guard.
+        v.constrained_demand = ProcessingUnits(350.0);
+        assert_eq!(decide_step(v), None);
+        // Emergency overrides everything.
+        v.emergency = true;
+        v.price = base.price;
+        assert_eq!(decide_step(v), Some(VfStep::Down));
+    }
+
+    #[test]
+    fn allowance_distribution_is_power_inverse_and_conserving() {
+        use chip_agent::distribute;
+        // Two clusters, the second burns 3x the power of the first.
+        let out = distribute(Money(8.0), 4.0, &[(1.0, 2), (3.0, 2)]);
+        let total: f64 = out.iter().map(|m| m.value()).sum();
+        assert!((total - 8.0).abs() < 1e-9, "conservation");
+        assert!(out[0] > out[1], "power-hungry cluster gets less");
+        assert!((out[0].value() - 6.0).abs() < 1e-9); // (4-1)/4 normalized over (3/4 + 1/4)
+        assert!((out[1].value() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distribution_falls_back_to_priorities_without_power_signal() {
+        use chip_agent::distribute;
+        let out = distribute(Money(9.0), 0.0, &[(0.0, 1), (0.0, 2)]);
+        assert!((out[0].value() - 3.0).abs() < 1e-9);
+        assert!((out[1].value() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_clusters_receive_nothing() {
+        use chip_agent::distribute;
+        let out = distribute(Money(5.0), 2.0, &[(1.0, 3), (1.0, 0)]);
+        assert_eq!(out[1], Money::ZERO);
+        assert!((out[0].value() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn priority_split_matches_table3() {
+        use chip_agent::split_by_priority;
+        // Table 3: A=$4.5 over priorities 2:1 -> $3.0/$1.5.
+        let out = split_by_priority(Money(4.5), &[2, 1]);
+        assert!((out[0].value() - 3.0).abs() < 1e-12);
+        assert!((out[1].value() - 1.5).abs() < 1e-12);
+        // Degenerate: all-zero priorities.
+        assert_eq!(split_by_priority(Money(4.5), &[0, 0]), vec![Money::ZERO; 2]);
+    }
+}

@@ -1,0 +1,284 @@
+//! Structured event log of the framework's decisions.
+//!
+//! The paper's agents are kernel modules whose behaviour was analysed from
+//! traces; this module is the equivalent instrumentation: a bounded ring
+//! buffer of typed events (rounds, state changes, DVFS steps, migrations)
+//! the manager records and experiments/debugging read back.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use ppm_platform::cluster::ClusterId;
+use ppm_platform::core::CoreId;
+use ppm_platform::units::{Money, SimTime, Watts};
+use ppm_workload::task::TaskId;
+
+use crate::market::VfStep;
+use crate::state::PowerState;
+
+/// One logged event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A bidding round completed.
+    Round {
+        /// Round index.
+        round: u64,
+        /// Global allowance after the round.
+        allowance: Money,
+        /// Chip power observed.
+        power: Watts,
+        /// Power state.
+        state: PowerState,
+    },
+    /// The chip power state changed.
+    StateChange {
+        /// Previous state.
+        from: PowerState,
+        /// New state.
+        to: PowerState,
+    },
+    /// A cluster agent requested a DVFS step.
+    Dvfs {
+        /// The cluster.
+        cluster: ClusterId,
+        /// Direction.
+        step: VfStep,
+    },
+    /// The LBT module moved a task.
+    Migration {
+        /// The task.
+        task: TaskId,
+        /// Destination core.
+        to: CoreId,
+        /// Whether the move crossed clusters.
+        inter_cluster: bool,
+    },
+    /// A task entered the system.
+    TaskAdmitted {
+        /// The task.
+        task: TaskId,
+    },
+    /// A task left the system.
+    TaskExited {
+        /// The task.
+        task: TaskId,
+    },
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Round {
+                round,
+                allowance,
+                power,
+                state,
+            } => write!(f, "round {round}: A={allowance} W={power} ({state})"),
+            Event::StateChange { from, to } => write!(f, "state {from} -> {to}"),
+            Event::Dvfs { cluster, step } => write!(
+                f,
+                "{cluster} {}",
+                match step {
+                    VfStep::Up => "step up",
+                    VfStep::Down => "step down",
+                }
+            ),
+            Event::Migration {
+                task,
+                to,
+                inter_cluster,
+            } => write!(
+                f,
+                "{task} -> {to} ({})",
+                if *inter_cluster { "inter" } else { "intra" }
+            ),
+            Event::TaskAdmitted { task } => write!(f, "{task} admitted"),
+            Event::TaskExited { task } => write!(f, "{task} exited"),
+        }
+    }
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoggedEvent {
+    /// When the event happened.
+    pub at: SimTime,
+    /// What happened.
+    pub event: Event,
+}
+
+impl fmt::Display for LoggedEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.at, self.event)
+    }
+}
+
+/// Bounded ring buffer of [`LoggedEvent`]s.
+///
+/// ```
+/// use ppm_core::events::{Event, EventLog};
+/// use ppm_platform::units::SimTime;
+/// use ppm_workload::task::TaskId;
+///
+/// let mut log = EventLog::with_capacity(2);
+/// log.push(SimTime::ZERO, Event::TaskAdmitted { task: TaskId(0) });
+/// log.push(SimTime::ZERO, Event::TaskAdmitted { task: TaskId(1) });
+/// log.push(SimTime::ZERO, Event::TaskExited { task: TaskId(0) });
+/// assert_eq!(log.len(), 2); // the oldest entry was evicted
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    events: VecDeque<LoggedEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// Default ring capacity.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// A log with the default capacity.
+    pub fn new() -> EventLog {
+        EventLog::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// A log holding at most `capacity` events (older ones are evicted).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity.
+    pub fn with_capacity(capacity: usize) -> EventLog {
+        assert!(capacity > 0, "capacity must be positive");
+        EventLog {
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest when full.
+    pub fn push(&mut self, at: SimTime, event: Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(LoggedEvent { at, event });
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been logged (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many events were evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate the retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &LoggedEvent> {
+        self.events.iter()
+    }
+
+    /// The most recent events, newest last.
+    pub fn tail(&self, n: usize) -> impl Iterator<Item = &LoggedEvent> {
+        self.events.iter().skip(self.events.len().saturating_sub(n))
+    }
+
+    /// Retain only events matching `predicate` (e.g. migrations).
+    pub fn filtered<'a, F: Fn(&Event) -> bool + 'a>(
+        &'a self,
+        predicate: F,
+    ) -> impl Iterator<Item = &'a LoggedEvent> {
+        self.events.iter().filter(move |e| predicate(&e.event))
+    }
+
+    /// Clear everything.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn admit(id: usize) -> Event {
+        Event::TaskAdmitted { task: TaskId(id) }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut log = EventLog::with_capacity(3);
+        for i in 0..5 {
+            log.push(SimTime::from_millis(i as u64), admit(i));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let first = log.iter().next().expect("non-empty");
+        assert_eq!(first.event, admit(2));
+    }
+
+    #[test]
+    fn tail_returns_newest() {
+        let mut log = EventLog::new();
+        for i in 0..10 {
+            log.push(SimTime::from_millis(i as u64), admit(i));
+        }
+        let tail: Vec<_> = log.tail(2).collect();
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[1].event, admit(9));
+    }
+
+    #[test]
+    fn filter_selects_event_kinds() {
+        let mut log = EventLog::new();
+        log.push(SimTime::ZERO, admit(0));
+        log.push(
+            SimTime::ZERO,
+            Event::Dvfs {
+                cluster: ClusterId(0),
+                step: VfStep::Up,
+            },
+        );
+        log.push(SimTime::ZERO, admit(1));
+        let dvfs: Vec<_> = log
+            .filtered(|e| matches!(e, Event::Dvfs { .. }))
+            .collect();
+        assert_eq!(dvfs.len(), 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = LoggedEvent {
+            at: SimTime::from_secs(1),
+            event: Event::StateChange {
+                from: PowerState::Normal,
+                to: PowerState::Threshold,
+            },
+        };
+        assert_eq!(e.to_string(), "[1.000s] state normal -> threshold");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut log = EventLog::with_capacity(1);
+        log.push(SimTime::ZERO, admit(0));
+        log.push(SimTime::ZERO, admit(1));
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0);
+    }
+}

@@ -1,0 +1,822 @@
+//! The PPM power manager: the paper's kernel-module agents plugged into the
+//! simulation executor.
+//!
+//! Every bidding period (31.7 ms by default) the manager snapshots the
+//! system into a [`MarketObs`], runs one [`Market`] round, and applies the
+//! decision: task shares (`s_t = b_t / P_c`, realised through nice values on
+//! real hardware, directly as shares here), cluster DVFS steps, and cluster
+//! power gating. Every few rounds the LBT module proposes at most one task
+//! movement (§3.4: load balancing every 3 bid rounds, migration every 2
+//! load-balance invocations; both disabled in the emergency state).
+
+use ppm_platform::cluster::ClusterId;
+use ppm_platform::core::CoreId;
+use ppm_platform::units::{Price, ProcessingUnits, SimDuration, SimTime, Watts};
+use ppm_sched::executor::{AllocationPolicy, PowerManager, System};
+use ppm_sched::nice::Nice;
+use ppm_workload::task::TaskId;
+
+use ppm_predict::OnlineEstimator;
+
+use crate::config::PpmConfig;
+use crate::events::{Event, EventLog};
+use crate::lbt::{
+    decide_load_balance, decide_migration, ClusterPowerProfile, ClusterSnapshot, CoreSnapshot,
+    Move, SystemSnapshot, TaskSnapshot,
+};
+use crate::market::{ClusterObs, CoreObs, Market, MarketDecision, MarketObs, TaskObs, VfStep};
+use crate::state::PowerState;
+
+/// Price-theory power manager (PPM).
+#[derive(Debug)]
+pub struct PpmManager {
+    config: PpmConfig,
+    market: Market,
+    next_round: SimTime,
+    rounds_since_lb: u32,
+    lbs_since_migration: u32,
+    last_decision: Option<MarketDecision>,
+    /// Moves performed, for diagnostics.
+    moves: Vec<(SimTime, Move)>,
+    /// Tasks seen in the previous round, for exit cleanup.
+    known_tasks: std::collections::HashSet<TaskId>,
+    /// Online demand estimator (when `config.online_estimation` is set).
+    estimator: OnlineEstimator,
+    /// Structured decision log.
+    events: EventLog,
+    last_state: PowerState,
+}
+
+impl PpmManager {
+    /// Build a manager with `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: PpmConfig) -> PpmManager {
+        let market = Market::new(config.clone());
+        PpmManager {
+            config,
+            market,
+            next_round: SimTime::ZERO,
+            rounds_since_lb: 0,
+            lbs_since_migration: 0,
+            last_decision: None,
+            moves: Vec::new(),
+            known_tasks: std::collections::HashSet::new(),
+            estimator: OnlineEstimator::new(),
+            events: EventLog::new(),
+            last_state: PowerState::Normal,
+        }
+    }
+
+    /// The paper's default TC2 configuration.
+    pub fn tc2() -> PpmManager {
+        PpmManager::new(PpmConfig::tc2())
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &PpmConfig {
+        &self.config
+    }
+
+    /// The market (for inspecting bids, savings, state).
+    pub fn market(&self) -> &Market {
+        &self.market
+    }
+
+    /// The decision of the most recent bidding round.
+    pub fn last_decision(&self) -> Option<&MarketDecision> {
+        self.last_decision.as_ref()
+    }
+
+    /// All task movements the LBT module has performed.
+    pub fn moves(&self) -> &[(SimTime, Move)] {
+        &self.moves
+    }
+
+    /// The online estimator (only populated when online estimation is on).
+    pub fn estimator(&self) -> &OnlineEstimator {
+        &self.estimator
+    }
+
+    /// The structured decision log (rounds, state changes, DVFS steps,
+    /// migrations, task churn).
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Feed the estimator with this round's observations.
+    fn observe_costs(&mut self, sys: &System) {
+        for id in sys.task_ids() {
+            let task = sys.task(id);
+            if let Some(cost) = task.measured_cost_per_beat() {
+                let class = sys.chip().core(sys.core_of(id)).class();
+                self.estimator
+                    .observe(id, class, task.spec().target_range().target(), cost);
+            }
+        }
+    }
+
+    /// Snapshot the live system into a market observation.
+    fn observe(&self, sys: &System) -> MarketObs {
+        let chip = sys.chip();
+        let tasks = sys
+            .task_ids()
+            .into_iter()
+            .map(|id| {
+                let core = sys.core_of(id);
+                let class = chip.core(core).class();
+                let demand = sys.task(id).demand(class, class);
+                TaskObs {
+                    id,
+                    core,
+                    priority: sys.task(id).priority().value(),
+                    demand,
+                }
+            })
+            .collect();
+        let cores = chip
+            .cores()
+            .iter()
+            .map(|d| CoreObs {
+                id: d.id(),
+                cluster: d.cluster(),
+            })
+            .collect();
+        let clusters = chip
+            .clusters()
+            .iter()
+            .map(|cl| {
+                let level = cl.level();
+                let table = cl.table();
+                ClusterObs {
+                    id: cl.id(),
+                    supply: cl.supply_per_core(),
+                    supply_up: (level < table.max_level())
+                        .then(|| table.point(table.step_up(level)).supply()),
+                    supply_down: (level.0 > 0)
+                        .then(|| table.point(table.step_down(level)).supply()),
+                    power: sys.cluster_power(cl.id()),
+                }
+            })
+            .collect();
+        // Thermal pressure (extension): translate junction-temperature
+        // headroom into the equivalent power signal so the chip agent's
+        // state machine — and hence the money supply — reacts to heat
+        // exactly as it reacts to a TDP excursion.
+        let mut chip_power = sys.chip_power();
+        if let (Some((th, crit)), Some(thermal)) = (self.config.thermal_limit, sys.thermal()) {
+            let hottest = thermal.hottest();
+            if hottest > crit {
+                chip_power = chip_power.max(self.config.tdp * 1.05);
+            } else if hottest > th {
+                chip_power = chip_power.max(self.config.threshold * 1.01);
+            }
+        }
+        MarketObs {
+            chip_power,
+            tasks,
+            cores,
+            clusters,
+        }
+    }
+
+    /// Apply one market decision to the system.
+    fn apply(&self, sys: &mut System, decision: &MarketDecision) {
+        if self.config.actuate_via_nice {
+            self.apply_via_nice(sys, decision);
+        } else {
+            for &(task, share) in &decision.shares {
+                sys.set_share(task, share);
+            }
+        }
+        for &(cluster, step) in &decision.dvfs {
+            let cl = sys.chip().cluster(cluster);
+            let level = match step {
+                VfStep::Up => cl.table().step_up(cl.level()),
+                VfStep::Down => cl.table().step_down(cl.level()),
+            };
+            sys.request_level(cluster, level);
+        }
+    }
+
+    /// The paper's kernel realization of resource distribution: translate
+    /// each core's market shares into nice values ("lower nice value
+    /// manifests as higher priority and more resource consumption") and let
+    /// CFS weighted fair sharing approximate the ratios.
+    fn apply_via_nice(&self, sys: &mut System, decision: &MarketDecision) {
+        use std::collections::HashMap;
+        let mut by_core: HashMap<_, Vec<(TaskId, f64)>> = HashMap::new();
+        for &(task, share) in &decision.shares {
+            by_core
+                .entry(sys.core_of(task))
+                .or_default()
+                .push((task, share.value()));
+        }
+        for (_core, tasks) in by_core {
+            let total: f64 = tasks.iter().map(|(_, s)| s).sum();
+            if total <= 0.0 {
+                continue;
+            }
+            // CFS only sees weight ratios: scale the shares so the mean
+            // target weight is the nice-0 weight, then snap each to the
+            // closest table entry.
+            let n = tasks.len() as f64;
+            for (task, share) in tasks {
+                let target = Nice::DEFAULT.weight() as f64 * n * share / total;
+                sys.set_nice(task, Nice::for_weight(target));
+            }
+        }
+    }
+
+    /// Gate clusters with no tasks; ungate clusters that host tasks again.
+    fn manage_gating(&self, sys: &mut System) {
+        if !self.config.power_down_idle_clusters {
+            return;
+        }
+        let ids: Vec<ClusterId> = sys.chip().clusters().iter().map(|c| c.id()).collect();
+        for id in ids {
+            let has_tasks = !sys.tasks_on_cluster(id).is_empty();
+            let off = sys.chip().cluster(id).is_off();
+            if has_tasks && off {
+                sys.power_on(id);
+            } else if !has_tasks && !off {
+                sys.power_off(id);
+            }
+        }
+    }
+
+    /// Build the LBT snapshot from the live system and market state.
+    fn lbt_snapshot(&self, sys: &System) -> SystemSnapshot {
+        let chip = sys.chip();
+        let model = chip.power_model();
+        let clusters = chip
+            .clusters()
+            .iter()
+            .map(|cl| {
+                let class = cl.class();
+                let table = cl.table();
+                let ladder: Vec<ProcessingUnits> =
+                    table.iter().map(|(_, p)| p.supply()).collect();
+                let params = model.params(class);
+                let n = cl.core_count() as f64;
+                let idle = table
+                    .iter()
+                    .map(|(_, p)| {
+                        model.uncore(class)
+                            + Watts(params.leakage_coeff * p.voltage.volts() * n)
+                    })
+                    .collect();
+                let watts_per_pu = table
+                    .iter()
+                    .map(|(_, p)| {
+                        let v = p.voltage.volts();
+                        params.dynamic_coeff * v * v
+                    })
+                    .collect();
+                // Constrained-core price from the last round; fall back to a
+                // minimum-bid-implied price.
+                let price = self.cluster_price(sys, cl.id());
+                let cores = cl
+                    .cores()
+                    .iter()
+                    .map(|&core| CoreSnapshot {
+                        id: core,
+                        tasks: sys
+                            .tasks_on(core)
+                            .into_iter()
+                            .map(|id| self.task_snapshot(sys, id))
+                            .collect(),
+                    })
+                    .collect();
+                ClusterSnapshot {
+                    id: cl.id(),
+                    class,
+                    ladder,
+                    level: cl.level().0,
+                    price,
+                    power: ClusterPowerProfile {
+                        idle,
+                        watts_per_pu,
+                    },
+                    cores,
+                }
+            })
+            .collect();
+        SystemSnapshot {
+            clusters,
+            tolerance: self.config.tolerance,
+            min_bid: self.config.min_bid,
+            supply_capped: self.market.state() != PowerState::Normal,
+        }
+    }
+
+    fn task_snapshot(&self, sys: &System, id: TaskId) -> TaskSnapshot {
+        let task = sys.task(id);
+        // Off-line profile by default; the online estimator (the paper's
+        // stated future work) replaces it when enabled and warmed up.
+        let mut demand = ppm_workload::perclass::PerClass::new(
+            task.spec().profiled_demand(ppm_platform::core::CoreClass::Little),
+            task.spec().profiled_demand(ppm_platform::core::CoreClass::Big),
+        );
+        if self.config.online_estimation {
+            if let Some(est) = self.estimator.demand_per_class(id) {
+                demand = est;
+            }
+        }
+        TaskSnapshot {
+            id,
+            priority: task.priority().value(),
+            demand,
+            supply: sys.granted(id),
+            bid: self.market.bid_of(id),
+        }
+    }
+
+    /// Price of the constrained core of `cluster` from the last decision.
+    fn cluster_price(&self, sys: &System, cluster: ClusterId) -> Price {
+        let Some(decision) = &self.last_decision else {
+            return Price::ZERO;
+        };
+        // Constrained core: highest demand among this cluster's cores.
+        let mut best: Option<(ProcessingUnits, CoreId)> = None;
+        for &core in sys.chip().cores_of(cluster) {
+            let d: ProcessingUnits = sys
+                .tasks_on(core)
+                .iter()
+                .map(|&t| {
+                    decision
+                        .tasks
+                        .iter()
+                        .find(|r| r.id == t)
+                        .map_or(ProcessingUnits::ZERO, |r| r.demand)
+                })
+                .sum();
+            if best.is_none_or(|(bd, _)| d > bd) {
+                best = Some((d, core));
+            }
+        }
+        best.and_then(|(_, core)| {
+            decision
+                .prices
+                .iter()
+                .find(|(c, _)| *c == core)
+                .map(|&(_, p)| p)
+        })
+        .unwrap_or(Price::ZERO)
+    }
+
+    /// Run the LBT module and apply at most one move.
+    fn run_lbt(&mut self, sys: &mut System, migrate: bool) {
+        let snapshot = self.lbt_snapshot(sys);
+        let decision = if migrate {
+            decide_migration(&snapshot).or_else(|| decide_load_balance(&snapshot))
+        } else {
+            decide_load_balance(&snapshot)
+        };
+        if let Some(m) = decision {
+            // Moving to a gated cluster requires powering it up first.
+            let from_cluster = sys.chip().core(sys.core_of(m.task)).cluster();
+            let target_cluster = sys.chip().core(m.to_core).cluster();
+            if sys.chip().cluster(target_cluster).is_off() {
+                sys.power_on(target_cluster);
+            }
+            if sys.migrate(m.task, m.to_core).is_some() {
+                self.moves.push((sys.now(), m));
+                self.events.push(
+                    sys.now(),
+                    Event::Migration {
+                        task: m.task,
+                        to: m.to_core,
+                        inter_cluster: from_cluster != target_cluster,
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl PowerManager for PpmManager {
+    fn name(&self) -> &'static str {
+        "PPM"
+    }
+
+    fn init(&mut self, sys: &mut System) {
+        sys.set_policy(if self.config.actuate_via_nice {
+            AllocationPolicy::FairWeights
+        } else {
+            AllocationPolicy::Market
+        });
+        sys.set_tdp_accounting(self.config.tdp);
+        // Until the first round distributes real shares, let every task
+        // claim a fair slice so nothing starves during the first 31.7 ms.
+        let ids = sys.task_ids();
+        for id in ids {
+            let core = sys.core_of(id);
+            let supply = sys.chip().core_supply(core);
+            let n = sys.tasks_on(core).len().max(1) as f64;
+            sys.set_share(id, supply / n);
+        }
+        self.manage_gating(sys);
+    }
+
+    fn tick(&mut self, sys: &mut System, _dt: SimDuration) {
+        if sys.now() < self.next_round {
+            return;
+        }
+        self.next_round = sys.now() + self.config.bid_period;
+
+        if self.config.online_estimation {
+            self.observe_costs(sys);
+        }
+        let obs = self.observe(sys);
+        // Task exit: retire the market agents of departed tasks (their
+        // savings leave the economy with them).
+        let current: std::collections::HashSet<TaskId> =
+            obs.tasks.iter().map(|t| t.id).collect();
+        let now = sys.now();
+        for gone in self.known_tasks.difference(&current) {
+            self.market.remove_task(*gone);
+            self.estimator.remove_task(*gone);
+            self.events.push(now, Event::TaskExited { task: *gone });
+        }
+        for new in current.difference(&self.known_tasks) {
+            self.events.push(now, Event::TaskAdmitted { task: *new });
+        }
+        self.known_tasks = current;
+        let decision = self.market.round(&obs);
+        self.events.push(
+            now,
+            Event::Round {
+                round: self.market.rounds(),
+                allowance: decision.allowance,
+                power: obs.chip_power,
+                state: decision.state,
+            },
+        );
+        if decision.state != self.last_state {
+            self.events.push(
+                now,
+                Event::StateChange {
+                    from: self.last_state,
+                    to: decision.state,
+                },
+            );
+            self.last_state = decision.state;
+        }
+        for &(cluster, step) in &decision.dvfs {
+            self.events.push(now, Event::Dvfs { cluster, step });
+        }
+        self.apply(sys, &decision);
+        let state = decision.state;
+        self.last_decision = Some(decision);
+
+        // LBT cadence (§3.4), disabled in the emergency state.
+        self.rounds_since_lb += 1;
+        if self.config.lbt_enabled
+            && state != PowerState::Emergency
+            && self.rounds_since_lb >= self.config.load_balance_every
+        {
+            self.rounds_since_lb = 0;
+            self.lbs_since_migration += 1;
+            let migrate = self.lbs_since_migration >= self.config.migrate_every;
+            if migrate {
+                self.lbs_since_migration = 0;
+            }
+            self.run_lbt(sys, migrate);
+        }
+        self.manage_gating(sys);
+    }
+}
+
+/// Place tasks on the LITTLE cluster round-robin, as after boot on TC2
+/// (Linux boots on the LITTLE cluster in the paper's setup).
+pub fn place_on_little(sys: &mut System) {
+    let little: Vec<CoreId> = sys
+        .chip()
+        .clusters()
+        .iter()
+        .filter(|c| c.class() == ppm_platform::core::CoreClass::Little)
+        .flat_map(|c| c.cores().to_vec())
+        .collect();
+    assert!(!little.is_empty(), "chip has no LITTLE cluster");
+    let ids = sys.task_ids();
+    for (i, id) in ids.into_iter().enumerate() {
+        let target = little[i % little.len()];
+        if sys.core_of(id) != target {
+            sys.migrate(id, target);
+        }
+    }
+}
+
+/// Handy constructor: a TC2 system with `tasks`, placed on LITTLE, run by a
+/// PPM manager — the common experimental setup.
+pub fn tc2_ppm_system(
+    tasks: Vec<ppm_workload::task::Task>,
+    config: PpmConfig,
+) -> (System, PpmManager) {
+    let chip = ppm_platform::chip::Chip::tc2();
+    let mut sys = System::new(chip, AllocationPolicy::Market);
+    let little0 = CoreId(0);
+    for t in tasks {
+        sys.add_task(t, little0);
+    }
+    place_on_little(&mut sys);
+    (sys, PpmManager::new(config))
+}
+
+// Re-export for examples' convenience.
+pub use crate::market::VfStep as AppliedVfStep;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_platform::units::SimDuration;
+    use ppm_sched::executor::Simulation;
+    use ppm_workload::benchmarks::{Benchmark, BenchmarkSpec, Input};
+    use ppm_workload::task::{Priority, Task};
+
+    fn task(id: usize, b: Benchmark, i: Input, prio: u32) -> Task {
+        Task::new(
+            TaskId(id),
+            BenchmarkSpec::of(b, i).expect("variant"),
+            Priority(prio),
+        )
+    }
+
+    #[test]
+    fn light_load_settles_at_low_power_and_meets_qos() {
+        // One easy task: PPM should meet its heart-rate goal at far below
+        // the maximum power.
+        let (sys, mgr) = tc2_ppm_system(
+            vec![task(0, Benchmark::Blackscholes, Input::Large, 1)],
+            PpmConfig::tc2(),
+        );
+        let mut sim = Simulation::new(sys, mgr).with_warmup(SimDuration::from_secs(5));
+        sim.run_for(SimDuration::from_secs(30));
+        let m = sim.metrics();
+        let miss = m.task(TaskId(0)).expect("observed").miss_fraction();
+        assert!(miss < 0.10, "miss fraction {miss}");
+        // Power far below the 8 W chip peak: a lone 200-PU task on LITTLE.
+        assert!(
+            m.average_power().value() < 1.0,
+            "power {}",
+            m.average_power()
+        );
+    }
+
+    #[test]
+    fn idle_big_cluster_is_gated() {
+        let (sys, mgr) = tc2_ppm_system(
+            vec![task(0, Benchmark::Blackscholes, Input::Large, 1)],
+            PpmConfig::tc2(),
+        );
+        let mut sim = Simulation::new(sys, mgr);
+        sim.run_for(SimDuration::from_secs(2));
+        assert!(sim.system().chip().cluster(ClusterId(1)).is_off());
+    }
+
+    #[test]
+    fn demanding_task_is_migrated_to_big_cluster() {
+        // tracking_f demands ~800 PU on LITTLE (over a shared core) but only
+        // ~500 on big: with two of them on LITTLE, LBT must move work over.
+        let (sys, mgr) = tc2_ppm_system(
+            vec![
+                task(0, Benchmark::Tracking, Input::FullHd, 1),
+                task(1, Benchmark::Multicnt, Input::FullHd, 1),
+                task(2, Benchmark::Texture, Input::FullHd, 1),
+                task(3, Benchmark::X264, Input::Native, 1),
+            ],
+            PpmConfig::tc2(),
+        );
+        let mut sim = Simulation::new(sys, mgr).with_warmup(SimDuration::from_secs(5));
+        sim.run_for(SimDuration::from_secs(40));
+        let moved_to_big = sim
+            .system()
+            .task_ids()
+            .iter()
+            .filter(|&&id| {
+                sim.system().chip().core(sim.system().core_of(id)).class()
+                    == ppm_platform::core::CoreClass::Big
+            })
+            .count();
+        assert!(
+            moved_to_big >= 1,
+            "heavy tasks should spill to the big cluster; moves: {:?}",
+            sim.manager().moves()
+        );
+    }
+
+    #[test]
+    fn tdp_cap_is_enforced() {
+        // Heavy load under an artificial 4 W cap: the emergency mechanism
+        // must keep time-above-TDP small.
+        let (sys, mgr) = tc2_ppm_system(
+            vec![
+                task(0, Benchmark::Tracking, Input::FullHd, 1),
+                task(1, Benchmark::Multicnt, Input::FullHd, 1),
+                task(2, Benchmark::Texture, Input::FullHd, 1),
+                task(3, Benchmark::Swaptions, Input::Native, 1),
+                task(4, Benchmark::X264, Input::Native, 1),
+                task(5, Benchmark::Blackscholes, Input::Native, 1),
+            ],
+            PpmConfig::tc2_with_tdp(Watts(4.0)),
+        );
+        let mut sim = Simulation::new(sys, mgr).with_warmup(SimDuration::from_secs(5));
+        sim.run_for(SimDuration::from_secs(60));
+        let m = sim.metrics();
+        // Discrete V-F levels can straddle the cap, so the paper expects
+        // the overloaded system to "oscillate around the TDP"; what must
+        // hold is that excursions are small and brief and the budget is
+        // respected on average.
+        let above = m.time_above_tdp.as_secs_f64() / m.total_time().as_secs_f64();
+        assert!(above < 0.30, "time above TDP: {:.1}%", above * 100.0);
+        assert!(
+            m.chip_energy.peak_power().value() < 4.0 * 1.10,
+            "peak {} strays far above the cap",
+            m.chip_energy.peak_power()
+        );
+        assert!(m.average_power().value() < 4.0, "avg {}", m.average_power());
+    }
+
+    #[test]
+    fn higher_priority_task_gets_better_qos_under_contention() {
+        // The Figure 7 setup: two demanding tasks pinned to one big core,
+        // LBT disabled, swaptions at priority 7 vs bodytrack at 1.
+        let chip = ppm_platform::chip::Chip::tc2();
+        let mut sys = System::new(chip, AllocationPolicy::Market);
+        // A LITTLE core, where the two native inputs genuinely contend
+        // (sum of demands ~970 PU of the 1000 PU top supply, with
+        // bodytrack's phase peaks crossing it).
+        sys.add_task(task(0, Benchmark::Swaptions, Input::Native, 7), CoreId(0));
+        sys.add_task(task(1, Benchmark::Bodytrack, Input::Native, 1), CoreId(0));
+        let mgr = PpmManager::new(PpmConfig::tc2().without_lbt());
+        let mut sim = Simulation::new(sys, mgr).with_warmup(SimDuration::from_secs(5));
+        sim.run_for(SimDuration::from_secs(60));
+        let m = sim.metrics();
+        let swap = m.task(TaskId(0)).expect("t0").out_of_range_fraction();
+        let body = m.task(TaskId(1)).expect("t1").out_of_range_fraction();
+        assert!(
+            swap < body,
+            "high-priority swaptions ({swap:.2}) should beat bodytrack ({body:.2})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod debug_tests {
+    use super::*;
+    use ppm_platform::units::SimDuration;
+    use ppm_sched::executor::Simulation;
+    use ppm_workload::benchmarks::{Benchmark, BenchmarkSpec, Input};
+    use ppm_workload::task::{Priority, Task};
+
+    #[test]
+    #[ignore]
+    fn debug_tdp_scenario() {
+        use crate::manager::tc2_ppm_system;
+        let mk = |id: usize, b, i| Task::new(TaskId(id), BenchmarkSpec::of(b, i).unwrap(), Priority(1));
+        let (sys, mgr) = tc2_ppm_system(
+            vec![
+                mk(0, Benchmark::Tracking, Input::FullHd),
+                mk(1, Benchmark::Multicnt, Input::FullHd),
+                mk(2, Benchmark::Texture, Input::FullHd),
+                mk(3, Benchmark::Swaptions, Input::Native),
+                mk(4, Benchmark::X264, Input::Native),
+                mk(5, Benchmark::Blackscholes, Input::Native),
+            ],
+            PpmConfig::tc2_with_tdp(ppm_platform::units::Watts(4.0)),
+        );
+        let mut sim = Simulation::new(sys, mgr).with_warmup(SimDuration::from_secs(5));
+        for _ in 0..260 {
+            sim.run_for(SimDuration::from_millis(250));
+            let s = sim.system();
+            let d = sim.manager().last_decision().unwrap();
+            println!("t={:.2}s W={:.2} A={:.2} state={:?} lvl={:?} D={:.0} S={:.0} map={:?}",
+                s.now().as_secs_f64(), s.chip_power().value(), d.allowance.value(), d.state,
+                s.chip().clusters().iter().map(|c| if c.is_off() {99} else {c.level().0}).collect::<Vec<_>>(),
+                d.total_demand.value(), d.total_supply.value(),
+                s.task_ids().iter().map(|&t| s.core_of(t).0).collect::<Vec<_>>());
+        }
+        let m = sim.metrics();
+        println!("ABOVE_TDP fraction: {:.3}", m.time_above_tdp.as_secs_f64() / m.total_time().as_secs_f64());
+    }
+
+    #[test]
+    #[ignore]
+    fn debug_priority_scenario() {
+        let chip = ppm_platform::chip::Chip::tc2();
+        let mut sys = System::new(chip, AllocationPolicy::Market);
+        let t0 = Task::new(TaskId(0), BenchmarkSpec::of(Benchmark::Swaptions, Input::Native).unwrap(), Priority(7));
+        let t1 = Task::new(TaskId(1), BenchmarkSpec::of(Benchmark::Bodytrack, Input::Native).unwrap(), Priority(1));
+        sys.add_task(t0, CoreId(3));
+        sys.add_task(t1, CoreId(3));
+        let mgr = PpmManager::new(PpmConfig::tc2().without_lbt());
+        let mut sim = Simulation::new(sys, mgr);
+        for step in 0..100 {
+            sim.run_for(SimDuration::from_millis(200));
+            let s = sim.system();
+            let d = sim.manager().last_decision().unwrap();
+            println!("t={:.1}s W={:.2} A={:.2} state={:?} lvl={:?} hr0={:.2} hr1={:.2} | {:?}",
+                s.now().as_secs_f64(), s.chip_power().value(), d.allowance.value(), d.state,
+                s.chip().clusters().iter().map(|c| c.level().0).collect::<Vec<_>>(),
+                s.task(TaskId(0)).normalized_heart_rate(), s.task(TaskId(1)).normalized_heart_rate(),
+                d.tasks.iter().map(|t| format!("b={:.2} m={:.2} s={:.0} d={:.0} a={:.2}", t.bid.value(), t.savings.value(), t.supply.value(), t.demand.value(), t.allowance.value())).collect::<Vec<_>>());
+            if step > 40 { break; }
+        }
+    }
+}
+
+#[cfg(test)]
+mod nice_actuation_tests {
+    use super::*;
+    use ppm_platform::units::SimDuration;
+    use ppm_sched::executor::Simulation;
+    use ppm_workload::benchmarks::{Benchmark, BenchmarkSpec, Input};
+    use ppm_workload::task::{Priority, Task};
+
+    fn run(config: PpmConfig) -> f64 {
+        let mk = |id: usize, b, i, p| {
+            Task::new(TaskId(id), BenchmarkSpec::of(b, i).expect("variant"), Priority(p))
+        };
+        let (sys, mgr) = tc2_ppm_system(
+            vec![
+                mk(0, Benchmark::Texture, Input::Vga, 1),
+                mk(1, Benchmark::Tracking, Input::Vga, 1),
+                mk(2, Benchmark::H264, Input::Soccer, 1),
+                mk(3, Benchmark::Blackscholes, Input::Large, 1),
+            ],
+            config,
+        );
+        let mut sim = Simulation::new(sys, mgr).with_warmup(SimDuration::from_secs(5));
+        sim.run_for(SimDuration::from_secs(30));
+        sim.metrics().any_miss_fraction()
+    }
+
+    #[test]
+    fn nice_quantization_approximates_exact_shares() {
+        // The kernel realization (CFS weights from the 40-entry nice table)
+        // must land close to the idealized exact-share actuation.
+        let exact = run(PpmConfig::tc2());
+        let nice = run(PpmConfig::tc2().with_nice_actuation());
+        assert!(
+            nice < exact + 0.15,
+            "nice actuation miss {nice:.2} vs exact {exact:.2}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod event_tests {
+    use super::*;
+    use crate::events::Event;
+    use ppm_platform::units::SimDuration;
+    use ppm_sched::executor::Simulation;
+    use ppm_workload::benchmarks::{Benchmark, BenchmarkSpec, Input};
+    use ppm_workload::task::{Priority, Task};
+
+    #[test]
+    fn manager_logs_rounds_dvfs_and_churn() {
+        let (sys, mgr) = tc2_ppm_system(
+            vec![Task::new(
+                TaskId(0),
+                BenchmarkSpec::of(Benchmark::Tracking, Input::FullHd).expect("variant"),
+                Priority(1),
+            )],
+            PpmConfig::tc2(),
+        );
+        let mut sim = Simulation::new(sys, mgr);
+        sim.run_for(SimDuration::from_secs(5));
+        sim.system_mut().add_task(
+            Task::new(
+                TaskId(1),
+                BenchmarkSpec::of(Benchmark::Texture, Input::Vga).expect("variant"),
+                Priority(1),
+            ),
+            ppm_platform::core::CoreId(1),
+        );
+        sim.run_for(SimDuration::from_secs(2));
+        sim.system_mut().remove_task(TaskId(1));
+        sim.run_for(SimDuration::from_secs(1));
+
+        let log = sim.manager().events();
+        assert!(!log.is_empty());
+        let rounds = log.filtered(|e| matches!(e, Event::Round { .. })).count();
+        assert!(rounds > 100, "one event per bid round: {rounds}");
+        assert!(
+            log.filtered(|e| matches!(e, Event::Dvfs { .. })).count() > 0,
+            "tracking_f at 800 PU forces DVFS activity"
+        );
+        assert_eq!(
+            log.filtered(|e| matches!(e, Event::TaskAdmitted { task } if task.0 == 1))
+                .count(),
+            1
+        );
+        assert_eq!(
+            log.filtered(|e| matches!(e, Event::TaskExited { task } if task.0 == 1))
+                .count(),
+            1
+        );
+    }
+}

@@ -1,0 +1,916 @@
+//! The supply-demand module (§3.2): task bidding, core price discovery,
+//! cluster inflation/deflation control, and chip-level allowance control.
+//!
+//! The market is deliberately decoupled from the simulation executor: it
+//! consumes a [`MarketObs`] snapshot (what the distributed agents would
+//! observe through message passing) and emits a [`MarketDecision`] (shares
+//! to grant, DVFS steps to request, the new global allowance). This makes
+//! the running examples of Tables 1–3 directly replayable — see the golden
+//! tests at the bottom of this module — and lets the scalability harness
+//! drive the market without hardware.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ppm_platform::cluster::ClusterId;
+use ppm_platform::core::CoreId;
+use ppm_platform::units::{Money, Price, ProcessingUnits, Watts};
+use ppm_workload::task::TaskId;
+
+use crate::agents::{chip_agent, cluster_agent, core_agent, task_agent};
+use crate::config::PpmConfig;
+use crate::state::{allowance_delta, PowerState};
+
+/// What a task agent reports for one bidding round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskObs {
+    /// The task.
+    pub id: TaskId,
+    /// The core it is mapped to (`c_t`).
+    pub core: CoreId,
+    /// Its user priority `r_t`.
+    pub priority: u32,
+    /// Its current demand `d_t` on its current core type, in PU.
+    pub demand: ProcessingUnits,
+}
+
+/// What a core agent knows about its core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreObs {
+    /// The core.
+    pub id: CoreId,
+    /// Its V-F cluster.
+    pub cluster: ClusterId,
+}
+
+/// What a cluster agent observes about its regulator and power sensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterObs {
+    /// The cluster.
+    pub id: ClusterId,
+    /// Current per-core supply `S_v` (0 when gated).
+    pub supply: ProcessingUnits,
+    /// Per-core supply one V-F level up, if not already at the top.
+    pub supply_up: Option<ProcessingUnits>,
+    /// Per-core supply one V-F level down, if not already at the bottom.
+    pub supply_down: Option<ProcessingUnits>,
+    /// Cluster power sensor reading `W_v`.
+    pub power: Watts,
+}
+
+/// A full observation snapshot for one bidding round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarketObs {
+    /// Chip power sensor reading `W`.
+    pub chip_power: Watts,
+    /// All task observations.
+    pub tasks: Vec<TaskObs>,
+    /// All cores (including idle ones).
+    pub cores: Vec<CoreObs>,
+    /// All clusters.
+    pub clusters: Vec<ClusterObs>,
+}
+
+/// A DVFS step requested by a cluster agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VfStep {
+    /// Raise the V-F level by one (fight inflation).
+    Up,
+    /// Lower the V-F level by one (fight deflation).
+    Down,
+}
+
+/// Per-task outcome of one round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskRound {
+    /// The task.
+    pub id: TaskId,
+    /// Allowance `a_t` granted this round.
+    pub allowance: Money,
+    /// Bid `b_t` placed this round.
+    pub bid: Money,
+    /// Savings `m_t` after this round.
+    pub savings: Money,
+    /// Supply `s_t` purchased this round.
+    pub supply: ProcessingUnits,
+    /// Demand `d_t` observed this round.
+    pub demand: ProcessingUnits,
+}
+
+/// The market's decision for one round.
+#[derive(Debug, Clone)]
+pub struct MarketDecision {
+    /// Supply to grant each task (`s_t = b_t / P_c`).
+    pub shares: Vec<(TaskId, ProcessingUnits)>,
+    /// DVFS steps requested by cluster agents.
+    pub dvfs: Vec<(ClusterId, VfStep)>,
+    /// Chip power state this round.
+    pub state: PowerState,
+    /// Global allowance `A` for the next round.
+    pub allowance: Money,
+    /// Per-core prices discovered this round.
+    pub prices: Vec<(CoreId, Price)>,
+    /// Per-task dynamics (bids, savings, …) for tracing and the running
+    /// examples.
+    pub tasks: Vec<TaskRound>,
+    /// Total chip demand `D` (sum of constrained-core demands).
+    pub total_demand: ProcessingUnits,
+    /// Total chip supply `S` (sum of cluster supplies).
+    pub total_supply: ProcessingUnits,
+}
+
+#[derive(Debug, Clone)]
+struct TaskAgent {
+    bid: Money,
+    savings: Money,
+    /// `d_t` and `s_t` of the previous round and the price paid, which drive
+    /// the next bid (Eq. 1 uses round-N quantities for the round-N+1 bid).
+    prev_demand: ProcessingUnits,
+    prev_supply: ProcessingUnits,
+    prev_price: Price,
+    seen: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ClusterAgent {
+    base_price: Price,
+    has_base: bool,
+    /// True while the regulator is switching: bids frozen, base price will
+    /// be re-anchored at the next observed price.
+    frozen: bool,
+    /// Price observed in the previous round (for climb detection).
+    last_price: Price,
+}
+
+/// The supply-demand module: all agent state plus the round engine.
+#[derive(Debug, Clone)]
+pub struct Market {
+    config: PpmConfig,
+    tasks: HashMap<TaskId, TaskAgent>,
+    clusters: HashMap<ClusterId, ClusterAgent>,
+    /// Global allowance `A`.
+    allowance: Option<Money>,
+    state: PowerState,
+    round: u64,
+    /// Rounds remaining before another emergency cut may fire.
+    emergency_cooldown: u32,
+    /// The bid every new task agent starts with (the paper's examples start
+    /// at $1).
+    initial_bid: Money,
+}
+
+impl Market {
+    /// Rounds the chip agent waits between consecutive emergency allowance
+    /// cuts, so one cut's effect (deflation, V-F steps) is observed before
+    /// cutting again — Table 3 holds `A` for two rounds after the cut.
+    pub const EMERGENCY_COOLDOWN_ROUNDS: u32 = 2;
+
+    /// A market with no agents yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation.
+    pub fn new(config: PpmConfig) -> Market {
+        config.validate().expect("valid PPM configuration");
+        Market {
+            config,
+            tasks: HashMap::new(),
+            clusters: HashMap::new(),
+            allowance: None,
+            state: PowerState::Normal,
+            round: 0,
+            emergency_cooldown: 0,
+            initial_bid: Money(1.0),
+        }
+    }
+
+    /// Override the bid new task agents start with (defaults to $1).
+    pub fn set_initial_bid(&mut self, bid: Money) {
+        self.initial_bid = bid;
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &PpmConfig {
+        &self.config
+    }
+
+    /// The current chip power state.
+    pub fn state(&self) -> PowerState {
+        self.state
+    }
+
+    /// The current global allowance, if the chip agent has initialised.
+    pub fn allowance(&self) -> Option<Money> {
+        self.allowance
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// A task agent's current savings `m_t`.
+    pub fn savings_of(&self, id: TaskId) -> Money {
+        self.tasks.get(&id).map_or(Money::ZERO, |a| a.savings)
+    }
+
+    /// A task agent's current bid `b_t`.
+    pub fn bid_of(&self, id: TaskId) -> Money {
+        self.tasks.get(&id).map_or(Money::ZERO, |a| a.bid)
+    }
+
+    /// Remove the agent of a departed task, returning its savings to the
+    /// void (money supply is controlled by the chip agent anyway).
+    pub fn remove_task(&mut self, id: TaskId) {
+        self.tasks.remove(&id);
+    }
+
+    /// Execute one bidding round (§3.2.1–§3.2.3): distribute allowances,
+    /// update bids, discover prices, purchase supply, update savings, run
+    /// the cluster agents' inflation/deflation control and the chip agent's
+    /// allowance control.
+    pub fn round(&mut self, obs: &MarketObs) -> MarketDecision {
+        self.round += 1;
+        let core_cluster: HashMap<CoreId, ClusterId> =
+            obs.cores.iter().map(|c| (c.id, c.cluster)).collect();
+        let cluster_supply: HashMap<ClusterId, ClusterObs> =
+            obs.clusters.iter().map(|c| (c.id, *c)).collect();
+
+        // --- Group tasks by core and cluster. ---
+        let mut tasks_by_core: HashMap<CoreId, Vec<&TaskObs>> = HashMap::new();
+        for t in &obs.tasks {
+            tasks_by_core.entry(t.core).or_default().push(t);
+        }
+        let mut tasks_by_cluster: HashMap<ClusterId, Vec<&TaskObs>> = HashMap::new();
+        for t in &obs.tasks {
+            let cl = core_cluster
+                .get(&t.core)
+                .copied()
+                .expect("task core must be listed in obs.cores");
+            tasks_by_cluster.entry(cl).or_default().push(t);
+        }
+
+        // --- Chip agent: initial allowance on first sight. ---
+        let total_priority: u32 = obs.tasks.iter().map(|t| t.priority).sum();
+        let allowance = *self.allowance.get_or_insert({
+            Money(self.config.initial_allowance_per_priority * total_priority as f64)
+        });
+
+        // --- Hierarchical allowance distribution (§3.2.3): A -> A_v
+        // (inverse to cluster power) -> a_t (proportional to priority). ---
+        let cluster_stats: Vec<(f64, u32)> = obs
+            .clusters
+            .iter()
+            .map(|c| {
+                let r = tasks_by_cluster
+                    .get(&c.id)
+                    .map_or(0, |ts| ts.iter().map(|t| t.priority).sum());
+                (c.power.value(), r)
+            })
+            .collect();
+        let cluster_allowances =
+            chip_agent::distribute(allowance, obs.chip_power.value(), &cluster_stats);
+        let mut task_allowance: HashMap<TaskId, Money> = HashMap::new();
+        for (c, av) in obs.clusters.iter().zip(&cluster_allowances) {
+            let Some(ts) = tasks_by_cluster.get(&c.id) else {
+                continue;
+            };
+            let priorities: Vec<u32> = ts.iter().map(|t| t.priority).collect();
+            for (t, a) in ts.iter().zip(chip_agent::split_by_priority(*av, &priorities)) {
+                task_allowance.insert(t.id, a);
+            }
+        }
+
+        // --- Task agents bid (Eq. 1). ---
+        let mut bids: HashMap<TaskId, Money> = HashMap::new();
+        for t in &obs.tasks {
+            let cl = core_cluster[&t.core];
+            let frozen = self.clusters.get(&cl).is_some_and(|c| c.frozen);
+            let a = task_allowance
+                .get(&t.id)
+                .copied()
+                .unwrap_or(Money::ZERO);
+            let agent = self.tasks.entry(t.id).or_insert_with(|| TaskAgent {
+                bid: Money::ZERO,
+                savings: Money::ZERO,
+                prev_demand: t.demand,
+                prev_supply: ProcessingUnits::ZERO,
+                prev_price: Price::ZERO,
+                seen: false,
+            });
+            let cap = a + agent.savings;
+            let bid = if !agent.seen {
+                agent.seen = true;
+                self.initial_bid.clamp(self.config.min_bid, cap.max(self.config.min_bid))
+            } else if frozen {
+                agent.bid
+            } else {
+                task_agent::next_bid(
+                    agent.bid,
+                    agent.prev_demand,
+                    agent.prev_supply,
+                    agent.prev_price,
+                    cap,
+                    self.config.min_bid,
+                )
+            };
+            agent.bid = bid;
+            bids.insert(t.id, bid);
+        }
+
+        // --- Core agents: price discovery and purchases. ---
+        let mut prices: Vec<(CoreId, Price)> = Vec::new();
+        let mut price_of_core: HashMap<CoreId, Price> = HashMap::new();
+        let mut shares: Vec<(TaskId, ProcessingUnits)> = Vec::new();
+        let mut supply_of_task: HashMap<TaskId, ProcessingUnits> = HashMap::new();
+        for (&core, ts) in &tasks_by_core {
+            let cl = core_cluster[&core];
+            let sc = cluster_supply[&cl].supply;
+            let core_bids: Vec<Money> = ts.iter().map(|t| bids[&t.id]).collect();
+            let (price, purchases) = core_agent::discover(&core_bids, sc);
+            prices.push((core, price));
+            price_of_core.insert(core, price);
+            for (t, s) in ts.iter().zip(purchases) {
+                shares.push((t.id, s));
+                supply_of_task.insert(t.id, s);
+            }
+        }
+        prices.sort_by_key(|(c, _)| *c);
+        shares.sort_by_key(|(t, _)| *t);
+
+        // --- Savings update and agent memory. ---
+        let mut task_rounds: Vec<TaskRound> = Vec::new();
+        for t in &obs.tasks {
+            let a = task_allowance.get(&t.id).copied().unwrap_or(Money::ZERO);
+            let s = supply_of_task
+                .get(&t.id)
+                .copied()
+                .unwrap_or(ProcessingUnits::ZERO);
+            let p = price_of_core
+                .get(&t.core)
+                .copied()
+                .unwrap_or(Price::ZERO);
+            let agent = self.tasks.get_mut(&t.id).expect("agent created above");
+            agent.savings = task_agent::next_savings(
+                agent.savings,
+                a,
+                agent.bid,
+                self.config.savings_cap_factor,
+            );
+            agent.prev_demand = t.demand;
+            agent.prev_supply = s;
+            agent.prev_price = p;
+            task_rounds.push(TaskRound {
+                id: t.id,
+                allowance: a,
+                bid: agent.bid,
+                savings: agent.savings,
+                supply: s,
+                demand: t.demand,
+            });
+        }
+        task_rounds.sort_by_key(|t| t.id);
+
+        // --- Cluster agents: inflation/deflation control (§3.2.2). ---
+        let mut dvfs: Vec<(ClusterId, VfStep)> = Vec::new();
+        // Clusters whose market is already reacting to under-supply (price
+        // climbing towards the inflation threshold, or a V-F switch in
+        // flight): the chip agent leaves those to the cluster agents.
+        let mut reacting: std::collections::HashSet<ClusterId> = std::collections::HashSet::new();
+        for c in &obs.clusters {
+            let Some(ts) = tasks_by_cluster.get(&c.id) else {
+                continue;
+            };
+            // Constrained core: highest summed demand in the cluster.
+            let mut per_core: HashMap<CoreId, ProcessingUnits> = HashMap::new();
+            for t in ts {
+                *per_core.entry(t.core).or_insert(ProcessingUnits::ZERO) += t.demand;
+            }
+            let (constrained, constrained_demand) = per_core
+                .iter()
+                .max_by(|a, b| {
+                    a.1.partial_cmp(b.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(b.0.cmp(a.0)) // deterministic tie-break: lowest id
+                })
+                .map(|(c, d)| (*c, *d))
+                .expect("cluster has tasks");
+            let price = price_of_core
+                .get(&constrained)
+                .copied()
+                .unwrap_or(Price::ZERO);
+            let agent = self.clusters.entry(c.id).or_default();
+            if agent.frozen || !agent.has_base {
+                // First observation at the (possibly new) supply anchors
+                // the base price; bids were held while switching.
+                agent.base_price = price;
+                agent.has_base = true;
+                agent.frozen = false;
+                agent.last_price = price;
+                reacting.insert(c.id);
+                continue;
+            }
+            // The market is reacting on its own while the price climbs:
+            // the chip agent holds the money supply meanwhile.
+            if price.value() > agent.last_price.value() * 1.02 {
+                reacting.insert(c.id);
+            }
+            agent.last_price = price;
+            // The agent's step rule (see `agents::cluster_agent`): forced
+            // step-down in the emergency state, else the ±δ band around the
+            // base price with the §3.2.4 round-demand-up guard.
+            let step = cluster_agent::decide_step(cluster_agent::ClusterView {
+                price,
+                base_price: agent.base_price,
+                tolerance: self.config.tolerance,
+                can_step_up: c.supply_up.is_some(),
+                supply_down: c.supply_down,
+                constrained_demand,
+                emergency: self.state == PowerState::Emergency,
+            });
+            if let Some(step) = step {
+                dvfs.push((c.id, step));
+                agent.frozen = true;
+            }
+        }
+
+        // --- Chip agent: state classification and allowance control. ---
+        let state = PowerState::classify(obs.chip_power, &self.config);
+        let mut total_demand = ProcessingUnits::ZERO;
+        let mut total_supply = ProcessingUnits::ZERO;
+        // "The allowance is increased … when the demand is not satisfied in
+        // at least one of the clusters" (§3.2.3). The deficit is evaluated
+        // per cluster — netting a starved cluster against another cluster's
+        // surplus would deadlock the money supply (the starved cluster's
+        // agents stay bid-capped forever while the chip sees D ≈ S). The
+        // growth rate follows the worst cluster's relative deficit.
+        // Extra money only helps when some under-supplied cluster can still
+        // raise its V-F level; growing the allowance with every regulator
+        // already at its top merely inflates prices (and savings) without
+        // adding a single PU.
+        let mut growth_helps = false;
+        let mut worst_deficit: Option<(ProcessingUnits, ProcessingUnits)> = None;
+        for c in &obs.clusters {
+            total_supply += c.supply;
+            if let Some(ts) = tasks_by_cluster.get(&c.id) {
+                let mut per_core: HashMap<CoreId, ProcessingUnits> = HashMap::new();
+                for t in ts {
+                    *per_core.entry(t.core).or_insert(ProcessingUnits::ZERO) += t.demand;
+                }
+                let dv = per_core
+                    .values()
+                    .copied()
+                    .fold(ProcessingUnits::ZERO, ProcessingUnits::max);
+                total_demand += dv;
+                if dv > c.supply && c.supply_up.is_some() && !reacting.contains(&c.id) {
+                    if std::env::var_os("PPM_DEBUG_GROWTH").is_some() {
+                        eprintln!(
+                            "round {}: growth on {}: Dv={} Sv={} reacting={:?}",
+                            self.round, c.id, dv, c.supply, reacting
+                        );
+                    }
+                    growth_helps = true;
+                    let rate = (dv - c.supply).value() / dv.value();
+                    let worse = worst_deficit
+                        .is_none_or(|(d, s)| rate > (d - s).value() / d.value());
+                    if worse {
+                        worst_deficit = Some((dv, c.supply));
+                    }
+                }
+            }
+        }
+        let (deficit_demand, deficit_supply) =
+            worst_deficit.unwrap_or((total_demand, total_supply));
+        let delta = match state {
+            PowerState::Emergency => {
+                if self.emergency_cooldown == 0 {
+                    self.emergency_cooldown = Self::EMERGENCY_COOLDOWN_ROUNDS;
+                    allowance_delta(
+                        state,
+                        allowance,
+                        total_demand,
+                        total_supply,
+                        obs.chip_power,
+                        &self.config,
+                    )
+                } else {
+                    self.emergency_cooldown -= 1;
+                    Money::ZERO
+                }
+            }
+            PowerState::Normal if !growth_helps => {
+                self.emergency_cooldown = 0;
+                Money::ZERO
+            }
+            PowerState::Normal => {
+                self.emergency_cooldown = 0;
+                allowance_delta(
+                    state,
+                    allowance,
+                    deficit_demand,
+                    deficit_supply,
+                    obs.chip_power,
+                    &self.config,
+                )
+            }
+            _ => {
+                self.emergency_cooldown = 0;
+                allowance_delta(
+                    state,
+                    allowance,
+                    total_demand,
+                    total_supply,
+                    obs.chip_power,
+                    &self.config,
+                )
+            }
+        };
+        // Keep enough money in circulation for every agent's minimum bid,
+        // and bound the ratchet from repeated normal-state growth: the
+        // market is scale-free (bids, savings caps and prices all track A),
+        // so the ceiling only guards floating-point hygiene.
+        let floor = self.config.min_bid * obs.tasks.len().max(1) as f64;
+        let ceiling = floor * 1e12;
+        let next_allowance = (allowance + delta).clamp(floor, ceiling);
+        self.allowance = Some(next_allowance);
+        self.state = state;
+
+        MarketDecision {
+            shares,
+            dvfs,
+            state,
+            allowance: next_allowance,
+            prices,
+            tasks: task_rounds,
+            total_demand,
+            total_supply,
+        }
+    }
+}
+
+impl fmt::Display for Market {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "market[round {}, state {}, A {}]",
+            self.round,
+            self.state,
+            self.allowance.unwrap_or(Money::ZERO)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Harness replaying the paper's running examples: one cluster, one
+    /// core, two tasks, a discrete supply ladder, and a synthetic power
+    /// curve.
+    struct Bench {
+        market: Market,
+        ladder: Vec<f64>,
+        level: usize,
+        demands: [f64; 2],
+        priorities: [u32; 2],
+        power: fn(f64) -> f64,
+    }
+
+    impl Bench {
+        fn obs(&self) -> MarketObs {
+            let supply = ProcessingUnits(self.ladder[self.level]);
+            MarketObs {
+                chip_power: Watts((self.power)(self.ladder[self.level])),
+                tasks: vec![
+                    TaskObs {
+                        id: TaskId(0),
+                        core: CoreId(0),
+                        priority: self.priorities[0],
+                        demand: ProcessingUnits(self.demands[0]),
+                    },
+                    TaskObs {
+                        id: TaskId(1),
+                        core: CoreId(0),
+                        priority: self.priorities[1],
+                        demand: ProcessingUnits(self.demands[1]),
+                    },
+                ],
+                cores: vec![CoreObs {
+                    id: CoreId(0),
+                    cluster: ClusterId(0),
+                }],
+                clusters: vec![ClusterObs {
+                    id: ClusterId(0),
+                    supply,
+                    supply_up: self
+                        .ladder
+                        .get(self.level + 1)
+                        .map(|&s| ProcessingUnits(s)),
+                    supply_down: if self.level > 0 {
+                        Some(ProcessingUnits(self.ladder[self.level - 1]))
+                    } else {
+                        None
+                    },
+                    power: Watts((self.power)(self.ladder[self.level])),
+                }],
+            }
+        }
+
+        fn round(&mut self) -> MarketDecision {
+            let d = self.market.round(&self.obs());
+            for (_, step) in &d.dvfs {
+                match step {
+                    VfStep::Up => self.level = (self.level + 1).min(self.ladder.len() - 1),
+                    VfStep::Down => self.level = self.level.saturating_sub(1),
+                }
+            }
+            d
+        }
+    }
+
+    fn table_bench() -> Bench {
+        let mut config = PpmConfig::tc2();
+        config.tolerance = 0.2;
+        config.min_bid = Money(0.01);
+        config.savings_cap_factor = 100.0; // the examples run uncapped
+        config.tdp = Watts(2.25);
+        config.threshold = Watts(1.75);
+        Bench {
+            market: Market::new(config),
+            ladder: vec![300.0, 400.0, 500.0, 600.0],
+            level: 0,
+            demands: [200.0, 100.0],
+            priorities: [2, 1],
+            power: |s| {
+                if s >= 600.0 {
+                    3.0
+                } else if s >= 500.0 {
+                    2.0
+                } else {
+                    0.8
+                }
+            },
+        }
+    }
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn table1_task_and_core_dynamics() {
+        let mut b = table_bench();
+        // Round 1: both bid $1, price 2/300, supplies 150/150.
+        let r1 = b.round();
+        assert!(approx(r1.tasks[0].bid.value(), 1.0, 1e-9));
+        assert!(approx(r1.tasks[1].bid.value(), 1.0, 1e-9));
+        assert!(approx(r1.prices[0].1.value(), 0.006667, 1e-4));
+        assert!(approx(r1.tasks[0].supply.value(), 150.0, 1e-6));
+        assert!(approx(r1.tasks[1].supply.value(), 150.0, 1e-6));
+        // Round 2: bids 1.33/0.66, supplies 200/100 — demands met.
+        let r2 = b.round();
+        assert!(approx(r2.tasks[0].bid.value(), 1.3333, 1e-3));
+        assert!(approx(r2.tasks[1].bid.value(), 0.6667, 1e-3));
+        assert!(approx(r2.tasks[0].supply.value(), 200.0, 0.5));
+        assert!(approx(r2.tasks[1].supply.value(), 100.0, 0.5));
+        assert!(r2.dvfs.is_empty(), "market stable, no DVFS");
+    }
+
+    #[test]
+    fn table2_cluster_dynamics() {
+        // As in Table 2, the demand of ta jumps from 200 to 300 PU; the
+        // price inflates to $0.0088 > $0.00796 = base·(1+δ) and the cluster
+        // agent raises the supply from 300 to 400 PU. (Bids react to the
+        // demand observed in the previous round, so the trace here runs one
+        // round behind the paper's compressed narrative.)
+        let mut b = table_bench();
+        b.round();
+        b.round();
+        b.demands[0] = 300.0; // observed during round 3, bid on in round 4
+        b.round();
+        let r4 = b.round();
+        assert!(approx(r4.tasks[0].bid.value(), 2.0, 1e-2)); // paper: 1.99
+        assert!(approx(r4.prices[0].1.value(), 0.008889, 1e-4)); // paper: 0.0088
+        assert!(approx(r4.tasks[0].supply.value(), 225.0, 1.0));
+        assert!(approx(r4.tasks[1].supply.value(), 75.0, 1.0));
+        assert_eq!(r4.dvfs, vec![(ClusterId(0), VfStep::Up)]);
+        // Next round: bids frozen across the switch; the new price $0.0066
+        // becomes the base; both tasks satisfied at 400 PU.
+        let r5 = b.round();
+        assert!(approx(r5.tasks[0].bid.value(), 2.0, 1e-2)); // unchanged
+        assert!(approx(r5.prices[0].1.value(), 0.006667, 1e-4));
+        assert!(approx(r5.tasks[0].supply.value(), 300.0, 1.0));
+        assert!(approx(r5.tasks[1].supply.value(), 100.0, 1.0));
+        assert!(r5.dvfs.is_empty());
+    }
+
+    #[test]
+    fn table3_chip_dynamics_and_savings() {
+        // Reproduces the Table 3 scenario: Wtdp = 2.25 W, Wth = 1.75 W,
+        // priorities 2:1, power hitting 2 W at 500 PU (threshold) and 3 W
+        // at 600 PU (emergency). Exact per-round money values differ
+        // slightly from the paper's narrative (the chip agent here applies
+        // the normal-state Δ literally every round), but every mechanism —
+        // priority-proportional allowances, allowance growth under unmet
+        // demand, the threshold freeze, the proportional emergency cut, the
+        // savings dynamics, and the final stabilisation with the
+        // high-priority task satisfied — is asserted.
+        let mut b = table_bench();
+        let r1 = b.round();
+        // Initial allowance: 1.5 per priority unit × R=3 = $4.5, split 2:1.
+        assert!(approx(r1.tasks[0].allowance.value(), 3.0, 1e-9));
+        assert!(approx(r1.tasks[1].allowance.value(), 1.5, 1e-9));
+        assert_eq!(r1.state, PowerState::Normal);
+        let r2 = b.round();
+        // Demands met at 300 PU: allowance unchanged at $4.5.
+        assert!(approx(r2.allowance.value(), 4.5, 1e-9));
+        // Savings accumulate the allowance surplus: ta saved (3−1)+(3−1.33),
+        // tb saved (1.5−1)+(1.5−0.67).
+        assert!(approx(r2.tasks[0].savings.value(), 3.67, 0.05));
+        assert!(approx(r2.tasks[1].savings.value(), 1.33, 0.05));
+
+        // Demand of ta jumps to 300: D=400 > S=300, so the chip agent grows
+        // the allowance by Δ = A·(D−S)/D while the cluster steps to 400 PU.
+        b.demands[0] = 300.0;
+        let r3 = b.round();
+        assert!(approx(r3.total_demand.value(), 400.0, 1e-9));
+        assert!(r3.allowance.value() > 4.5);
+        for _ in 0..3 {
+            b.round();
+        }
+        assert_eq!(b.ladder[b.level], 400.0, "first inflation resolved");
+
+        // Demand of tb jumps to 300: D=600. The market inflates through
+        // 500 PU (threshold, 2 W) to 600 PU where power hits 3 W — the
+        // emergency state — and the allowance is cut proportionally:
+        // Δ/A = (Wtdp−W)/Wtdp = −1/3.
+        b.demands[1] = 300.0;
+        let mut seen_emergency = false;
+        let mut allowance_before_cut = 0.0;
+        for _ in 0..12 {
+            let before = b.market.allowance().expect("initialised").value();
+            let d = b.round();
+            if d.state == PowerState::Emergency && !seen_emergency {
+                seen_emergency = true;
+                allowance_before_cut = before;
+                assert!(
+                    approx(d.allowance.value(), before * (1.0 - 1.0 / 3.0), 1e-6),
+                    "emergency cut should be one third: {} -> {}",
+                    before,
+                    d.allowance.value()
+                );
+            }
+        }
+        assert!(seen_emergency, "overload must reach the emergency state");
+        assert!(allowance_before_cut > 0.0);
+
+        // The system must leave emergency and stabilise in the threshold
+        // state at 500 PU with the high-priority task meeting its demand
+        // (s_ta = 300) and the low-priority task suffering (s_tb = 200) —
+        // Table 3, round 16.
+        let mut last = None;
+        for _ in 0..60 {
+            last = Some(b.round());
+        }
+        let last = last.expect("ran rounds");
+        assert_eq!(last.state, PowerState::Threshold);
+        assert_eq!(b.ladder[b.level], 500.0, "stabilises at 500 PU");
+        assert!(
+            approx(last.tasks[0].supply.value(), 300.0, 10.0),
+            "high-priority task meets demand: {:?}",
+            last.tasks[0]
+        );
+        assert!(
+            approx(last.tasks[1].supply.value(), 200.0, 10.0),
+            "low-priority task suffers: {:?}",
+            last.tasks[1]
+        );
+        assert!(last.dvfs.is_empty(), "no further V-F changes");
+        // In the threshold state the allowance is frozen.
+        let a_before = last.allowance.value();
+        let again = b.round();
+        assert!(approx(again.allowance.value(), a_before, 1e-9));
+    }
+
+    #[test]
+    fn purchases_exhaust_the_core_supply() {
+        // Price discovery sells exactly S_c: Σ s_t = S_c whenever bids > 0.
+        let mut b = table_bench();
+        for _ in 0..10 {
+            let d = b.round();
+            let total: f64 = d.shares.iter().map(|(_, s)| s.value()).sum();
+            let supply = d.total_supply.value();
+            assert!(approx(total, supply, 1e-6), "{total} vs {supply}");
+        }
+    }
+
+    #[test]
+    fn bids_never_leave_the_legal_interval() {
+        let mut b = table_bench();
+        b.demands = [500.0, 400.0];
+        for _ in 0..50 {
+            let d = b.round();
+            for t in &d.tasks {
+                assert!(t.bid.value() >= b.market.config().min_bid.value() - 1e-12);
+                let cap = t.allowance.value()
+                    + b.market.savings_of(t.id).value()
+                    + t.allowance.value(); // savings already post-update; loose check
+                assert!(t.bid.value() <= cap + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn deflation_steps_down_when_demand_shrinks() {
+        let mut b = table_bench();
+        b.power = |_| 0.8; // stay in the normal state throughout
+        b.demands = [300.0, 250.0]; // needs 600 PU
+        for _ in 0..30 {
+            b.round();
+        }
+        assert_eq!(b.ladder[b.level], 600.0);
+        // Demand collapses; prices deflate; the ladder is descended all the
+        // way to the minimum frequency (§3.2.4 scenario 1).
+        b.demands = [100.0, 50.0];
+        for _ in 0..60 {
+            b.round();
+        }
+        assert_eq!(
+            b.ladder[b.level], 300.0,
+            "market should settle at the bottom level"
+        );
+    }
+
+    #[test]
+    fn normal_state_guard_prevents_level_oscillation() {
+        // Demand 450 sits between the 400 and 500 supply points: the
+        // market must settle at 500 (demand rounded up), not oscillate.
+        let mut b = table_bench();
+        b.demands = [250.0, 200.0];
+        let mut levels = Vec::new();
+        for _ in 0..80 {
+            b.round();
+            levels.push(b.ladder[b.level]);
+        }
+        let tail = &levels[40..];
+        assert!(
+            tail.iter().all(|&l| l == tail[0]),
+            "levels still moving: {tail:?}"
+        );
+        assert_eq!(tail[0], 500.0);
+    }
+
+    #[test]
+    fn higher_priority_attracts_more_allowance() {
+        let mut b = table_bench();
+        b.priorities = [7, 1];
+        let d = b.round();
+        let a0 = d.tasks[0].allowance.value();
+        let a1 = d.tasks[1].allowance.value();
+        assert!(approx(a0 / a1, 7.0, 1e-6));
+    }
+
+    #[test]
+    fn savings_respect_the_cap() {
+        let mut b = table_bench();
+        b.market = Market::new({
+            let mut c = PpmConfig::tc2();
+            c.tdp = Watts(2.25);
+            c.threshold = Watts(1.75);
+            c.savings_cap_factor = 2.0;
+            c
+        });
+        b.demands = [10.0, 10.0]; // trivial demand -> bids collapse, savings pile up
+        for _ in 0..100 {
+            let d = b.round();
+            for t in &d.tasks {
+                assert!(
+                    t.savings.value() <= 2.0 * t.allowance.value() + 1e-9,
+                    "savings {} exceed cap at allowance {}",
+                    t.savings,
+                    t.allowance
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn allowance_never_falls_below_min_bid_floor() {
+        let mut b = table_bench();
+        // Force persistent emergency: every supply level burns > Wtdp.
+        b.power = |_| 5.0;
+        for _ in 0..200 {
+            let d = b.round();
+            assert!(d.allowance.value() >= 2.0 * 0.01 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn removed_task_frees_agent_state() {
+        let mut b = table_bench();
+        b.round();
+        assert!(b.market.bid_of(TaskId(0)).is_positive());
+        b.market.remove_task(TaskId(0));
+        assert_eq!(b.market.bid_of(TaskId(0)), Money::ZERO);
+    }
+}

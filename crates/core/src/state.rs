@@ -1,0 +1,208 @@
+//! Chip power states and the global-allowance Δ policy (§3.2.3).
+
+use std::fmt;
+
+use ppm_platform::units::{Money, ProcessingUnits, Watts};
+
+use crate::config::PpmConfig;
+
+/// The three regions of the power spectrum the chip agent distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PowerState {
+    /// `W < W_th`: meet demand; allowance grows while demand is unmet.
+    Normal,
+    /// `W_th ≤ W ≤ W_tdp`: the buffer zone; allowance held constant so the
+    /// overloaded system stabilises here (hysteresis).
+    Threshold,
+    /// `W > W_tdp`: allowance cut proportionally to the TDP excursion.
+    Emergency,
+}
+
+impl PowerState {
+    /// Classify a chip power reading.
+    pub fn classify(power: Watts, config: &PpmConfig) -> PowerState {
+        if power.value() > config.tdp.value() {
+            PowerState::Emergency
+        } else if power.value() >= config.threshold.value() {
+            PowerState::Threshold
+        } else {
+            PowerState::Normal
+        }
+    }
+}
+
+impl fmt::Display for PowerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerState::Normal => write!(f, "normal"),
+            PowerState::Threshold => write!(f, "threshold"),
+            PowerState::Emergency => write!(f, "emergency"),
+        }
+    }
+}
+
+/// Largest per-round relative allowance change, up or down.
+///
+/// The raw §3.2.3 formulas are unbounded: a deeply overloaded chip can see
+/// `(D−S)/D` near 1 (allowance doubling every 31.7 ms) and `(W_tdp−W)/W_tdp`
+/// below −1 (the money supply zeroed in one round), either of which slams
+/// the market from one end of the V-F ladder to the other instead of letting
+/// it settle in the buffer zone. One third per round — exactly the rate of
+/// both running-example updates in Table 3 (4.5→6.0 and 6.0→4.0) — keeps the
+/// paper's numbers while bounding the slew.
+pub const MAX_DELTA_RATE: f64 = 1.0 / 3.0;
+
+/// Smallest relative emergency cut per application.
+///
+/// Near the TDP the raw `(W_tdp−W)/W_tdp` rate becomes vanishingly small
+/// (a 2 % excursion cuts 2 %), letting the overloaded market linger just
+/// above the budget for many rounds. A 10 % minimum keeps each emergency
+/// visit decisive while remaining far gentler than the Table 3 example's
+/// −33 % cut.
+pub const MIN_EMERGENCY_CUT_RATE: f64 = 0.15;
+
+/// The chip agent's allowance change `Δ` for the next round (§3.2.3):
+///
+/// * Normal: `Δ = A·(D−S)/D` when total demand `D` exceeds total supply `S`
+///   (the chip is under-provisioned and task agents need more money),
+///   otherwise 0.
+/// * Threshold: `Δ = 0` (stability through constant allowance).
+/// * Emergency: `Δ = A·(W_tdp−W)/W_tdp` — negative, proportional to the
+///   excursion above the TDP.
+///
+/// Both non-zero cases are slew-limited to [`MAX_DELTA_RATE`].
+pub fn allowance_delta(
+    state: PowerState,
+    allowance: Money,
+    demand: ProcessingUnits,
+    supply: ProcessingUnits,
+    power: Watts,
+    config: &PpmConfig,
+) -> Money {
+    match state {
+        PowerState::Normal => {
+            if demand > supply && demand.is_positive() {
+                let rate = ((demand - supply).value() / demand.value()).min(MAX_DELTA_RATE);
+                allowance * rate
+            } else {
+                Money::ZERO
+            }
+        }
+        PowerState::Threshold => Money::ZERO,
+        PowerState::Emergency => {
+            let rate = ((config.tdp - power).value() / config.tdp.value())
+                .clamp(-MAX_DELTA_RATE, -MIN_EMERGENCY_CUT_RATE);
+            allowance * rate
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PpmConfig {
+        // The Table 3 example: Wtdp 2.25 W, Wth 1.75 W.
+        let mut c = PpmConfig::tc2();
+        c.tdp = Watts(2.25);
+        c.threshold = Watts(1.75);
+        c
+    }
+
+    #[test]
+    fn classification_matches_table3_example() {
+        let c = cfg();
+        assert_eq!(PowerState::classify(Watts(0.8), &c), PowerState::Normal);
+        assert_eq!(PowerState::classify(Watts(2.0), &c), PowerState::Threshold);
+        assert_eq!(PowerState::classify(Watts(3.0), &c), PowerState::Emergency);
+        // Boundaries: W_th inclusive to threshold, W_tdp inclusive too.
+        assert_eq!(PowerState::classify(Watts(1.75), &c), PowerState::Threshold);
+        assert_eq!(PowerState::classify(Watts(2.25), &c), PowerState::Threshold);
+    }
+
+    #[test]
+    fn normal_state_delta_matches_table3_round5() {
+        // Table 3: A=$4.5, D=600, S=400 -> Δ=1.5, A becomes $6.0.
+        let d = allowance_delta(
+            PowerState::Normal,
+            Money(4.5),
+            ProcessingUnits(600.0),
+            ProcessingUnits(400.0),
+            Watts(0.8),
+            &cfg(),
+        );
+        assert!((d.value() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_state_holds_when_supply_meets_demand() {
+        let d = allowance_delta(
+            PowerState::Normal,
+            Money(4.5),
+            ProcessingUnits(400.0),
+            ProcessingUnits(400.0),
+            Watts(0.8),
+            &cfg(),
+        );
+        assert_eq!(d, Money::ZERO);
+    }
+
+    #[test]
+    fn threshold_state_freezes_allowance() {
+        let d = allowance_delta(
+            PowerState::Threshold,
+            Money(6.0),
+            ProcessingUnits(600.0),
+            ProcessingUnits(500.0),
+            Watts(2.0),
+            &cfg(),
+        );
+        assert_eq!(d, Money::ZERO);
+    }
+
+    #[test]
+    fn emergency_delta_matches_table3_round8() {
+        // Table 3: A=$6.0 at 3 W with Wtdp 2.25 W -> Δ = 6*(2.25-3)/2.25 = -2.
+        let d = allowance_delta(
+            PowerState::Emergency,
+            Money(6.0),
+            ProcessingUnits(600.0),
+            ProcessingUnits(600.0),
+            Watts(3.0),
+            &cfg(),
+        );
+        assert!((d.value() + 2.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod slew_tests {
+    use super::*;
+
+    #[test]
+    fn deltas_are_slew_limited() {
+        let mut c = PpmConfig::tc2();
+        c.tdp = Watts(2.25);
+        c.threshold = Watts(1.75);
+        // Deep under-supply: raw rate (1000-100)/1000 = 0.9, clamped to 1/3.
+        let up = allowance_delta(
+            PowerState::Normal,
+            Money(3.0),
+            ProcessingUnits(1000.0),
+            ProcessingUnits(100.0),
+            Watts(0.8),
+            &c,
+        );
+        assert!((up.value() - 1.0).abs() < 1e-12);
+        // Deep excursion: raw rate (2.25-9)/2.25 = -3, clamped to -1/3.
+        let down = allowance_delta(
+            PowerState::Emergency,
+            Money(3.0),
+            ProcessingUnits(100.0),
+            ProcessingUnits(100.0),
+            Watts(9.0),
+            &c,
+        );
+        assert!((down.value() + 1.0).abs() < 1e-12);
+    }
+}

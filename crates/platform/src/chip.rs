@@ -1,0 +1,364 @@
+//! Chip topology: clusters of cores behind a coherent interconnect.
+
+use std::fmt;
+
+use crate::cluster::{Cluster, ClusterId};
+use crate::core::{CoreClass, CoreDescriptor, CoreId};
+use crate::migration::MigrationModel;
+use crate::power::PowerModel;
+use crate::units::{MegaHertz, ProcessingUnits, SimTime};
+use crate::vf::{linear_table, VfTable};
+
+/// A complete heterogeneous multi-core chip.
+///
+/// Owns the static topology (core descriptors), the dynamic per-cluster state
+/// (V-F level, power gating), and the chip-wide power and migration models.
+///
+/// ```
+/// use ppm_platform::chip::Chip;
+///
+/// let chip = Chip::tc2();
+/// assert_eq!(chip.cores().len(), 5);     // 2×A15 + 3×A7
+/// assert_eq!(chip.clusters().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chip {
+    cores: Vec<CoreDescriptor>,
+    clusters: Vec<Cluster>,
+    power_model: PowerModel,
+    migration_model: MigrationModel,
+}
+
+impl Chip {
+    /// The TC2 test chip of the paper: a three-core Cortex-A7 (LITTLE)
+    /// cluster and a two-core Cortex-A15 (big) cluster.
+    ///
+    /// LITTLE is cluster 0 (the paper boots Linux on the LITTLE cluster);
+    /// big is cluster 1.
+    pub fn tc2() -> Chip {
+        ChipBuilder::new()
+            .cluster(
+                CoreClass::Little,
+                3,
+                linear_table(MegaHertz(350), MegaHertz(1000), 8),
+            )
+            .cluster(
+                CoreClass::Big,
+                2,
+                linear_table(MegaHertz(500), MegaHertz(1200), 8),
+            )
+            .build()
+    }
+
+    /// A Tegra-3-style "4-PLUS-1" variable-SMP chip: four fast cores in one
+    /// cluster plus a single low-power companion core, both behind their
+    /// own regulators (the paper's other motivating platform, §2).
+    pub fn tegra_4plus1() -> Chip {
+        ChipBuilder::new()
+            .cluster(
+                CoreClass::Little,
+                1,
+                linear_table(MegaHertz(100), MegaHertz(500), 5),
+            )
+            .cluster(
+                CoreClass::Big,
+                4,
+                linear_table(MegaHertz(500), MegaHertz(1300), 8),
+            )
+            .build()
+    }
+
+    /// A homogeneous chip with one core per cluster — i.e. per-core DVFS,
+    /// the configuration most homogeneous-multicore power-management work
+    /// assumes. Useful as an experimental control.
+    pub fn per_core_dvfs(cores: usize, class: CoreClass, lo: MegaHertz, hi: MegaHertz) -> Chip {
+        let mut b = ChipBuilder::new();
+        for _ in 0..cores {
+            b = b.cluster(class, 1, linear_table(lo, hi, 8));
+        }
+        b.build()
+    }
+
+    /// Static descriptors of every core, indexed by [`CoreId`].
+    pub fn cores(&self) -> &[CoreDescriptor] {
+        &self.cores
+    }
+
+    /// All clusters, indexed by [`ClusterId`].
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// Mutable access to all clusters.
+    pub fn clusters_mut(&mut self) -> &mut [Cluster] {
+        &mut self.clusters
+    }
+
+    /// Descriptor of `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core(&self, core: CoreId) -> &CoreDescriptor {
+        &self.cores[core.0]
+    }
+
+    /// The cluster `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn cluster(&self, id: ClusterId) -> &Cluster {
+        &self.clusters[id.0]
+    }
+
+    /// Mutable access to cluster `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn cluster_mut(&mut self, id: ClusterId) -> &mut Cluster {
+        &mut self.clusters[id.0]
+    }
+
+    /// The cluster that owns `core`.
+    pub fn cluster_of(&self, core: CoreId) -> &Cluster {
+        self.cluster(self.core(core).cluster())
+    }
+
+    /// Current PU supply of `core` (Sc): the frequency of its cluster, or
+    /// zero when the cluster is gated.
+    pub fn core_supply(&self, core: CoreId) -> ProcessingUnits {
+        self.cluster_of(core).supply_per_core()
+    }
+
+    /// Maximum PU supply of `core` (Ŝc).
+    pub fn core_max_supply(&self, core: CoreId) -> ProcessingUnits {
+        self.cluster_of(core).max_supply_per_core()
+    }
+
+    /// Chip supply S: the sum of the cluster supplies (§2, Supply Model —
+    /// the supply of a cluster equals the supply of any constituent core).
+    pub fn total_supply(&self) -> ProcessingUnits {
+        self.clusters.iter().map(|c| c.supply_per_core()).sum()
+    }
+
+    /// The chip's power model.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power_model
+    }
+
+    /// The chip's migration cost model.
+    pub fn migration_model(&self) -> &MigrationModel {
+        &self.migration_model
+    }
+
+    /// Complete any due DVFS transitions on all clusters.
+    pub fn tick(&mut self, now: SimTime) {
+        for c in &mut self.clusters {
+            c.tick(now);
+        }
+    }
+
+    /// Cores of `cluster` (convenience passthrough).
+    pub fn cores_of(&self, cluster: ClusterId) -> &[CoreId] {
+        self.cluster(cluster).cores()
+    }
+}
+
+impl fmt::Display for Chip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chip[")?;
+        for (i, c) in self.clusters.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Builder for [`Chip`] topologies (C-BUILDER).
+///
+/// ```
+/// use ppm_platform::chip::ChipBuilder;
+/// use ppm_platform::core::CoreClass;
+/// use ppm_platform::units::MegaHertz;
+/// use ppm_platform::vf::linear_table;
+///
+/// let chip = ChipBuilder::new()
+///     .cluster(CoreClass::Little, 4, linear_table(MegaHertz(350), MegaHertz(1000), 6))
+///     .cluster(CoreClass::Big, 4, linear_table(MegaHertz(500), MegaHertz(2000), 6))
+///     .build();
+/// assert_eq!(chip.cores().len(), 8);
+/// ```
+#[derive(Debug, Default)]
+pub struct ChipBuilder {
+    specs: Vec<(CoreClass, usize, VfTable)>,
+    power_model: Option<PowerModel>,
+    migration_model: Option<MigrationModel>,
+}
+
+impl ChipBuilder {
+    /// An empty builder.
+    pub fn new() -> ChipBuilder {
+        ChipBuilder::default()
+    }
+
+    /// Append a cluster of `count` cores of `class` with V-F table `table`.
+    pub fn cluster(mut self, class: CoreClass, count: usize, table: VfTable) -> ChipBuilder {
+        self.specs.push((class, count, table));
+        self
+    }
+
+    /// Use a custom power model (defaults to [`PowerModel::tc2`]).
+    pub fn power_model(mut self, model: PowerModel) -> ChipBuilder {
+        self.power_model = Some(model);
+        self
+    }
+
+    /// Use a custom migration model (defaults to [`MigrationModel::tc2`]).
+    pub fn migration_model(mut self, model: MigrationModel) -> ChipBuilder {
+        self.migration_model = Some(model);
+        self
+    }
+
+    /// Materialise the chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cluster was added or any cluster has zero cores.
+    pub fn build(self) -> Chip {
+        assert!(!self.specs.is_empty(), "chip needs at least one cluster");
+        let mut cores = Vec::new();
+        let mut clusters = Vec::new();
+        for (ci, (class, count, table)) in self.specs.into_iter().enumerate() {
+            assert!(count > 0, "cluster must have at least one core");
+            let cid = ClusterId(ci);
+            let ids: Vec<CoreId> = (0..count)
+                .map(|_| {
+                    let id = CoreId(cores.len());
+                    cores.push(CoreDescriptor::new(id, class, cid));
+                    id
+                })
+                .collect();
+            clusters.push(Cluster::new(cid, class, ids, table));
+        }
+        Chip {
+            cores,
+            clusters,
+            power_model: self.power_model.unwrap_or_default(),
+            migration_model: self.migration_model.unwrap_or_default(),
+        }
+    }
+}
+
+/// Synthetic many-cluster chip for the scalability study (Table 7): `v`
+/// clusters of `c` cores each, alternating LITTLE/big classes, with top
+/// frequencies spread over 350–3000 MHz as in §5.5.
+pub fn synthetic_chip(v: usize, c: usize) -> Chip {
+    let mut b = ChipBuilder::new();
+    for i in 0..v {
+        let class = if i % 2 == 0 {
+            CoreClass::Little
+        } else {
+            CoreClass::Big
+        };
+        // Spread maximum supplies across 350–3000 PU deterministically.
+        let max = 350 + ((i * 2650) / v.max(1)) as u32;
+        let lo = (max / 3).max(100);
+        b = b.cluster(class, c, linear_table(MegaHertz(lo), MegaHertz(max.max(lo + 100)), 8));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vf::VfLevel;
+
+    #[test]
+    fn tc2_topology_matches_figure_1() {
+        let chip = Chip::tc2();
+        assert_eq!(chip.clusters().len(), 2);
+        let little = chip.cluster(ClusterId(0));
+        let big = chip.cluster(ClusterId(1));
+        assert_eq!(little.core_count(), 3);
+        assert_eq!(little.class(), CoreClass::Little);
+        assert_eq!(big.core_count(), 2);
+        assert_eq!(big.class(), CoreClass::Big);
+        // Core ids are dense and correctly homed.
+        for (i, d) in chip.cores().iter().enumerate() {
+            assert_eq!(d.id(), CoreId(i));
+        }
+        assert_eq!(chip.core(CoreId(0)).cluster(), ClusterId(0));
+        assert_eq!(chip.core(CoreId(4)).cluster(), ClusterId(1));
+    }
+
+    #[test]
+    fn supply_tracks_cluster_level() {
+        let mut chip = Chip::tc2();
+        assert_eq!(chip.core_supply(CoreId(0)), ProcessingUnits(350.0));
+        chip.cluster_mut(ClusterId(0)).set_level_immediate(VfLevel(7));
+        assert_eq!(chip.core_supply(CoreId(0)), ProcessingUnits(1000.0));
+        assert_eq!(chip.core_max_supply(CoreId(0)), ProcessingUnits(1000.0));
+        assert_eq!(chip.core_max_supply(CoreId(4)), ProcessingUnits(1200.0));
+    }
+
+    #[test]
+    fn total_supply_sums_clusters_not_cores() {
+        // §2: "the supply of a cluster Sv is the same as the supply of any of
+        // the constituent cores"; chip supply is the sum over clusters.
+        let chip = Chip::tc2();
+        assert_eq!(chip.total_supply(), ProcessingUnits(350.0 + 500.0));
+    }
+
+    #[test]
+    fn gating_a_cluster_removes_its_supply() {
+        let mut chip = Chip::tc2();
+        chip.cluster_mut(ClusterId(1)).power_off();
+        assert_eq!(chip.total_supply(), ProcessingUnits(350.0));
+        assert_eq!(chip.core_supply(CoreId(4)), ProcessingUnits::ZERO);
+    }
+
+    #[test]
+    fn synthetic_chip_scales() {
+        let chip = synthetic_chip(16, 8);
+        assert_eq!(chip.clusters().len(), 16);
+        assert_eq!(chip.cores().len(), 128);
+        // Top frequencies are spread over the requested band.
+        let tops: Vec<u32> = chip
+            .clusters()
+            .iter()
+            .map(|c| c.table().max().frequency.value())
+            .collect();
+        assert!(tops.iter().any(|&f| f <= 600));
+        assert!(tops.iter().any(|&f| f >= 2500));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn empty_builder_panics() {
+        let _ = ChipBuilder::new().build();
+    }
+
+    #[test]
+    fn tegra_preset_is_4_plus_1() {
+        let chip = Chip::tegra_4plus1();
+        assert_eq!(chip.clusters().len(), 2);
+        assert_eq!(chip.cluster(ClusterId(0)).core_count(), 1);
+        assert_eq!(chip.cluster(ClusterId(1)).core_count(), 4);
+        assert_eq!(chip.cluster(ClusterId(0)).class(), CoreClass::Little);
+        assert_eq!(chip.cores().len(), 5);
+    }
+
+    #[test]
+    fn per_core_dvfs_gives_each_core_its_own_regulator() {
+        let chip = Chip::per_core_dvfs(4, CoreClass::Big, MegaHertz(500), MegaHertz(2000));
+        assert_eq!(chip.clusters().len(), 4);
+        for c in chip.clusters() {
+            assert_eq!(c.core_count(), 1);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Processor cores and core classes.
+
+use std::fmt;
+
+use crate::cluster::ClusterId;
+
+/// Identifier of a core, unique across the whole chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Micro-architectural class of a core.
+///
+/// The paper targets *performance heterogeneity*: all cores share one ISA but
+/// differ in power/performance. ARM big.LITTLE pairs out-of-order Cortex-A15
+/// ("big") cores with in-order Cortex-A7 ("LITTLE") cores. One PU on a big
+/// core does more work than one PU on a LITTLE core; the workload layer
+/// models that with per-class cycles-per-heartbeat figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CoreClass {
+    /// Simple, in-order, energy-efficient core (Cortex-A7 in TC2).
+    Little,
+    /// Complex, out-of-order, high-performance core (Cortex-A15 in TC2).
+    Big,
+}
+
+impl CoreClass {
+    /// All classes, LITTLE first.
+    pub const ALL: [CoreClass; 2] = [CoreClass::Little, CoreClass::Big];
+
+    /// Marketing name of the matching TC2 core.
+    pub fn tc2_name(self) -> &'static str {
+        match self {
+            CoreClass::Little => "Cortex-A7",
+            CoreClass::Big => "Cortex-A15",
+        }
+    }
+}
+
+impl fmt::Display for CoreClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreClass::Little => write!(f, "LITTLE"),
+            CoreClass::Big => write!(f, "big"),
+        }
+    }
+}
+
+/// Static description of one core: its identity, class, and home cluster.
+///
+/// Dynamic state (current frequency, hence supply) lives on the cluster,
+/// because all cores of a cluster share one V-F regulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreDescriptor {
+    id: CoreId,
+    class: CoreClass,
+    cluster: ClusterId,
+}
+
+impl CoreDescriptor {
+    /// Describe a core.
+    pub fn new(id: CoreId, class: CoreClass, cluster: ClusterId) -> CoreDescriptor {
+        CoreDescriptor { id, class, cluster }
+    }
+
+    /// Chip-wide core identifier.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// Micro-architectural class.
+    pub fn class(&self) -> CoreClass {
+        self.class
+    }
+
+    /// The voltage-frequency cluster this core belongs to.
+    pub fn cluster(&self) -> ClusterId {
+        self.cluster
+    }
+}
+
+impl fmt::Display for CoreDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, {})", self.id, self.class, self.cluster)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_descriptor_accessors() {
+        let d = CoreDescriptor::new(CoreId(3), CoreClass::Big, ClusterId(1));
+        assert_eq!(d.id(), CoreId(3));
+        assert_eq!(d.class(), CoreClass::Big);
+        assert_eq!(d.cluster(), ClusterId(1));
+    }
+
+    #[test]
+    fn class_names() {
+        assert_eq!(CoreClass::Little.tc2_name(), "Cortex-A7");
+        assert_eq!(CoreClass::Big.tc2_name(), "Cortex-A15");
+        assert_eq!(CoreClass::Big.to_string(), "big");
+        assert_eq!(CoreClass::Little.to_string(), "LITTLE");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let d = CoreDescriptor::new(CoreId(0), CoreClass::Little, ClusterId(0));
+        assert_eq!(d.to_string(), "core0 (LITTLE, cluster0)");
+    }
+}

@@ -1,0 +1,196 @@
+//! Task migration cost model.
+//!
+//! §5.1 of the paper reports measured migration penalties on TC2:
+//!
+//! | path                | cost                         |
+//! |---------------------|------------------------------|
+//! | within big cluster  | 54 – 105 µs (by frequency)   |
+//! | within LITTLE       | 71 – 167 µs                  |
+//! | LITTLE → big        | 1.88 – 2.16 ms               |
+//! | big → LITTLE        | 3.54 – 3.83 ms               |
+//!
+//! Costs fall as frequency rises (the migration code itself runs faster), so
+//! the model interpolates linearly between the range endpoints using the
+//! normalised position of the *destination* cluster's current V-F level.
+
+use std::fmt;
+
+use crate::cluster::Cluster;
+use crate::core::CoreClass;
+use crate::units::SimDuration;
+
+/// A `[slowest, fastest]` latency range, interpolated by frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostRange {
+    /// Cost at the lowest frequency.
+    pub at_min_freq: SimDuration,
+    /// Cost at the highest frequency.
+    pub at_max_freq: SimDuration,
+}
+
+impl CostRange {
+    /// Construct a range from microsecond endpoints.
+    pub const fn from_micros(at_min_freq: u64, at_max_freq: u64) -> CostRange {
+        CostRange {
+            at_min_freq: SimDuration(at_min_freq),
+            at_max_freq: SimDuration(at_max_freq),
+        }
+    }
+
+    /// Interpolate at normalised frequency `t ∈ [0, 1]` (0 = slowest clock).
+    pub fn at(&self, t: f64) -> SimDuration {
+        let t = t.clamp(0.0, 1.0);
+        let lo = self.at_min_freq.as_micros() as f64;
+        let hi = self.at_max_freq.as_micros() as f64;
+        SimDuration::from_micros((lo + (hi - lo) * t).round() as u64)
+    }
+}
+
+impl fmt::Display for CostRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.at_max_freq, self.at_min_freq)
+    }
+}
+
+/// Migration cost model parameterised by the four TC2 paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationModel {
+    within_little: CostRange,
+    within_big: CostRange,
+    little_to_big: CostRange,
+    big_to_little: CostRange,
+}
+
+impl MigrationModel {
+    /// The ranges measured in §5.1 of the paper.
+    pub fn tc2() -> MigrationModel {
+        MigrationModel {
+            within_little: CostRange::from_micros(167, 71),
+            within_big: CostRange::from_micros(105, 54),
+            little_to_big: CostRange::from_micros(2160, 1880),
+            big_to_little: CostRange::from_micros(3830, 3540),
+        }
+    }
+
+    /// Build a custom model.
+    pub fn new(
+        within_little: CostRange,
+        within_big: CostRange,
+        little_to_big: CostRange,
+        big_to_little: CostRange,
+    ) -> MigrationModel {
+        MigrationModel {
+            within_little,
+            within_big,
+            little_to_big,
+            big_to_little,
+        }
+    }
+
+    /// The applicable cost range for a move between core classes.
+    pub fn range(&self, from: CoreClass, to: CoreClass) -> CostRange {
+        match (from, to) {
+            (CoreClass::Little, CoreClass::Little) => self.within_little,
+            (CoreClass::Big, CoreClass::Big) => self.within_big,
+            (CoreClass::Little, CoreClass::Big) => self.little_to_big,
+            (CoreClass::Big, CoreClass::Little) => self.big_to_little,
+        }
+    }
+
+    /// Cost of migrating a task between two clusters given their current
+    /// levels. Intra-cluster moves pass the same cluster twice.
+    pub fn cost(&self, from: &Cluster, to: &Cluster) -> SimDuration {
+        let t = to.table().normalized(to.level());
+        self.range(from.class(), to.class()).at(t)
+    }
+
+    /// True when a move between these clusters crosses a cluster boundary
+    /// (and therefore pays the expensive inter-cluster path).
+    pub fn is_inter_cluster(from: &Cluster, to: &Cluster) -> bool {
+        from.id() != to.id()
+    }
+}
+
+impl Default for MigrationModel {
+    fn default() -> Self {
+        MigrationModel::tc2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterId;
+    use crate::core::CoreId;
+    use crate::units::MegaHertz;
+    use crate::vf::{linear_table, VfLevel};
+
+    fn little() -> Cluster {
+        Cluster::new(
+            ClusterId(0),
+            CoreClass::Little,
+            vec![CoreId(0)],
+            linear_table(MegaHertz(350), MegaHertz(1000), 8),
+        )
+    }
+
+    fn big() -> Cluster {
+        Cluster::new(
+            ClusterId(1),
+            CoreClass::Big,
+            vec![CoreId(1)],
+            linear_table(MegaHertz(500), MegaHertz(1200), 8),
+        )
+    }
+
+    #[test]
+    fn ranges_match_paper_endpoints() {
+        let m = MigrationModel::tc2();
+        let (l, b) = (little(), big());
+        // Both clusters at the lowest level: the slow end of each range.
+        assert_eq!(m.cost(&l, &b), SimDuration::from_micros(2160));
+        assert_eq!(m.cost(&b, &l), SimDuration::from_micros(3830));
+        assert_eq!(m.cost(&l, &l), SimDuration::from_micros(167));
+        assert_eq!(m.cost(&b, &b), SimDuration::from_micros(105));
+    }
+
+    #[test]
+    fn cost_falls_with_destination_frequency() {
+        let m = MigrationModel::tc2();
+        let l = little();
+        let mut b = big();
+        let slow = m.cost(&l, &b);
+        b.set_level_immediate(VfLevel(7));
+        let fast = m.cost(&l, &b);
+        assert!(fast < slow);
+        assert_eq!(fast, SimDuration::from_micros(1880));
+    }
+
+    #[test]
+    fn inter_cluster_is_much_more_expensive_than_intra() {
+        // The paper's LBT module invokes load balancing (intra) more often
+        // than migration (inter) because of this gap.
+        let m = MigrationModel::tc2();
+        let (l, b) = (little(), big());
+        let intra = m.cost(&l, &l);
+        let inter = m.cost(&l, &b);
+        assert!(inter.as_micros() > 10 * intra.as_micros());
+        assert!(MigrationModel::is_inter_cluster(&l, &b));
+        assert!(!MigrationModel::is_inter_cluster(&l, &l));
+    }
+
+    #[test]
+    fn big_to_little_costs_more_than_little_to_big() {
+        let m = MigrationModel::tc2();
+        let (l, b) = (little(), big());
+        assert!(m.cost(&b, &l) > m.cost(&l, &b));
+    }
+
+    #[test]
+    fn interpolation_clamps() {
+        let r = CostRange::from_micros(100, 50);
+        assert_eq!(r.at(-1.0), SimDuration::from_micros(100));
+        assert_eq!(r.at(2.0), SimDuration::from_micros(50));
+        assert_eq!(r.at(0.5), SimDuration::from_micros(75));
+    }
+}

@@ -1,0 +1,318 @@
+//! Power model, power sensors and energy meters.
+//!
+//! The evaluation platform in the paper exposes per-cluster power sensors
+//! through Linux `hwmon`; we reproduce the same observable — instantaneous
+//! cluster power — from a classic CMOS model:
+//!
+//! ```text
+//! P_core    = C_dyn · V² · f · u  +  k_leak · V          (while online)
+//! P_cluster = Σ P_core  +  P_uncore                      (0 when gated)
+//! ```
+//!
+//! where `u` is the core's utilization in `[0, 1]`. The default coefficients
+//! are calibrated so the TC2 preset matches the paper's observations: the A7
+//! cluster peaks at 2 W, the A15 cluster at 6 W, and the chip TDP is 8 W.
+
+use std::fmt;
+
+use crate::cluster::Cluster;
+use crate::core::CoreClass;
+use crate::units::{Joules, SimDuration, SimTime, Watts};
+use crate::vf::VfPoint;
+
+/// Per-class electrical coefficients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorePowerParams {
+    /// Dynamic coefficient in W / (MHz · V²).
+    pub dynamic_coeff: f64,
+    /// Leakage coefficient in W / V (per core, while the cluster is online).
+    pub leakage_coeff: f64,
+}
+
+/// Chip-level power model: per-class core coefficients plus per-class uncore
+/// (interconnect, L2) static power.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    little: CorePowerParams,
+    big: CorePowerParams,
+    /// Static uncore power of an online LITTLE cluster.
+    little_uncore: Watts,
+    /// Static uncore power of an online big cluster.
+    big_uncore: Watts,
+}
+
+impl PowerModel {
+    /// Coefficients calibrated to the TC2 board of the paper (A7 cluster
+    /// ≤ 2 W with three cores, A15 cluster ≤ 6 W with two cores).
+    pub fn tc2() -> PowerModel {
+        PowerModel {
+            little: CorePowerParams {
+                dynamic_coeff: 0.0004,
+                leakage_coeff: 0.020,
+            },
+            big: CorePowerParams {
+                dynamic_coeff: 0.0015,
+                leakage_coeff: 0.100,
+            },
+            little_uncore: Watts(0.050),
+            big_uncore: Watts(0.125),
+        }
+    }
+
+    /// Build a custom model.
+    pub fn new(
+        little: CorePowerParams,
+        big: CorePowerParams,
+        little_uncore: Watts,
+        big_uncore: Watts,
+    ) -> PowerModel {
+        PowerModel {
+            little,
+            big,
+            little_uncore,
+            big_uncore,
+        }
+    }
+
+    /// Coefficients for `class`.
+    pub fn params(&self, class: CoreClass) -> CorePowerParams {
+        match class {
+            CoreClass::Little => self.little,
+            CoreClass::Big => self.big,
+        }
+    }
+
+    /// Uncore static power of an online cluster of `class`.
+    pub fn uncore(&self, class: CoreClass) -> Watts {
+        match class {
+            CoreClass::Little => self.little_uncore,
+            CoreClass::Big => self.big_uncore,
+        }
+    }
+
+    /// Instantaneous power of one online core of `class` at operating point
+    /// `point` with utilization `util ∈ [0, 1]`.
+    pub fn core_power(&self, class: CoreClass, point: VfPoint, util: f64) -> Watts {
+        let p = self.params(class);
+        let v = point.voltage.volts();
+        let f = point.frequency.value() as f64;
+        let dynamic = p.dynamic_coeff * v * v * f * util.clamp(0.0, 1.0);
+        let leakage = p.leakage_coeff * v;
+        Watts(dynamic + leakage)
+    }
+
+    /// Instantaneous power of a cluster given per-core utilizations.
+    ///
+    /// `utils` must have one entry per core of the cluster; a powered-off
+    /// cluster draws nothing regardless of `utils`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `utils.len()` differs from the cluster's
+    /// core count.
+    pub fn cluster_power(&self, cluster: &Cluster, utils: &[f64]) -> Watts {
+        debug_assert_eq!(utils.len(), cluster.core_count(), "one utilization per core");
+        if cluster.is_off() {
+            return Watts::ZERO;
+        }
+        let point = cluster.point();
+        let cores: Watts = utils
+            .iter()
+            .map(|&u| self.core_power(cluster.class(), point, u))
+            .sum();
+        cores + self.uncore(cluster.class())
+    }
+
+    /// Peak power of a cluster: all cores fully utilized at the top level.
+    pub fn cluster_peak(&self, cluster: &Cluster) -> Watts {
+        let top = cluster.table().max();
+        let core = self.core_power(cluster.class(), top, 1.0);
+        core * cluster.core_count() as f64 + self.uncore(cluster.class())
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::tc2()
+    }
+}
+
+/// A sampled power reading, as a `hwmon`-style sensor would report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReading {
+    /// Sample timestamp.
+    pub at: SimTime,
+    /// Instantaneous power.
+    pub power: Watts,
+}
+
+impl fmt::Display for PowerReading {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.power, self.at)
+    }
+}
+
+/// Integrates power over time into energy and tracks the running average.
+///
+/// ```
+/// use ppm_platform::power::EnergyMeter;
+/// use ppm_platform::units::{SimDuration, Watts};
+///
+/// let mut m = EnergyMeter::new();
+/// m.record(Watts(2.0), SimDuration::from_secs(1));
+/// m.record(Watts(4.0), SimDuration::from_secs(1));
+/// assert_eq!(m.energy().value(), 6.0);
+/// assert_eq!(m.average_power().value(), 3.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EnergyMeter {
+    energy: Joules,
+    elapsed: SimDuration,
+    peak: Watts,
+}
+
+impl EnergyMeter {
+    /// A meter with no accumulated energy.
+    pub fn new() -> EnergyMeter {
+        EnergyMeter::default()
+    }
+
+    /// Accumulate `power` sustained for `dt`.
+    pub fn record(&mut self, power: Watts, dt: SimDuration) {
+        self.energy += power.energy_over(dt);
+        self.elapsed += dt;
+        self.peak = self.peak.max(power);
+    }
+
+    /// Total accumulated energy.
+    pub fn energy(&self) -> Joules {
+        self.energy
+    }
+
+    /// Total integration time.
+    pub fn elapsed(&self) -> SimDuration {
+        self.elapsed
+    }
+
+    /// Energy divided by elapsed time; zero before any sample.
+    pub fn average_power(&self) -> Watts {
+        if self.elapsed.is_zero() {
+            Watts::ZERO
+        } else {
+            Watts(self.energy.value() / self.elapsed.as_secs_f64())
+        }
+    }
+
+    /// Highest instantaneous power observed.
+    pub fn peak_power(&self) -> Watts {
+        self.peak
+    }
+
+    /// Reset to the freshly-constructed state.
+    pub fn reset(&mut self) {
+        *self = EnergyMeter::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterId;
+    use crate::core::CoreId;
+    use crate::units::{MegaHertz, MilliVolts};
+    use crate::vf::{linear_table, VfLevel};
+
+    fn a7_cluster() -> Cluster {
+        Cluster::new(
+            ClusterId(0),
+            CoreClass::Little,
+            vec![CoreId(0), CoreId(1), CoreId(2)],
+            linear_table(MegaHertz(350), MegaHertz(1000), 8),
+        )
+    }
+
+    fn a15_cluster() -> Cluster {
+        Cluster::new(
+            ClusterId(1),
+            CoreClass::Big,
+            vec![CoreId(3), CoreId(4)],
+            linear_table(MegaHertz(500), MegaHertz(1200), 8),
+        )
+    }
+
+    #[test]
+    fn tc2_calibration_matches_paper_peaks() {
+        // Paper §5.3: "the observed maximum power in A7 cluster and A15
+        // cluster are 2W and 6W, respectively"; TDP of the platform is 8W.
+        let m = PowerModel::tc2();
+        let a7 = m.cluster_peak(&a7_cluster());
+        let a15 = m.cluster_peak(&a15_cluster());
+        assert!((a7.value() - 2.0).abs() < 0.1, "A7 peak {a7}");
+        assert!((a15.value() - 6.0).abs() < 0.1, "A15 peak {a15}");
+        assert!(((a7 + a15).value() - 8.0).abs() < 0.2, "chip peak");
+    }
+
+    #[test]
+    fn power_rises_with_frequency_and_voltage() {
+        let m = PowerModel::tc2();
+        let lo = VfPoint::new(MegaHertz(350), MilliVolts(900));
+        let hi = VfPoint::new(MegaHertz(1000), MilliVolts(1250));
+        let p_lo = m.core_power(CoreClass::Little, lo, 1.0);
+        let p_hi = m.core_power(CoreClass::Little, hi, 1.0);
+        assert!(p_hi > p_lo);
+        // Superlinear: V scales with f, so power grows faster than frequency.
+        assert!(p_hi.value() / p_lo.value() > 1000.0 / 350.0);
+    }
+
+    #[test]
+    fn idle_core_draws_only_leakage() {
+        let m = PowerModel::tc2();
+        let pt = VfPoint::new(MegaHertz(1000), MilliVolts(1250));
+        let idle = m.core_power(CoreClass::Little, pt, 0.0);
+        assert!((idle.value() - 0.020 * 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn big_core_costs_more_than_little() {
+        let m = PowerModel::tc2();
+        let pt = VfPoint::new(MegaHertz(1000), MilliVolts(1250));
+        assert!(
+            m.core_power(CoreClass::Big, pt, 1.0) > m.core_power(CoreClass::Little, pt, 1.0) * 2.0
+        );
+    }
+
+    #[test]
+    fn gated_cluster_draws_nothing() {
+        let m = PowerModel::tc2();
+        let mut c = a15_cluster();
+        c.power_off();
+        assert_eq!(m.cluster_power(&c, &[1.0, 1.0]), Watts::ZERO);
+    }
+
+    #[test]
+    fn cluster_power_scales_with_utilization() {
+        let m = PowerModel::tc2();
+        let mut c = a7_cluster();
+        c.set_level_immediate(VfLevel(7));
+        let idle = m.cluster_power(&c, &[0.0, 0.0, 0.0]);
+        let half = m.cluster_power(&c, &[0.5, 0.5, 0.5]);
+        let full = m.cluster_power(&c, &[1.0, 1.0, 1.0]);
+        assert!(idle < half && half < full);
+        // Dynamic part is linear in utilization.
+        let d1 = half.value() - idle.value();
+        let d2 = full.value() - half.value();
+        assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meter_tracks_peak_and_reset() {
+        let mut m = EnergyMeter::new();
+        m.record(Watts(1.0), SimDuration::from_secs(2));
+        m.record(Watts(5.0), SimDuration::from_secs(1));
+        assert_eq!(m.peak_power(), Watts(5.0));
+        assert_eq!(m.energy(), Joules(7.0));
+        m.reset();
+        assert_eq!(m.energy(), Joules::ZERO);
+        assert_eq!(m.average_power(), Watts::ZERO);
+    }
+}

@@ -1,0 +1,263 @@
+//! Lumped RC thermal model.
+//!
+//! The paper manages a *thermal design power* budget — power is the proxy
+//! the chip agent actuates on — and justifies the tolerance factor δ by the
+//! cost of thermal cycling [Rosing et al.]. This module closes that loop
+//! with the standard first-order lumped model used in such work:
+//!
+//! ```text
+//! τ · dT/dt = T_amb + P · R_th − T
+//! ```
+//!
+//! Each cluster is one RC node heated by its own power. Steady state is
+//! `T_amb + P·R_th`; with the TC2 calibration the 8 W chip TDP corresponds
+//! to roughly the 85 °C throttling point of contemporary mobile silicon,
+//! making the power budget and the thermal limit consistent.
+
+use std::fmt;
+
+use crate::cluster::ClusterId;
+use crate::units::{SimDuration, Watts};
+
+/// Degrees Celsius.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Celsius(pub f64);
+
+impl Celsius {
+    /// Raw value in °C.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The larger of two temperatures.
+    pub fn max(self, other: Celsius) -> Celsius {
+        Celsius(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}C", self.0)
+    }
+}
+
+/// RC parameters of one thermal node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalParams {
+    /// Junction-to-ambient thermal resistance in °C/W.
+    pub resistance: f64,
+    /// Thermal time constant in seconds.
+    pub time_constant: f64,
+}
+
+impl ThermalParams {
+    /// Mobile-SoC-flavoured defaults: a cluster sustaining 4 W sits ~40 °C
+    /// above ambient and settles within a few seconds.
+    pub fn mobile() -> ThermalParams {
+        ThermalParams {
+            resistance: 10.0,
+            time_constant: 4.0,
+        }
+    }
+}
+
+/// One first-order thermal node.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    params: ThermalParams,
+    temperature: Celsius,
+}
+
+/// Per-cluster lumped thermal model with a shared ambient.
+#[derive(Debug, Clone)]
+pub struct ThermalModel {
+    ambient: Celsius,
+    critical: Celsius,
+    nodes: Vec<Node>,
+    peak: Celsius,
+    time_above_critical: SimDuration,
+}
+
+impl ThermalModel {
+    /// Default ambient temperature inside a phone chassis.
+    pub const DEFAULT_AMBIENT: Celsius = Celsius(35.0);
+    /// Default junction throttling point.
+    pub const DEFAULT_CRITICAL: Celsius = Celsius(85.0);
+
+    /// A model with `clusters` identical mobile nodes at ambient.
+    pub fn mobile(clusters: usize) -> ThermalModel {
+        ThermalModel::new(
+            vec![ThermalParams::mobile(); clusters],
+            Self::DEFAULT_AMBIENT,
+            Self::DEFAULT_CRITICAL,
+        )
+    }
+
+    /// A model with explicit per-cluster parameters.
+    pub fn new(params: Vec<ThermalParams>, ambient: Celsius, critical: Celsius) -> ThermalModel {
+        ThermalModel {
+            ambient,
+            critical,
+            nodes: params
+                .into_iter()
+                .map(|p| Node {
+                    params: p,
+                    temperature: ambient,
+                })
+                .collect(),
+            peak: ambient,
+            time_above_critical: SimDuration::ZERO,
+        }
+    }
+
+    /// Number of thermal nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes are modelled.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Ambient temperature.
+    pub fn ambient(&self) -> Celsius {
+        self.ambient
+    }
+
+    /// The throttling point.
+    pub fn critical(&self) -> Celsius {
+        self.critical
+    }
+
+    /// Advance all nodes by `dt` with the given per-cluster powers.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `powers.len()` differs from the node
+    /// count.
+    pub fn step(&mut self, powers: &[Watts], dt: SimDuration) {
+        debug_assert_eq!(powers.len(), self.nodes.len());
+        let dts = dt.as_secs_f64();
+        let mut any_critical = false;
+        for (node, &p) in self.nodes.iter_mut().zip(powers) {
+            let steady = self.ambient.0 + p.value() * node.params.resistance;
+            // Exact first-order response over the step (unconditionally
+            // stable, unlike forward Euler for large dt/τ).
+            let alpha = 1.0 - (-dts / node.params.time_constant).exp();
+            node.temperature = Celsius(node.temperature.0 + alpha * (steady - node.temperature.0));
+            self.peak = self.peak.max(node.temperature);
+            any_critical |= node.temperature > self.critical;
+        }
+        if any_critical {
+            self.time_above_critical += dt;
+        }
+    }
+
+    /// Temperature of `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has no thermal node.
+    pub fn temperature(&self, cluster: ClusterId) -> Celsius {
+        self.nodes[cluster.0].temperature
+    }
+
+    /// Hottest node right now.
+    pub fn hottest(&self) -> Celsius {
+        self.nodes
+            .iter()
+            .map(|n| n.temperature)
+            .fold(self.ambient, Celsius::max)
+    }
+
+    /// Highest temperature ever observed.
+    pub fn peak(&self) -> Celsius {
+        self.peak
+    }
+
+    /// Cumulative time any node spent above the critical point.
+    pub fn time_above_critical(&self) -> SimDuration {
+        self.time_above_critical
+    }
+
+    /// True when some node is above the throttling point.
+    pub fn throttling(&self) -> bool {
+        self.nodes.iter().any(|n| n.temperature > self.critical)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heats_towards_the_steady_state() {
+        let mut m = ThermalModel::mobile(1);
+        // 4 W sustained: steady state 35 + 4*10 = 75 C.
+        for _ in 0..100 {
+            m.step(&[Watts(4.0)], SimDuration::from_millis(500));
+        }
+        let t = m.temperature(ClusterId(0));
+        assert!((t.value() - 75.0).abs() < 0.5, "{t}");
+        assert!(!m.throttling());
+    }
+
+    #[test]
+    fn cools_back_to_ambient() {
+        let mut m = ThermalModel::mobile(1);
+        for _ in 0..100 {
+            m.step(&[Watts(6.0)], SimDuration::from_millis(500));
+        }
+        for _ in 0..100 {
+            m.step(&[Watts(0.0)], SimDuration::from_millis(500));
+        }
+        let t = m.temperature(ClusterId(0));
+        assert!((t.value() - 35.0).abs() < 0.5, "{t}");
+    }
+
+    #[test]
+    fn time_constant_sets_the_response_speed() {
+        let mut m = ThermalModel::mobile(1);
+        // After exactly one time constant (4 s), ~63% of the way there.
+        m.step(&[Watts(4.0)], SimDuration::from_secs(4));
+        let t = m.temperature(ClusterId(0));
+        let expected = 35.0 + 0.632 * 40.0;
+        assert!((t.value() - expected).abs() < 0.5, "{t}");
+    }
+
+    #[test]
+    fn exceeding_critical_is_accounted() {
+        let mut m = ThermalModel::new(
+            vec![ThermalParams::mobile()],
+            Celsius(35.0),
+            Celsius(60.0),
+        );
+        for _ in 0..40 {
+            m.step(&[Watts(6.0)], SimDuration::from_secs(1));
+        }
+        assert!(m.throttling());
+        assert!(m.time_above_critical() > SimDuration::from_secs(10));
+        assert!(m.peak().value() > 90.0);
+    }
+
+    #[test]
+    fn nodes_are_independent() {
+        let mut m = ThermalModel::mobile(2);
+        for _ in 0..50 {
+            m.step(&[Watts(6.0), Watts(1.0)], SimDuration::from_secs(1));
+        }
+        assert!(m.temperature(ClusterId(0)) > m.temperature(ClusterId(1)));
+        assert_eq!(m.hottest(), m.temperature(ClusterId(0)));
+    }
+
+    #[test]
+    fn large_steps_are_stable() {
+        // The exact exponential update must not overshoot even with
+        // dt >> tau.
+        let mut m = ThermalModel::mobile(1);
+        m.step(&[Watts(4.0)], SimDuration::from_secs(1000));
+        let t = m.temperature(ClusterId(0));
+        assert!((t.value() - 75.0).abs() < 1e-6, "{t}");
+    }
+}

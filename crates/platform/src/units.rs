@@ -1,0 +1,710 @@
+//! Strongly-typed quantities used throughout the platform model.
+//!
+//! The paper trades *Processing Units* (PU): one PU is one million processor
+//! cycles per second, so a core clocked at 1000 MHz supplies 1000 PU. Time is
+//! simulated at microsecond granularity. All quantities are newtypes
+//! (C-NEWTYPE) so that, e.g., a power value can never be passed where a
+//! frequency is expected.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Computational resource supply/demand in Processing Units.
+///
+/// One PU equals one million processor cycles per second; a core running at
+/// `f` MHz supplies exactly `f` PU (see §2 *Supply Model* of the paper).
+///
+/// ```
+/// use ppm_platform::units::{MegaHertz, ProcessingUnits};
+/// let supply = ProcessingUnits::from(MegaHertz(1000));
+/// assert_eq!(supply, ProcessingUnits(1000.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct ProcessingUnits(pub f64);
+
+impl ProcessingUnits {
+    /// Zero PU.
+    pub const ZERO: ProcessingUnits = ProcessingUnits(0.0);
+
+    /// Raw value in PU (million cycles per second).
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Cycles delivered over `d` at this sustained rate.
+    ///
+    /// ```
+    /// use ppm_platform::units::{Cycles, ProcessingUnits, SimDuration};
+    /// let c = ProcessingUnits(1000.0).cycles_over(SimDuration::from_millis(1));
+    /// assert_eq!(c, Cycles(1_000_000.0));
+    /// ```
+    pub fn cycles_over(self, d: SimDuration) -> Cycles {
+        Cycles(self.0 * d.as_micros() as f64)
+    }
+
+    /// The larger of two supplies.
+    pub fn max(self, other: ProcessingUnits) -> ProcessingUnits {
+        ProcessingUnits(self.0.max(other.0))
+    }
+
+    /// The smaller of two supplies.
+    pub fn min(self, other: ProcessingUnits) -> ProcessingUnits {
+        ProcessingUnits(self.0.min(other.0))
+    }
+
+    /// Clamp into `[lo, hi]`.
+    pub fn clamp(self, lo: ProcessingUnits, hi: ProcessingUnits) -> ProcessingUnits {
+        ProcessingUnits(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// True when the value is meaningfully positive (above float noise).
+    pub fn is_positive(self) -> bool {
+        self.0 > 1e-9
+    }
+}
+
+impl From<MegaHertz> for ProcessingUnits {
+    fn from(f: MegaHertz) -> Self {
+        ProcessingUnits(f.0 as f64)
+    }
+}
+
+impl fmt::Display for ProcessingUnits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}PU", self.0)
+    }
+}
+
+impl Add for ProcessingUnits {
+    type Output = ProcessingUnits;
+    fn add(self, rhs: ProcessingUnits) -> ProcessingUnits {
+        ProcessingUnits(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for ProcessingUnits {
+    fn add_assign(&mut self, rhs: ProcessingUnits) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for ProcessingUnits {
+    type Output = ProcessingUnits;
+    fn sub(self, rhs: ProcessingUnits) -> ProcessingUnits {
+        ProcessingUnits(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for ProcessingUnits {
+    fn sub_assign(&mut self, rhs: ProcessingUnits) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for ProcessingUnits {
+    type Output = ProcessingUnits;
+    fn mul(self, rhs: f64) -> ProcessingUnits {
+        ProcessingUnits(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for ProcessingUnits {
+    type Output = ProcessingUnits;
+    fn div(self, rhs: f64) -> ProcessingUnits {
+        ProcessingUnits(self.0 / rhs)
+    }
+}
+
+impl Div for ProcessingUnits {
+    /// Ratio of two supplies (e.g. the supply/demand ratio used by `perf(M)`).
+    type Output = f64;
+    fn div(self, rhs: ProcessingUnits) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for ProcessingUnits {
+    fn sum<I: Iterator<Item = ProcessingUnits>>(iter: I) -> ProcessingUnits {
+        ProcessingUnits(iter.map(|p| p.0).sum())
+    }
+}
+
+/// Clock frequency in MHz. Discrete V-F tables store these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MegaHertz(pub u32);
+
+impl MegaHertz {
+    /// Raw MHz value.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for MegaHertz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}MHz", self.0)
+    }
+}
+
+/// Supply voltage in millivolts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MilliVolts(pub u32);
+
+impl MilliVolts {
+    /// Voltage in volts as a float.
+    pub fn volts(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+}
+
+impl fmt::Display for MilliVolts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}mV", self.0)
+    }
+}
+
+/// Electrical power in watts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Watts(pub f64);
+
+impl Watts {
+    /// Zero power.
+    pub const ZERO: Watts = Watts(0.0);
+
+    /// Raw value in watts.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Energy dissipated over `d` at this sustained power.
+    pub fn energy_over(self, d: SimDuration) -> Joules {
+        Joules(self.0 * d.as_secs_f64())
+    }
+
+    /// The larger of two power values.
+    pub fn max(self, other: Watts) -> Watts {
+        Watts(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for Watts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}W", self.0)
+    }
+}
+
+impl Add for Watts {
+    type Output = Watts;
+    fn add(self, rhs: Watts) -> Watts {
+        Watts(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Watts {
+    fn add_assign(&mut self, rhs: Watts) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Watts {
+    type Output = Watts;
+    fn sub(self, rhs: Watts) -> Watts {
+        Watts(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Watts {
+    type Output = Watts;
+    fn mul(self, rhs: f64) -> Watts {
+        Watts(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Watts {
+    type Output = Watts;
+    fn div(self, rhs: f64) -> Watts {
+        Watts(self.0 / rhs)
+    }
+}
+
+impl Sum for Watts {
+    fn sum<I: Iterator<Item = Watts>>(iter: I) -> Watts {
+        Watts(iter.map(|w| w.0).sum())
+    }
+}
+
+/// Energy in joules, accumulated by [`crate::power::EnergyMeter`].
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Joules(pub f64);
+
+impl Joules {
+    /// Zero energy.
+    pub const ZERO: Joules = Joules(0.0);
+
+    /// Raw value in joules.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Joules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}J", self.0)
+    }
+}
+
+impl Add for Joules {
+    type Output = Joules;
+    fn add(self, rhs: Joules) -> Joules {
+        Joules(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Joules {
+    fn add_assign(&mut self, rhs: Joules) {
+        self.0 += rhs.0;
+    }
+}
+
+/// Processor work in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Cycles(pub f64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0.0);
+
+    /// Raw cycle count.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The smaller of two cycle counts.
+    pub fn min(self, other: Cycles) -> Cycles {
+        Cycles(self.0.min(other.0))
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0}cyc", self.0)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: f64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+/// Virtual money used in the market (§3 of the paper).
+///
+/// Money is created by the chip agent as *allowance* and spent by task agents
+/// as *bids*. It is a plain real-valued quantity; negative balances are
+/// forbidden by the agents, not by the type.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Money(pub f64);
+
+impl Money {
+    /// Zero dollars.
+    pub const ZERO: Money = Money(0.0);
+
+    /// Raw amount in virtual dollars.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The larger of two amounts.
+    pub fn max(self, other: Money) -> Money {
+        Money(self.0.max(other.0))
+    }
+
+    /// The smaller of two amounts.
+    pub fn min(self, other: Money) -> Money {
+        Money(self.0.min(other.0))
+    }
+
+    /// Clamp into `[lo, hi]`.
+    pub fn clamp(self, lo: Money, hi: Money) -> Money {
+        Money(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// True when the amount is meaningfully positive.
+    pub fn is_positive(self) -> bool {
+        self.0 > 1e-12
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${:.4}", self.0)
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Money) -> Money {
+        Money(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Money {
+    fn add_assign(&mut self, rhs: Money) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+    fn sub(self, rhs: Money) -> Money {
+        Money(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Money {
+    fn sub_assign(&mut self, rhs: Money) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Money {
+    type Output = Money;
+    fn mul(self, rhs: f64) -> Money {
+        Money(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Money {
+    type Output = Money;
+    fn div(self, rhs: f64) -> Money {
+        Money(self.0 / rhs)
+    }
+}
+
+impl Neg for Money {
+    type Output = Money;
+    fn neg(self) -> Money {
+        Money(-self.0)
+    }
+}
+
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        Money(iter.map(|m| m.0).sum())
+    }
+}
+
+/// Price per Processing Unit, in virtual dollars.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Price(pub f64);
+
+impl Price {
+    /// Zero price.
+    pub const ZERO: Price = Price(0.0);
+
+    /// Price from total bids and supply: `P = Σb / S`.
+    ///
+    /// Returns [`Price::ZERO`] when supply is not positive.
+    pub fn discover(total_bids: Money, supply: ProcessingUnits) -> Price {
+        if supply.is_positive() {
+            Price(total_bids.0 / supply.0)
+        } else {
+            Price::ZERO
+        }
+    }
+
+    /// Raw dollars-per-PU value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Supply purchasable with `bid` at this price.
+    ///
+    /// Returns zero PU when the price is zero (an empty market).
+    pub fn purchase(self, bid: Money) -> ProcessingUnits {
+        if self.0 > 0.0 {
+            ProcessingUnits(bid.0 / self.0)
+        } else {
+            ProcessingUnits::ZERO
+        }
+    }
+
+    /// Grow by the tolerance factor: `P·(1+δ)` — Eq. 2 of the paper.
+    pub fn inflated_by(self, delta: f64) -> Price {
+        Price(self.0 * (1.0 + delta))
+    }
+
+    /// Shrink by the tolerance factor: `P·(1−δ)`.
+    pub fn deflated_by(self, delta: f64) -> Price {
+        Price(self.0 * (1.0 - delta))
+    }
+
+    /// True when the price is meaningfully positive.
+    pub fn is_positive(self) -> bool {
+        self.0 > 1e-15
+    }
+}
+
+impl fmt::Display for Price {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${:.6}/PU", self.0)
+    }
+}
+
+impl Mul<ProcessingUnits> for Price {
+    /// Cost of buying `rhs` PU at this price.
+    type Output = Money;
+    fn mul(self, rhs: ProcessingUnits) -> Money {
+        Money(self.0 * rhs.0)
+    }
+}
+
+/// Absolute simulated time since boot, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero (boot).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from whole milliseconds.
+    pub fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1000)
+    }
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Microseconds since boot.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since boot as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Elapsed duration since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is after `self`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(earlier.0 <= self.0, "time went backwards");
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+/// A span of simulated time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from microseconds.
+    pub fn from_micros(us: u64) -> SimDuration {
+        SimDuration(us)
+    }
+
+    /// Construct from whole milliseconds.
+    pub fn from_millis(ms: u64) -> SimDuration {
+        SimDuration(ms * 1000)
+    }
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> SimDuration {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Length in microseconds.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Length in seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// True for the zero-length duration.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1000.0)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pu_from_frequency_matches_paper_definition() {
+        // "a core running at 1000MHz (or 350MHz) produces a supply of
+        //  1000PUs (or 350PUs)"
+        assert_eq!(ProcessingUnits::from(MegaHertz(1000)).value(), 1000.0);
+        assert_eq!(ProcessingUnits::from(MegaHertz(350)).value(), 350.0);
+    }
+
+    #[test]
+    fn pu_cycles_over_duration() {
+        let pu = ProcessingUnits(500.0); // 500 M cycles/s
+        let c = pu.cycles_over(SimDuration::from_millis(10));
+        assert!((c.value() - 5_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn price_discovery_table1_round1() {
+        // Table 1 round 1: bids $1 + $1, supply 300 PU -> P = 0.0066..
+        let p = Price::discover(Money(2.0), ProcessingUnits(300.0));
+        assert!((p.value() - 2.0 / 300.0).abs() < 1e-12);
+        // each task purchases 150 PU
+        let s = p.purchase(Money(1.0));
+        assert!((s.value() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn price_discovery_zero_supply_is_zero() {
+        assert_eq!(
+            Price::discover(Money(5.0), ProcessingUnits::ZERO),
+            Price::ZERO
+        );
+        assert_eq!(Price::ZERO.purchase(Money(1.0)), ProcessingUnits::ZERO);
+    }
+
+    #[test]
+    fn price_recursion_eq2_example() {
+        // Paper: P=$10, delta=0.02, 3 levels -> $10.612
+        let mut p = Price(10.0);
+        for _ in 0..3 {
+            p = p.inflated_by(0.02);
+        }
+        assert!((p.value() - 10.612_08).abs() < 1e-4);
+    }
+
+    #[test]
+    fn power_energy_integration() {
+        let e = Watts(2.0).energy_over(SimDuration::from_secs(3));
+        assert_eq!(e, Joules(6.0));
+    }
+
+    #[test]
+    fn sim_time_arithmetic() {
+        let t = SimTime::from_millis(100) + SimDuration::from_micros(500);
+        assert_eq!(t.as_micros(), 100_500);
+        assert_eq!(
+            t.since(SimTime::from_millis(100)),
+            SimDuration::from_micros(500)
+        );
+    }
+
+    #[test]
+    fn money_clamping() {
+        let m = Money(5.0).clamp(Money(1.0), Money(3.0));
+        assert_eq!(m, Money(3.0));
+        assert!(Money(0.1).is_positive());
+        assert!(!Money::ZERO.is_positive());
+    }
+
+    #[test]
+    fn duration_display_scales() {
+        assert_eq!(SimDuration::from_micros(12).to_string(), "12us");
+        assert_eq!(SimDuration::from_millis(3).to_string(), "3.000ms");
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn pu_sum_and_ratio() {
+        let total: ProcessingUnits = [ProcessingUnits(100.0), ProcessingUnits(250.0)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, ProcessingUnits(350.0));
+        assert!((ProcessingUnits(300.0) / ProcessingUnits(600.0) - 0.5).abs() < 1e-12);
+    }
+}

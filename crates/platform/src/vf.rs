@@ -1,0 +1,282 @@
+//! Discrete voltage-frequency operating points and per-cluster V-F tables.
+
+use std::fmt;
+
+use crate::units::{MegaHertz, MilliVolts, ProcessingUnits};
+
+/// One discrete voltage-frequency operating point of a cluster regulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VfPoint {
+    /// Clock frequency at this point.
+    pub frequency: MegaHertz,
+    /// Regulator voltage at this point (set by hardware per the paper).
+    pub voltage: MilliVolts,
+}
+
+impl VfPoint {
+    /// Construct an operating point.
+    pub fn new(frequency: MegaHertz, voltage: MilliVolts) -> VfPoint {
+        VfPoint { frequency, voltage }
+    }
+
+    /// Per-core PU supply at this point (`f` MHz ⇒ `f` PU).
+    pub fn supply(&self) -> ProcessingUnits {
+        ProcessingUnits::from(self.frequency)
+    }
+}
+
+impl fmt::Display for VfPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.frequency, self.voltage)
+    }
+}
+
+/// Index into a [`VfTable`]; level 0 is the lowest frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VfLevel(pub usize);
+
+impl fmt::Display for VfLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Error returned when a [`VfTable`] cannot be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfTableError {
+    /// The table must contain at least one operating point.
+    Empty,
+    /// Frequencies must be strictly increasing; the offending index is given.
+    NotMonotonic(usize),
+}
+
+impl fmt::Display for VfTableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VfTableError::Empty => write!(f, "V-F table must not be empty"),
+            VfTableError::NotMonotonic(i) => {
+                write!(f, "V-F table frequency not strictly increasing at index {i}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VfTableError {}
+
+/// An ordered table of discrete V-F operating points for one cluster.
+///
+/// Frequencies are strictly increasing with the level index; voltage is
+/// non-decreasing in practice but not enforced (some silicon shares voltage
+/// across adjacent levels).
+///
+/// ```
+/// use ppm_platform::units::{MegaHertz, MilliVolts};
+/// use ppm_platform::vf::{VfPoint, VfTable};
+///
+/// # fn main() -> Result<(), ppm_platform::vf::VfTableError> {
+/// let table = VfTable::new(vec![
+///     VfPoint::new(MegaHertz(350), MilliVolts(900)),
+///     VfPoint::new(MegaHertz(500), MilliVolts(1000)),
+/// ])?;
+/// assert_eq!(table.len(), 2);
+/// assert_eq!(table.max().frequency, MegaHertz(500));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VfTable {
+    points: Vec<VfPoint>,
+}
+
+impl VfTable {
+    /// Build a table from strictly-increasing-frequency points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfTableError::Empty`] for an empty vector and
+    /// [`VfTableError::NotMonotonic`] if frequencies do not strictly increase.
+    pub fn new(points: Vec<VfPoint>) -> Result<VfTable, VfTableError> {
+        if points.is_empty() {
+            return Err(VfTableError::Empty);
+        }
+        for i in 1..points.len() {
+            if points[i].frequency <= points[i - 1].frequency {
+                return Err(VfTableError::NotMonotonic(i));
+            }
+        }
+        Ok(VfTable { points })
+    }
+
+    /// Number of operating points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always false: construction rejects empty tables.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Operating point at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn point(&self, level: VfLevel) -> VfPoint {
+        self.points[level.0]
+    }
+
+    /// Operating point at `level`, or `None` when out of range.
+    pub fn get(&self, level: VfLevel) -> Option<VfPoint> {
+        self.points.get(level.0).copied()
+    }
+
+    /// Lowest operating point.
+    pub fn min(&self) -> VfPoint {
+        self.points[0]
+    }
+
+    /// Highest operating point.
+    pub fn max(&self) -> VfPoint {
+        *self.points.last().expect("table is never empty")
+    }
+
+    /// Highest level index.
+    pub fn max_level(&self) -> VfLevel {
+        VfLevel(self.points.len() - 1)
+    }
+
+    /// The level one step above `level`, saturating at the top.
+    pub fn step_up(&self, level: VfLevel) -> VfLevel {
+        VfLevel((level.0 + 1).min(self.points.len() - 1))
+    }
+
+    /// The level one step below `level`, saturating at the bottom.
+    pub fn step_down(&self, level: VfLevel) -> VfLevel {
+        VfLevel(level.0.saturating_sub(1))
+    }
+
+    /// Smallest level whose supply covers `demand`, or the top level if none
+    /// does.
+    ///
+    /// The paper "rounds up the demand to the next supply value so as to
+    /// prevent oscillation between two consecutive supply values" (§3.2.4).
+    pub fn level_for_demand(&self, demand: ProcessingUnits) -> VfLevel {
+        for (i, p) in self.points.iter().enumerate() {
+            if p.supply() >= demand {
+                return VfLevel(i);
+            }
+        }
+        self.max_level()
+    }
+
+    /// Number of levels between two levels (unsigned distance).
+    pub fn distance(&self, a: VfLevel, b: VfLevel) -> usize {
+        a.0.abs_diff(b.0)
+    }
+
+    /// Iterate over the points from lowest to highest frequency.
+    pub fn iter(&self) -> impl Iterator<Item = (VfLevel, VfPoint)> + '_ {
+        self.points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (VfLevel(i), *p))
+    }
+
+    /// Normalised position of `level` in `[0, 1]` (0 = lowest, 1 = highest).
+    ///
+    /// Used by the migration cost model to interpolate latency with speed.
+    pub fn normalized(&self, level: VfLevel) -> f64 {
+        if self.points.len() <= 1 {
+            1.0
+        } else {
+            level.0 as f64 / (self.points.len() - 1) as f64
+        }
+    }
+}
+
+/// Evenly-spaced helper for building synthetic tables (used by the
+/// scalability experiments, which emulate clusters with arbitrary top
+/// frequencies).
+///
+/// Produces `steps` points from `lo` to `hi` MHz inclusive, with voltage
+/// rising linearly from 900 mV to 1250 mV.
+///
+/// # Panics
+///
+/// Panics if `steps < 2` or `hi <= lo`.
+pub fn linear_table(lo: MegaHertz, hi: MegaHertz, steps: usize) -> VfTable {
+    assert!(steps >= 2, "need at least two points");
+    assert!(hi > lo, "hi must exceed lo");
+    let points = (0..steps)
+        .map(|i| {
+            let t = i as f64 / (steps - 1) as f64;
+            let f = lo.0 as f64 + t * (hi.0 - lo.0) as f64;
+            let v = 900.0 + t * 350.0;
+            VfPoint::new(MegaHertz(f.round() as u32), MilliVolts(v.round() as u32))
+        })
+        .collect();
+    VfTable::new(points).expect("linear table is monotonic by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_rejects_empty() {
+        assert_eq!(VfTable::new(vec![]), Err(VfTableError::Empty));
+    }
+
+    #[test]
+    fn construction_rejects_non_monotonic() {
+        let pts = vec![
+            VfPoint::new(MegaHertz(500), MilliVolts(900)),
+            VfPoint::new(MegaHertz(500), MilliVolts(950)),
+        ];
+        assert_eq!(VfTable::new(pts), Err(VfTableError::NotMonotonic(1)));
+    }
+
+    #[test]
+    fn stepping_saturates() {
+        let t = linear_table(MegaHertz(350), MegaHertz(1000), 4);
+        assert_eq!(t.step_down(VfLevel(0)), VfLevel(0));
+        assert_eq!(t.step_up(t.max_level()), t.max_level());
+        assert_eq!(t.step_up(VfLevel(0)), VfLevel(1));
+        assert_eq!(t.step_down(VfLevel(2)), VfLevel(1));
+    }
+
+    #[test]
+    fn level_for_demand_rounds_up() {
+        let t = linear_table(MegaHertz(300), MegaHertz(600), 4); // 300,400,500,600
+        assert_eq!(t.level_for_demand(ProcessingUnits(250.0)), VfLevel(0));
+        assert_eq!(t.level_for_demand(ProcessingUnits(300.0)), VfLevel(0));
+        assert_eq!(t.level_for_demand(ProcessingUnits(301.0)), VfLevel(1));
+        assert_eq!(t.level_for_demand(ProcessingUnits(9999.0)), VfLevel(3));
+    }
+
+    #[test]
+    fn normalized_position() {
+        let t = linear_table(MegaHertz(300), MegaHertz(600), 4);
+        assert_eq!(t.normalized(VfLevel(0)), 0.0);
+        assert_eq!(t.normalized(VfLevel(3)), 1.0);
+        assert!((t.normalized(VfLevel(1)) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_table_endpoints() {
+        let t = linear_table(MegaHertz(350), MegaHertz(1000), 8);
+        assert_eq!(t.min().frequency, MegaHertz(350));
+        assert_eq!(t.max().frequency, MegaHertz(1000));
+        assert_eq!(t.min().voltage, MilliVolts(900));
+        assert_eq!(t.max().voltage, MilliVolts(1250));
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn iter_yields_levels_in_order() {
+        let t = linear_table(MegaHertz(350), MegaHertz(1000), 3);
+        let levels: Vec<_> = t.iter().map(|(l, _)| l).collect();
+        assert_eq!(levels, vec![VfLevel(0), VfLevel(1), VfLevel(2)]);
+    }
+}

@@ -1,0 +1,285 @@
+//! `ppm-sim` — command-line driver for the simulated platform.
+//!
+//! ```text
+//! ppm-sim [OPTIONS]
+//!   --scheme ppm|hpm|hl      power manager (default ppm)
+//!   --workload NAME          Table 6 set: l1..l3, m1..m3, h1..h3 (default m1)
+//!   --chip tc2|tegra         platform preset (default tc2)
+//!   --duration SECS          simulated seconds (default 60)
+//!   --tdp WATTS              enable a power cap
+//!   --no-lbt                 disable load balancing / migration (PPM only)
+//!   --online                 online demand estimation (PPM only)
+//!   --trace SECS             print a CSV sample every SECS
+//! ```
+
+use std::process::exit;
+
+use ppm::baselines::hl::{HlConfig, HlManager};
+use ppm::baselines::hpm::{HpmConfig, HpmManager};
+use ppm::core::config::PpmConfig;
+use ppm::core::manager::{place_on_little, PpmManager};
+use ppm::platform::chip::Chip;
+use ppm::platform::core::CoreId;
+use ppm::platform::thermal::ThermalModel;
+use ppm::platform::units::{SimDuration, Watts};
+use ppm::sched::{AllocationPolicy, PowerManager, Simulation, System};
+use ppm::workload::benchmarks::BenchmarkSpec;
+use ppm::workload::heartbeat::HeartRateRange;
+use ppm::workload::sets::set_by_name;
+use ppm::workload::task::{Priority, Task, TaskId};
+use ppm::workload::trace::DemandTrace;
+use ppm::platform::units::ProcessingUnits;
+
+#[derive(Debug)]
+struct Args {
+    scheme: String,
+    workload: String,
+    chip: String,
+    duration: u64,
+    tdp: Option<f64>,
+    no_lbt: bool,
+    online: bool,
+    trace: Option<u64>,
+    /// Custom task specs (`--task`), replacing the workload set when given.
+    tasks: Vec<String>,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            scheme: "ppm".into(),
+            workload: "m1".into(),
+            chip: "tc2".into(),
+            duration: 60,
+            tdp: None,
+            no_lbt: false,
+            online: false,
+            trace: None,
+            tasks: Vec::new(),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--scheme" => args.scheme = value("--scheme")?,
+                "--workload" => args.workload = value("--workload")?,
+                "--chip" => args.chip = value("--chip")?,
+                "--duration" => {
+                    args.duration = value("--duration")?
+                        .parse()
+                        .map_err(|e| format!("--duration: {e}"))?
+                }
+                "--tdp" => {
+                    args.tdp = Some(
+                        value("--tdp")?
+                            .parse()
+                            .map_err(|e| format!("--tdp: {e}"))?,
+                    )
+                }
+                "--task" => args.tasks.push(value("--task")?),
+                "--no-lbt" => args.no_lbt = true,
+                "--online" => args.online = true,
+                "--trace" => {
+                    args.trace = Some(
+                        value("--trace")?
+                            .parse()
+                            .map_err(|e| format!("--trace: {e}"))?,
+                    )
+                }
+                "--help" | "-h" => {
+                    println!("{}", HELP);
+                    exit(0);
+                }
+                other => return Err(format!("unknown flag `{other}` (try --help)")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+const HELP: &str = "ppm-sim — simulate a power manager on a big.LITTLE chip
+  --scheme ppm|hpm|hl      power manager (default ppm)
+  --workload NAME          Table 6 set: l1..l3, m1..m3, h1..h3 (default m1)
+  --chip tc2|tegra         platform preset (default tc2)
+  --duration SECS          simulated seconds (default 60)
+  --tdp WATTS              enable a power cap
+  --no-lbt                 disable load balancing / migration (PPM only)
+  --online                 online demand estimation (PPM only)
+  --trace SECS             print a CSV sample every SECS
+  --task SPEC              custom task instead of the workload set; repeatable.
+                           SPEC: hr=30,demand=500[,speedup=1.8][,prio=1]
+                                 [,trace=0:1;30:1.5]  (trace uses ; separators)";
+
+/// Parse one `--task` spec into a runnable task.
+fn parse_task(id: usize, spec: &str) -> Result<Task, String> {
+    let mut hr = None;
+    let mut demand = None;
+    let mut speedup = 1.8;
+    let mut prio = 1u32;
+    let mut trace: Option<DemandTrace> = None;
+    for kv in spec.split(',') {
+        let (k, v) = kv
+            .split_once('=')
+            .ok_or_else(|| format!("`{kv}` is not key=value"))?;
+        match k.trim() {
+            "hr" => hr = Some(v.trim().parse::<f64>().map_err(|e| format!("hr: {e}"))?),
+            "demand" => {
+                demand = Some(v.trim().parse::<f64>().map_err(|e| format!("demand: {e}"))?)
+            }
+            "speedup" => speedup = v.trim().parse().map_err(|e| format!("speedup: {e}"))?,
+            "prio" => prio = v.trim().parse().map_err(|e| format!("prio: {e}"))?,
+            "trace" => {
+                trace = Some(
+                    v.trim()
+                        .replace(';', ",")
+                        .parse()
+                        .map_err(|e| format!("trace: {e}"))?,
+                )
+            }
+            other => return Err(format!("unknown task key `{other}`")),
+        }
+    }
+    let hr = hr.ok_or("task needs hr=")?;
+    let demand = demand.ok_or("task needs demand=")?;
+    let phases = match trace {
+        Some(t) => t.to_phases(hr, 10.0),
+        None => vec![ppm::workload::phase::Phase::new(f64::MAX, 1.0)],
+    };
+    let spec = BenchmarkSpec::custom(
+        HeartRateRange::new(hr * 0.95, hr * 1.05),
+        ProcessingUnits(demand),
+        speedup,
+        phases,
+        None,
+    );
+    Ok(Task::new(TaskId(id), spec, Priority(prio)))
+}
+
+fn build_system(args: &Args, policy: AllocationPolicy) -> Result<System, String> {
+    let chip = match args.chip.as_str() {
+        "tc2" => Chip::tc2(),
+        "tegra" => Chip::tegra_4plus1(),
+        other => return Err(format!("unknown chip `{other}`")),
+    };
+    let clusters = chip.clusters().len();
+    let mut sys = System::new(chip, policy);
+    sys.attach_thermal(ThermalModel::mobile(clusters));
+    if args.tasks.is_empty() {
+        let set = set_by_name(&args.workload)
+            .ok_or_else(|| format!("unknown workload `{}`", args.workload))?;
+        for t in set.spawn(0, Priority::NORMAL) {
+            sys.add_task(t, CoreId(0));
+        }
+    } else {
+        for (i, spec) in args.tasks.iter().enumerate() {
+            sys.add_task(parse_task(i, spec)?, CoreId(0));
+        }
+    }
+    place_on_little(&mut sys);
+    if let Some(w) = args.tdp {
+        sys.set_tdp_accounting(Watts(w));
+    }
+    Ok(sys)
+}
+
+fn simulate<M: PowerManager>(args: &Args, sys: System, mgr: M) {
+    let mut sim = Simulation::new(sys, mgr).with_warmup(SimDuration::from_secs(2));
+    if let Some(every) = args.trace {
+        println!("time_s,power_w,hottest_c,task_hr_normalized...");
+        let mut elapsed = 0;
+        while elapsed < args.duration {
+            let step = every.min(args.duration - elapsed);
+            sim.run_for(SimDuration::from_secs(step));
+            elapsed += step;
+            let s = sim.system();
+            let hrs: Vec<String> = s
+                .task_ids()
+                .iter()
+                .map(|&t| format!("{:.2}", s.task(t).normalized_heart_rate()))
+                .collect();
+            println!(
+                "{},{:.2},{:.1},{}",
+                elapsed,
+                s.chip_power().value(),
+                s.thermal().map_or(0.0, |t| t.hottest().value()),
+                hrs.join(",")
+            );
+        }
+    } else {
+        sim.run_for(SimDuration::from_secs(args.duration));
+    }
+
+    let peak_temp = sim.system().thermal().map(|t| t.peak());
+    let m = sim.metrics();
+    println!("\n# summary ({} on {}, {} s)", args.scheme, args.chip, args.duration);
+    println!("any-task QoS miss : {:.1}% of time", m.any_miss_fraction() * 100.0);
+    println!("average power     : {}", m.average_power());
+    println!("peak power        : {}", m.chip_energy.peak_power());
+    println!("energy            : {}", m.chip_energy.energy());
+    if let Some(t) = peak_temp {
+        println!("peak temperature  : {t}");
+    }
+    if let Some(w) = args.tdp {
+        println!(
+            "time above {w} W   : {:.1}%",
+            m.time_above_tdp.as_secs_f64() / m.total_time().as_secs_f64() * 100.0
+        );
+    }
+    println!(
+        "migrations        : {} intra-cluster, {} inter-cluster",
+        m.migrations_intra, m.migrations_inter
+    );
+    println!("V-F transitions   : {}", m.vf_transitions);
+}
+
+fn main() {
+    let args = match Args::parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(2);
+        }
+    };
+    let result: Result<(), String> = (|| {
+        match args.scheme.as_str() {
+            "ppm" => {
+                let mut config = match args.tdp {
+                    Some(w) => PpmConfig::tc2_with_tdp(Watts(w)),
+                    None => PpmConfig::tc2(),
+                };
+                if args.no_lbt {
+                    config = config.without_lbt();
+                }
+                if args.online {
+                    config = config.with_online_estimation();
+                }
+                let sys = build_system(&args, AllocationPolicy::Market)?;
+                simulate(&args, sys, PpmManager::new(config));
+            }
+            "hpm" => {
+                let mut config = HpmConfig::new();
+                if let Some(w) = args.tdp {
+                    config = config.with_tdp(Watts(w));
+                }
+                let sys = build_system(&args, AllocationPolicy::Market)?;
+                simulate(&args, sys, HpmManager::new(config));
+            }
+            "hl" => {
+                let mut config = HlConfig::new();
+                if let Some(w) = args.tdp {
+                    config = config.with_tdp(Watts(w));
+                }
+                let sys = build_system(&args, AllocationPolicy::FairWeights)?;
+                simulate(&args, sys, HlManager::new(config));
+            }
+            other => return Err(format!("unknown scheme `{other}`")),
+        }
+        Ok(())
+    })();
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(2);
+    }
+}

@@ -1,0 +1,191 @@
+//! CPU affinity masks.
+//!
+//! The paper's framework actuates migration through Linux's
+//! `sched_setaffinity`; tasks can equally be *pinned* by the user (the
+//! §5.4 experiments pin two tasks to one core). [`CpuMask`] is the
+//! `cpu_set_t` equivalent: a bit per core, of arbitrary width.
+
+use std::fmt;
+
+use ppm_platform::core::CoreId;
+
+/// A set of cores a task may run on.
+///
+/// ```
+/// use ppm_platform::core::CoreId;
+/// use ppm_sched::affinity::CpuMask;
+///
+/// let mask = CpuMask::only(CoreId(2));
+/// assert!(mask.contains(CoreId(2)));
+/// assert!(!mask.contains(CoreId(0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CpuMask {
+    /// One bit per core; absent words are all-zero. An empty vector with
+    /// `all = true` means "every core".
+    words: Vec<u64>,
+    all: bool,
+}
+
+impl CpuMask {
+    /// The mask allowing every core (the default affinity).
+    pub fn all() -> CpuMask {
+        CpuMask {
+            words: Vec::new(),
+            all: true,
+        }
+    }
+
+    /// An empty mask (no core allowed). Setting this on a task starves it,
+    /// exactly as an empty `cpu_set_t` would.
+    pub fn none() -> CpuMask {
+        CpuMask {
+            words: Vec::new(),
+            all: false,
+        }
+    }
+
+    /// A mask allowing exactly one core.
+    pub fn only(core: CoreId) -> CpuMask {
+        let mut m = CpuMask::none();
+        m.insert(core);
+        m
+    }
+
+    /// A mask allowing the given cores.
+    pub fn of<I: IntoIterator<Item = CoreId>>(cores: I) -> CpuMask {
+        let mut m = CpuMask::none();
+        for c in cores {
+            m.insert(c);
+        }
+        m
+    }
+
+    /// Allow `core`.
+    pub fn insert(&mut self, core: CoreId) {
+        if self.all {
+            return;
+        }
+        let word = core.0 / 64;
+        if self.words.len() <= word {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1 << (core.0 % 64);
+    }
+
+    /// Disallow `core`. A no-op on the all-cores mask cannot be expressed
+    /// without knowing the chip width, so this panics there.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on [`CpuMask::all`].
+    pub fn remove(&mut self, core: CoreId) {
+        assert!(!self.all, "cannot remove from the all-cores mask");
+        if let Some(w) = self.words.get_mut(core.0 / 64) {
+            *w &= !(1 << (core.0 % 64));
+        }
+    }
+
+    /// True when `core` is allowed.
+    pub fn contains(&self, core: CoreId) -> bool {
+        if self.all {
+            return true;
+        }
+        self.words
+            .get(core.0 / 64)
+            .is_some_and(|w| w & (1 << (core.0 % 64)) != 0)
+    }
+
+    /// True when no core is allowed.
+    pub fn is_empty(&self) -> bool {
+        !self.all && self.words.iter().all(|&w| w == 0)
+    }
+
+    /// True for the every-core mask.
+    pub fn is_all(&self) -> bool {
+        self.all
+    }
+
+    /// Iterate the explicitly allowed cores (nothing for the all-mask —
+    /// its extent depends on the chip).
+    pub fn iter(&self) -> impl Iterator<Item = CoreId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w & (1u64 << b) != 0)
+                .map(move |b| CoreId(wi * 64 + b))
+        })
+    }
+}
+
+impl Default for CpuMask {
+    fn default() -> Self {
+        CpuMask::all()
+    }
+}
+
+impl fmt::Display for CpuMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.all {
+            return write!(f, "cpumask[all]");
+        }
+        write!(f, "cpumask[")?;
+        for (i, c) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", c.0)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_everything() {
+        let m = CpuMask::all();
+        assert!(m.contains(CoreId(0)));
+        assert!(m.contains(CoreId(4096)));
+        assert!(m.is_all());
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn only_and_of_build_exact_sets() {
+        let m = CpuMask::only(CoreId(3));
+        assert!(m.contains(CoreId(3)));
+        assert!(!m.contains(CoreId(2)));
+        let m = CpuMask::of([CoreId(0), CoreId(70)]);
+        assert!(m.contains(CoreId(0)));
+        assert!(m.contains(CoreId(70)));
+        assert!(!m.contains(CoreId(64)));
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![CoreId(0), CoreId(70)]);
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut m = CpuMask::none();
+        assert!(m.is_empty());
+        m.insert(CoreId(5));
+        assert!(m.contains(CoreId(5)));
+        m.remove(CoreId(5));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "all-cores mask")]
+    fn removing_from_all_panics() {
+        CpuMask::all().remove(CoreId(0));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(CpuMask::all().to_string(), "cpumask[all]");
+        assert_eq!(
+            CpuMask::of([CoreId(1), CoreId(3)]).to_string(),
+            "cpumask[1,3]"
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! `cpufreq`-style frequency governors.
+//!
+//! The HL baseline pairs the heterogeneity-aware scheduler with the Linux
+//! *ondemand* governor ("changes the frequency value based on processor
+//! utilization", §5.3). Performance and powersave governors are provided for
+//! experimental controls.
+
+use ppm_platform::cluster::ClusterId;
+use ppm_platform::units::{SimDuration, SimTime};
+use ppm_platform::vf::VfLevel;
+
+use crate::executor::System;
+
+/// A per-cluster frequency policy.
+pub trait FrequencyGovernor {
+    /// Governor name (`ondemand`, `performance`, …).
+    fn name(&self) -> &'static str;
+
+    /// Observe `sys` and, if warranted, request a new level for `cluster`.
+    fn govern(&mut self, sys: &mut System, cluster: ClusterId, dt: SimDuration);
+}
+
+/// Linux *ondemand*: jump to the highest frequency when utilization exceeds
+/// the up-threshold, otherwise pick the lowest frequency that keeps
+/// utilization at the target.
+#[derive(Debug, Clone)]
+pub struct Ondemand {
+    /// Utilization above which the governor jumps to the maximum level.
+    pub up_threshold: f64,
+    /// Utilization the governor aims for when scaling down.
+    pub target_utilization: f64,
+    /// Sampling period.
+    pub sampling_period: SimDuration,
+    next_sample: SimTime,
+}
+
+impl Ondemand {
+    /// The classic defaults (up-threshold 95 %, 50 ms sampling).
+    pub fn new() -> Ondemand {
+        Ondemand {
+            up_threshold: 0.95,
+            target_utilization: 0.80,
+            sampling_period: SimDuration::from_millis(50),
+            next_sample: SimTime::ZERO,
+        }
+    }
+}
+
+impl Default for Ondemand {
+    fn default() -> Self {
+        Ondemand::new()
+    }
+}
+
+impl FrequencyGovernor for Ondemand {
+    fn name(&self) -> &'static str {
+        "ondemand"
+    }
+
+    fn govern(&mut self, sys: &mut System, cluster: ClusterId, _dt: SimDuration) {
+        if sys.now() < self.next_sample {
+            return;
+        }
+        self.next_sample = sys.now() + self.sampling_period;
+        let cl = sys.chip().cluster(cluster);
+        if cl.is_off() {
+            return;
+        }
+        // Busiest core governs the cluster (shared regulator).
+        let util = cl
+            .cores()
+            .iter()
+            .map(|&c| sys.core_utilization(c))
+            .fold(0.0_f64, f64::max);
+        let table = cl.table().clone();
+        let current = cl.level();
+        let target = if util >= self.up_threshold {
+            table.max_level()
+        } else {
+            // Lowest level that would serve the current busy cycles at the
+            // target utilization.
+            let busy_pu = util * cl.supply_per_core().value();
+            table.level_for_demand(ppm_platform::units::ProcessingUnits(
+                busy_pu / self.target_utilization,
+            ))
+        };
+        if target != current {
+            sys.request_level(cluster, target);
+        }
+    }
+}
+
+/// Linux *conservative*: like ondemand but stepping one level at a time,
+/// trading responsiveness for fewer/smaller frequency swings.
+#[derive(Debug, Clone)]
+pub struct Conservative {
+    /// Utilization above which the level steps up.
+    pub up_threshold: f64,
+    /// Utilization below which the level steps down.
+    pub down_threshold: f64,
+    /// Sampling period.
+    pub sampling_period: SimDuration,
+    next_sample: SimTime,
+}
+
+impl Conservative {
+    /// The classic defaults (80 %/20 %, 100 ms sampling).
+    pub fn new() -> Conservative {
+        Conservative {
+            up_threshold: 0.80,
+            down_threshold: 0.20,
+            sampling_period: SimDuration::from_millis(100),
+            next_sample: SimTime::ZERO,
+        }
+    }
+}
+
+impl Default for Conservative {
+    fn default() -> Self {
+        Conservative::new()
+    }
+}
+
+impl FrequencyGovernor for Conservative {
+    fn name(&self) -> &'static str {
+        "conservative"
+    }
+
+    fn govern(&mut self, sys: &mut System, cluster: ClusterId, _dt: SimDuration) {
+        if sys.now() < self.next_sample {
+            return;
+        }
+        self.next_sample = sys.now() + self.sampling_period;
+        let cl = sys.chip().cluster(cluster);
+        if cl.is_off() {
+            return;
+        }
+        let util = cl
+            .cores()
+            .iter()
+            .map(|&c| sys.core_utilization(c))
+            .fold(0.0_f64, f64::max);
+        let level = cl.level();
+        let table = cl.table();
+        let target = if util >= self.up_threshold {
+            table.step_up(level)
+        } else if util <= self.down_threshold {
+            table.step_down(level)
+        } else {
+            level
+        };
+        if target != level {
+            sys.request_level(cluster, target);
+        }
+    }
+}
+
+/// Always runs the cluster at its highest level.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Performance;
+
+impl FrequencyGovernor for Performance {
+    fn name(&self) -> &'static str {
+        "performance"
+    }
+
+    fn govern(&mut self, sys: &mut System, cluster: ClusterId, _dt: SimDuration) {
+        let top = sys.chip().cluster(cluster).table().max_level();
+        if sys.chip().cluster(cluster).effective_target() != top {
+            sys.request_level(cluster, top);
+        }
+    }
+}
+
+/// Always runs the cluster at its lowest level.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Powersave;
+
+impl FrequencyGovernor for Powersave {
+    fn name(&self) -> &'static str {
+        "powersave"
+    }
+
+    fn govern(&mut self, sys: &mut System, cluster: ClusterId, _dt: SimDuration) {
+        if sys.chip().cluster(cluster).effective_target() != VfLevel(0) {
+            sys.request_level(cluster, VfLevel(0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{AllocationPolicy, PowerManager, Simulation, System};
+    use ppm_platform::chip::Chip;
+    use ppm_platform::core::CoreId;
+    use ppm_workload::benchmarks::{Benchmark, BenchmarkSpec, Input};
+    use ppm_workload::task::{Priority, Task, TaskId};
+
+    /// Manager applying one governor to every cluster.
+    struct GovernorManager<G>(G);
+
+    impl<G: FrequencyGovernor> PowerManager for GovernorManager<G> {
+        fn name(&self) -> &'static str {
+            "governor-test"
+        }
+        fn tick(&mut self, sys: &mut System, dt: SimDuration) {
+            for ci in 0..sys.chip().clusters().len() {
+                self.0.govern(sys, ClusterId(ci), dt);
+            }
+        }
+    }
+
+    fn loaded_system() -> System {
+        let mut sys = System::new(Chip::tc2(), AllocationPolicy::FairWeights);
+        sys.add_task(
+            Task::new(
+                TaskId(0),
+                BenchmarkSpec::of(Benchmark::X264, Input::Native).expect("variant"),
+                Priority(1),
+            ),
+            CoreId(0),
+        );
+        sys
+    }
+
+    #[test]
+    fn ondemand_ramps_up_under_load() {
+        let mut sim = Simulation::new(loaded_system(), GovernorManager(Ondemand::new()));
+        sim.run_for(SimDuration::from_millis(500));
+        // A CPU-bound task saturates the core; ondemand jumps to max.
+        let level = sim.system().chip().cluster(ClusterId(0)).level();
+        assert_eq!(
+            level,
+            sim.system().chip().cluster(ClusterId(0)).table().max_level()
+        );
+    }
+
+    #[test]
+    fn ondemand_leaves_idle_cluster_alone() {
+        let mut sim = Simulation::new(loaded_system(), GovernorManager(Ondemand::new()));
+        sim.run_for(SimDuration::from_millis(500));
+        // Nothing runs on the big cluster.
+        assert_eq!(
+            sim.system().chip().cluster(ClusterId(1)).level(),
+            VfLevel(0)
+        );
+    }
+
+    #[test]
+    fn conservative_steps_one_level_at_a_time() {
+        let mut sim = Simulation::new(loaded_system(), GovernorManager(Conservative::new()));
+        // After one sampling period: exactly one step up, not a jump to max.
+        sim.run_for(SimDuration::from_millis(150));
+        assert_eq!(
+            sim.system().chip().cluster(ClusterId(0)).level(),
+            VfLevel(1)
+        );
+        // Eventually it also reaches the top under sustained load.
+        sim.run_for(SimDuration::from_secs(2));
+        let little = sim.system().chip().cluster(ClusterId(0));
+        assert_eq!(little.level(), little.table().max_level());
+    }
+
+    #[test]
+    fn performance_pins_top_powersave_pins_bottom() {
+        let mut sim = Simulation::new(loaded_system(), GovernorManager(Performance));
+        sim.run_for(SimDuration::from_millis(10));
+        let little = sim.system().chip().cluster(ClusterId(0));
+        assert_eq!(little.level(), little.table().max_level());
+
+        let mut sim = Simulation::new(loaded_system(), GovernorManager(Powersave));
+        sim.run_for(SimDuration::from_millis(10));
+        assert_eq!(
+            sim.system().chip().cluster(ClusterId(0)).level(),
+            VfLevel(0)
+        );
+    }
+}

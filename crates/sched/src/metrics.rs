@@ -1,0 +1,227 @@
+//! Run metrics: QoS misses, power/energy, migrations, and time-series traces.
+//!
+//! These implement the measurements behind the paper's evaluation figures:
+//! "percentage of time the reference heart rate range of any task in the
+//! workload is not met" (Figures 4 and 6), average power (Figure 5), and the
+//! normalized heart-rate traces (Figures 7 and 8).
+
+use std::collections::HashMap;
+
+use ppm_platform::power::EnergyMeter;
+use ppm_platform::units::{Joules, SimDuration, SimTime, Watts};
+use ppm_platform::vf::VfLevel;
+use ppm_workload::task::TaskId;
+
+/// Per-task QoS accounting.
+#[derive(Debug, Clone, Default)]
+pub struct TaskMetrics {
+    /// Time the observed heart rate was below the reference minimum
+    /// (the paper's miss condition).
+    pub time_below_range: SimDuration,
+    /// Time the observed rate was outside the range on either side
+    /// (the Figure 7 metric).
+    pub time_out_of_range: SimDuration,
+    /// Total observed time.
+    pub observed: SimDuration,
+    /// Energy attributed to this task: its dynamic consumption plus an
+    /// equal split of its cluster's static power.
+    pub energy: Joules,
+}
+
+impl TaskMetrics {
+    /// Fraction of time below the reference range.
+    pub fn miss_fraction(&self) -> f64 {
+        if self.observed.is_zero() {
+            0.0
+        } else {
+            self.time_below_range.as_secs_f64() / self.observed.as_secs_f64()
+        }
+    }
+
+    /// Fraction of time outside the range on either side.
+    pub fn out_of_range_fraction(&self) -> f64 {
+        if self.observed.is_zero() {
+            0.0
+        } else {
+            self.time_out_of_range.as_secs_f64() / self.observed.as_secs_f64()
+        }
+    }
+}
+
+/// One decimated trace sample (Figures 7/8 style).
+#[derive(Debug, Clone)]
+pub struct TraceSample {
+    /// Sample time.
+    pub at: SimTime,
+    /// Instantaneous chip power.
+    pub chip_power: Watts,
+    /// Per-cluster V-F levels.
+    pub levels: Vec<VfLevel>,
+    /// Per-task normalized heart rate (1.0 = on target), keyed by task.
+    pub normalized_heart_rate: Vec<(TaskId, f64)>,
+}
+
+/// Aggregated metrics for one simulation run.
+#[derive(Debug, Default)]
+pub struct RunMetrics {
+    per_task: HashMap<TaskId, TaskMetrics>,
+    /// Time during which at least one task was below its range.
+    any_miss: SimDuration,
+    /// Total accounted time.
+    total: SimDuration,
+    /// Chip-level energy/power integration.
+    pub chip_energy: EnergyMeter,
+    /// Per-cluster energy/power integration (indexed by cluster id).
+    pub cluster_energy: Vec<EnergyMeter>,
+    /// Intra-cluster migrations performed.
+    pub migrations_intra: u64,
+    /// Inter-cluster migrations performed.
+    pub migrations_inter: u64,
+    /// Completed V-F level transitions.
+    pub vf_transitions: u64,
+    /// Time spent above the TDP (for cap-enforcement checks).
+    pub time_above_tdp: SimDuration,
+    /// Per-cluster time spent at each V-F level (thermal-cycling analysis).
+    level_residency: Vec<HashMap<usize, SimDuration>>,
+    trace: Vec<TraceSample>,
+}
+
+impl RunMetrics {
+    /// Fresh metrics for a chip with `clusters` clusters.
+    pub fn new(clusters: usize) -> RunMetrics {
+        RunMetrics {
+            cluster_energy: (0..clusters).map(|_| EnergyMeter::new()).collect(),
+            level_residency: (0..clusters).map(|_| HashMap::new()).collect(),
+            ..RunMetrics::default()
+        }
+    }
+
+    /// Account one quantum of residency at `level` for `cluster`.
+    pub fn record_residency(&mut self, cluster: usize, level: usize, dt: SimDuration) {
+        if let Some(map) = self.level_residency.get_mut(cluster) {
+            *map.entry(level).or_insert(SimDuration::ZERO) += dt;
+        }
+    }
+
+    /// Time `cluster` spent at each level, keyed by level index.
+    pub fn level_residency(&self, cluster: usize) -> &HashMap<usize, SimDuration> {
+        &self.level_residency[cluster]
+    }
+
+    /// Account one quantum for one task.
+    pub fn record_task(&mut self, task: TaskId, dt: SimDuration, below: bool, outside: bool) {
+        let m = self.per_task.entry(task).or_default();
+        m.observed += dt;
+        if below {
+            m.time_below_range += dt;
+        }
+        if outside {
+            m.time_out_of_range += dt;
+        }
+    }
+
+    /// Attribute energy consumed during one quantum to a task.
+    pub fn record_task_energy(&mut self, task: TaskId, power: Watts, dt: SimDuration) {
+        self.per_task.entry(task).or_default().energy += power.energy_over(dt);
+    }
+
+    /// Account one quantum at the system level.
+    pub fn record_system(&mut self, dt: SimDuration, any_below: bool, above_tdp: bool) {
+        self.total += dt;
+        if any_below {
+            self.any_miss += dt;
+        }
+        if above_tdp {
+            self.time_above_tdp += dt;
+        }
+    }
+
+    /// Per-task metrics, if the task was ever observed.
+    pub fn task(&self, task: TaskId) -> Option<&TaskMetrics> {
+        self.per_task.get(&task)
+    }
+
+    /// The Figure 4/6 metric: fraction of time *any* task missed its range.
+    pub fn any_miss_fraction(&self) -> f64 {
+        if self.total.is_zero() {
+            0.0
+        } else {
+            self.any_miss.as_secs_f64() / self.total.as_secs_f64()
+        }
+    }
+
+    /// Average chip power over the run (Figure 5 metric).
+    pub fn average_power(&self) -> Watts {
+        self.chip_energy.average_power()
+    }
+
+    /// Total accounted time.
+    pub fn total_time(&self) -> SimDuration {
+        self.total
+    }
+
+    /// Append a trace sample.
+    pub fn push_trace(&mut self, sample: TraceSample) {
+        self.trace.push(sample);
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &[TraceSample] {
+        &self.trace
+    }
+
+    /// All tasks seen, sorted by id.
+    pub fn tasks(&self) -> Vec<TaskId> {
+        let mut v: Vec<TaskId> = self.per_task.keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_compute_from_durations() {
+        let mut m = RunMetrics::new(2);
+        let dt = SimDuration::from_millis(10);
+        for i in 0..100 {
+            let below = i < 25;
+            m.record_task(TaskId(0), dt, below, below);
+            m.record_system(dt, below, false);
+        }
+        let t = m.task(TaskId(0)).expect("recorded");
+        assert!((t.miss_fraction() - 0.25).abs() < 1e-9);
+        assert!((m.any_miss_fraction() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_includes_both_sides() {
+        let mut m = RunMetrics::new(1);
+        let dt = SimDuration::from_millis(10);
+        m.record_task(TaskId(1), dt, true, true); // below
+        m.record_task(TaskId(1), dt, false, true); // above
+        m.record_task(TaskId(1), dt, false, false); // in range
+        let t = m.task(TaskId(1)).expect("recorded");
+        assert!((t.miss_fraction() - 1.0 / 3.0).abs() < 1e-9);
+        assert!((t.out_of_range_fraction() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = RunMetrics::new(0);
+        assert_eq!(m.any_miss_fraction(), 0.0);
+        assert_eq!(m.average_power(), Watts::ZERO);
+        assert!(m.task(TaskId(0)).is_none());
+        assert!(m.tasks().is_empty());
+    }
+
+    #[test]
+    fn tdp_violation_time_accumulates() {
+        let mut m = RunMetrics::new(1);
+        m.record_system(SimDuration::from_millis(5), false, true);
+        m.record_system(SimDuration::from_millis(5), false, false);
+        assert_eq!(m.time_above_tdp, SimDuration::from_millis(5));
+    }
+}

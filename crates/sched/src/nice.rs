@@ -1,0 +1,174 @@
+//! Linux nice values and the CFS weight table.
+//!
+//! The paper's core agents distribute resources "by manipulating the nice
+//! values of each task": CFS gives each task CPU time proportional to its
+//! weight, and nice levels map to weights through the kernel's
+//! `sched_prio_to_weight` table (each nice step changes the share by ~25 %).
+//! We reproduce that table verbatim so a desired share can be translated to
+//! the closest achievable nice value, exactly as the paper's kernel modules
+//! had to.
+
+use std::fmt;
+
+/// A Linux nice value in `[-20, 19]`; lower nice means a larger share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Nice(i8);
+
+/// The kernel's `sched_prio_to_weight` table, nice −20 first.
+const PRIO_TO_WEIGHT: [u32; 40] = [
+    88761, 71755, 56483, 46273, 36291, // -20 .. -16
+    29154, 23254, 18705, 14949, 11916, // -15 .. -11
+    9548, 7620, 6100, 4904, 3906, // -10 .. -6
+    3121, 2501, 1991, 1586, 1277, // -5 .. -1
+    1024, 820, 655, 526, 423, // 0 .. 4
+    335, 272, 215, 172, 137, // 5 .. 9
+    110, 87, 70, 56, 45, // 10 .. 14
+    36, 29, 23, 18, 15, // 15 .. 19
+];
+
+impl Nice {
+    /// The default nice level (0).
+    pub const DEFAULT: Nice = Nice(0);
+    /// The most favourable level (−20).
+    pub const MIN: Nice = Nice(-20);
+    /// The least favourable level (19).
+    pub const MAX: Nice = Nice(19);
+
+    /// Construct from a raw value, clamping into `[-20, 19]`.
+    pub fn new(value: i8) -> Nice {
+        Nice(value.clamp(-20, 19))
+    }
+
+    /// The raw nice value.
+    pub fn value(self) -> i8 {
+        self.0
+    }
+
+    /// CFS weight of this nice level.
+    pub fn weight(self) -> u32 {
+        PRIO_TO_WEIGHT[(self.0 + 20) as usize]
+    }
+
+    /// The nice level whose weight best approximates `share` of a core when
+    /// competing against `other_weight_total` (the summed weight of the
+    /// other tasks on the core).
+    ///
+    /// Solves `w / (w + other) ≈ share` for `w` and picks the closest table
+    /// entry. A `share ≥ 1` maps to nice −20; `share ≤ 0` to nice 19.
+    pub fn for_share(share: f64, other_weight_total: u32) -> Nice {
+        if share >= 1.0 {
+            return Nice::MIN;
+        }
+        if share <= 0.0 {
+            return Nice::MAX;
+        }
+        let target_w = share * other_weight_total as f64 / (1.0 - share);
+        let mut best = Nice::DEFAULT;
+        let mut best_err = f64::INFINITY;
+        for n in -20..=19_i8 {
+            let nice = Nice(n);
+            let err = (nice.weight() as f64 - target_w).abs();
+            if err < best_err {
+                best_err = err;
+                best = nice;
+            }
+        }
+        best
+    }
+
+    /// The nice level whose CFS weight is closest to `weight`.
+    ///
+    /// The natural way to realise a vector of target shares: scale them to
+    /// weights (any common factor works — CFS only sees ratios) and map
+    /// each through the table.
+    pub fn for_weight(weight: f64) -> Nice {
+        let mut best = Nice::DEFAULT;
+        let mut best_err = f64::INFINITY;
+        for n in -20..=19_i8 {
+            let nice = Nice(n);
+            // Compare in log space: the table is geometric, and a 25%
+            // overshoot is as bad as a 25% undershoot.
+            let err = (nice.weight() as f64 / weight.max(1e-9)).ln().abs();
+            if err < best_err {
+                best_err = err;
+                best = nice;
+            }
+        }
+        best
+    }
+
+    /// The share of a core this level receives against `other_weight_total`.
+    pub fn share_against(self, other_weight_total: u32) -> f64 {
+        let w = self.weight() as f64;
+        w / (w + other_weight_total as f64)
+    }
+}
+
+impl Default for Nice {
+    fn default() -> Self {
+        Nice::DEFAULT
+    }
+}
+
+impl fmt::Display for Nice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nice{:+}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_table_anchor_points() {
+        assert_eq!(Nice::new(0).weight(), 1024);
+        assert_eq!(Nice::new(-20).weight(), 88761);
+        assert_eq!(Nice::new(19).weight(), 15);
+        assert_eq!(Nice::new(1).weight(), 820);
+    }
+
+    #[test]
+    fn each_step_changes_share_about_25_percent() {
+        // The kernel designs the table so one nice step is ~1.25x weight.
+        for n in -20..19_i8 {
+            let r = Nice::new(n).weight() as f64 / Nice::new(n + 1).weight() as f64;
+            assert!((1.15..=1.40).contains(&r), "step {n}: ratio {r}");
+        }
+    }
+
+    #[test]
+    fn construction_clamps() {
+        assert_eq!(Nice::new(-100), Nice::MIN);
+        assert_eq!(Nice::new(100), Nice::MAX);
+    }
+
+    #[test]
+    fn for_share_inverts_share_against() {
+        let other = 2048; // two nice-0 competitors
+        for &target in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+            let n = Nice::for_share(target, other);
+            let got = n.share_against(other);
+            assert!(
+                (got - target).abs() < 0.08,
+                "target {target}: {n} gives {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn for_weight_preserves_ratios() {
+        // Two tasks wanting a 3:1 split: the chosen weights must be within
+        // one nice step (~25%) of that ratio.
+        let a = Nice::for_weight(1536.0); // 2 * 1024 * 0.75
+        let b = Nice::for_weight(512.0);
+        let ratio = a.weight() as f64 / b.weight() as f64;
+        assert!((2.3..=3.9).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn extreme_shares_saturate() {
+        assert_eq!(Nice::for_share(1.5, 1024), Nice::MIN);
+        assert_eq!(Nice::for_share(-0.1, 1024), Nice::MAX);
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-core run queues and cycle allocation.
+//!
+//! Two allocation disciplines are provided:
+//!
+//! * [`fair_allocate`] — CFS-style weighted fair sharing with water-filling:
+//!   each runnable entity receives supply proportional to its weight, capped
+//!   by how much it can consume; freed residue is redistributed. Used by the
+//!   HL baseline and any weight-driven manager.
+//! * [`market_allocate`] — grants explicit PU shares (the market's `s_t`),
+//!   scaled down proportionally if the core is oversubscribed and capped by
+//!   consumability. Used by the PPM manager, which computes `s_t = b_t / P_c`.
+
+use ppm_platform::units::ProcessingUnits;
+use ppm_workload::task::TaskId;
+
+/// A runnable entity competing for one core's supply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Claimant {
+    /// The task making the claim.
+    pub task: TaskId,
+    /// CFS weight (for [`fair_allocate`]).
+    pub weight: u32,
+    /// Explicit market share in PU (for [`market_allocate`]).
+    pub share: ProcessingUnits,
+    /// Most the entity can consume this quantum, in PU (utilization cap ×
+    /// core supply).
+    pub cap: ProcessingUnits,
+}
+
+/// Weighted-fair water-filling of `supply` across `claims`.
+///
+/// Returns one grant per claimant, in order. Entities that cannot use their
+/// full proportional share (cap-limited) release the residue to the others,
+/// as CFS does when a task sleeps.
+pub fn fair_allocate(supply: ProcessingUnits, claims: &[Claimant]) -> Vec<ProcessingUnits> {
+    let mut grants = vec![ProcessingUnits::ZERO; claims.len()];
+    if claims.is_empty() || !supply.is_positive() {
+        return grants;
+    }
+    let mut remaining = supply;
+    let mut active: Vec<usize> = (0..claims.len()).collect();
+    // Each round either exhausts the supply or saturates at least one
+    // claimant, so this terminates in ≤ claims.len() rounds.
+    while !active.is_empty() && remaining.is_positive() {
+        let total_w: f64 = active.iter().map(|&i| claims[i].weight as f64).sum();
+        if total_w <= 0.0 {
+            break;
+        }
+        let mut saturated = Vec::new();
+        let mut consumed = ProcessingUnits::ZERO;
+        for &i in &active {
+            let proportional = remaining * (claims[i].weight as f64 / total_w);
+            let headroom = claims[i].cap - grants[i];
+            if proportional >= headroom {
+                grants[i] = claims[i].cap;
+                consumed += headroom;
+                saturated.push(i);
+            } else {
+                grants[i] += proportional;
+                consumed += proportional;
+            }
+        }
+        remaining -= consumed;
+        if saturated.is_empty() {
+            break; // everyone took the full proportional share
+        }
+        active.retain(|i| !saturated.contains(i));
+        if !remaining.is_positive() {
+            break;
+        }
+    }
+    grants
+}
+
+/// Grant explicit market shares, scaling proportionally when the claims
+/// exceed `supply` and capping each grant at its consumability.
+pub fn market_allocate(supply: ProcessingUnits, claims: &[Claimant]) -> Vec<ProcessingUnits> {
+    if claims.is_empty() || !supply.is_positive() {
+        return vec![ProcessingUnits::ZERO; claims.len()];
+    }
+    let total: ProcessingUnits = claims.iter().map(|c| c.share).sum();
+    let scale = if total > supply { supply / total } else { 1.0 };
+    claims
+        .iter()
+        .map(|c| (c.share * scale).min(c.cap))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn claimant(task: usize, weight: u32, share: f64, cap: f64) -> Claimant {
+        Claimant {
+            task: TaskId(task),
+            weight,
+            share: ProcessingUnits(share),
+            cap: ProcessingUnits(cap),
+        }
+    }
+
+    #[test]
+    fn fair_split_is_weight_proportional() {
+        let claims = vec![claimant(0, 2048, 0.0, 1e9), claimant(1, 1024, 0.0, 1e9)];
+        let g = fair_allocate(ProcessingUnits(900.0), &claims);
+        assert!((g[0].value() - 600.0).abs() < 1e-9);
+        assert!((g[1].value() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fair_water_fills_capped_entities() {
+        // Task 0 can only use 100 PU; the rest flows to task 1.
+        let claims = vec![claimant(0, 1024, 0.0, 100.0), claimant(1, 1024, 0.0, 1e9)];
+        let g = fair_allocate(ProcessingUnits(1000.0), &claims);
+        assert!((g[0].value() - 100.0).abs() < 1e-9);
+        assert!((g[1].value() - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fair_total_never_exceeds_supply() {
+        let claims = vec![
+            claimant(0, 88761, 0.0, 400.0),
+            claimant(1, 1024, 0.0, 1e9),
+            claimant(2, 15, 0.0, 50.0),
+        ];
+        let g = fair_allocate(ProcessingUnits(1000.0), &claims);
+        let total: f64 = g.iter().map(|p| p.value()).sum();
+        assert!(total <= 1000.0 + 1e-6);
+    }
+
+    #[test]
+    fn fair_handles_empty_and_zero_supply() {
+        assert!(fair_allocate(ProcessingUnits(100.0), &[]).is_empty());
+        let claims = vec![claimant(0, 1024, 0.0, 1e9)];
+        let g = fair_allocate(ProcessingUnits::ZERO, &claims);
+        assert_eq!(g[0], ProcessingUnits::ZERO);
+    }
+
+    #[test]
+    fn market_grants_exact_shares_when_feasible() {
+        let claims = vec![
+            claimant(0, 0, 300.0, 1e9),
+            claimant(1, 0, 100.0, 1e9),
+        ];
+        let g = market_allocate(ProcessingUnits(500.0), &claims);
+        assert_eq!(g[0], ProcessingUnits(300.0));
+        assert_eq!(g[1], ProcessingUnits(100.0));
+    }
+
+    #[test]
+    fn market_scales_when_oversubscribed() {
+        let claims = vec![
+            claimant(0, 0, 600.0, 1e9),
+            claimant(1, 0, 600.0, 1e9),
+        ];
+        let g = market_allocate(ProcessingUnits(600.0), &claims);
+        assert!((g[0].value() - 300.0).abs() < 1e-9);
+        assert!((g[1].value() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn market_respects_caps() {
+        let claims = vec![claimant(0, 0, 500.0, 200.0)];
+        let g = market_allocate(ProcessingUnits(1000.0), &claims);
+        assert_eq!(g[0], ProcessingUnits(200.0));
+    }
+}

@@ -1,0 +1,496 @@
+//! Synthetic models of the paper's benchmarks (Table 5).
+//!
+//! The paper runs PARSEC (swaptions, bodytrack, x264, blackscholes),
+//! SPEC 2006 (h264) and San-Diego Vision (texture, multicnt, tracking)
+//! programs instrumented with heartbeats. We model each benchmark as:
+//!
+//! * a reference heart-rate range (the QoS goal),
+//! * a nominal cycles-per-heartbeat cost on each core class (one PU on a big
+//!   core is worth more work than on a LITTLE core — the big/LITTLE *speedup*),
+//! * a cyclic phase pattern scaling that cost (scene changes, dormant/active
+//!   stretches, …).
+//!
+//! The per-variant average demands double as the off-line profile the paper
+//! feeds to the LBT module for migration speculation (§5.2).
+
+use std::fmt;
+
+use ppm_platform::core::CoreClass;
+use ppm_platform::units::{ProcessingUnits, Watts};
+
+use crate::heartbeat::HeartRateRange;
+use crate::perclass::PerClass;
+use crate::phase::{Phase, PhaseSequence};
+
+/// The eight benchmark programs of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// PARSEC: Monte-Carlo swaption pricing; heartbeat per swaption.
+    Swaptions,
+    /// PARSEC: body tracking through an image sequence; heartbeat per frame.
+    Bodytrack,
+    /// PARSEC: video encoder; heartbeat per frame.
+    X264,
+    /// PARSEC: option-pricing PDE solver; heartbeat per 50 000 options.
+    Blackscholes,
+    /// SPEC 2006: H.264 reference encoder; heartbeat per frame.
+    H264,
+    /// SD-VBS: texture synthesis; heartbeat per frame.
+    Texture,
+    /// SD-VBS: image analysis; heartbeat per frame.
+    Multicnt,
+    /// SD-VBS: motion tracking; heartbeat per frame.
+    Tracking,
+    /// A user-defined synthetic program (see [`BenchmarkSpec::custom`]).
+    Synthetic,
+}
+
+impl Benchmark {
+    /// All benchmarks, in Table 5 order.
+    pub const ALL: [Benchmark; 8] = [
+        Benchmark::Swaptions,
+        Benchmark::Bodytrack,
+        Benchmark::X264,
+        Benchmark::Blackscholes,
+        Benchmark::H264,
+        Benchmark::Texture,
+        Benchmark::Multicnt,
+        Benchmark::Tracking,
+    ];
+
+    /// Benchmark-suite name.
+    pub fn suite(self) -> &'static str {
+        match self {
+            Benchmark::Swaptions
+            | Benchmark::Bodytrack
+            | Benchmark::X264
+            | Benchmark::Blackscholes => "PARSEC",
+            Benchmark::H264 => "SPEC2006",
+            Benchmark::Texture | Benchmark::Multicnt | Benchmark::Tracking => "Vision",
+            Benchmark::Synthetic => "custom",
+        }
+    }
+
+    /// Lower-case program name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Swaptions => "swaptions",
+            Benchmark::Bodytrack => "bodytrack",
+            Benchmark::X264 => "x264",
+            Benchmark::Blackscholes => "blackscholes",
+            Benchmark::H264 => "h264",
+            Benchmark::Texture => "texture",
+            Benchmark::Multicnt => "multicnt",
+            Benchmark::Tracking => "tracking",
+            Benchmark::Synthetic => "synthetic",
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Benchmark input sets (Table 5 / Table 6 footnotes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Input {
+    /// PARSEC `large` input.
+    Large,
+    /// PARSEC `native` input.
+    Native,
+    /// Vision `vga` input.
+    Vga,
+    /// Vision `fullhd` input.
+    FullHd,
+    /// SPEC h264 `soccer` sequence.
+    Soccer,
+    /// SPEC h264 `bluesky` sequence.
+    Bluesky,
+    /// SPEC h264 `foreman` sequence.
+    Foreman,
+    /// Input of a user-defined synthetic program.
+    Custom,
+}
+
+impl Input {
+    /// Short suffix used in workload-set listings (`v`, `f`, `n`, `l`, …).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Input::Large => "l",
+            Input::Native => "n",
+            Input::Vga => "v",
+            Input::FullHd => "f",
+            Input::Soccer => "s",
+            Input::Bluesky => "b",
+            Input::Foreman => "fo",
+            Input::Custom => "c",
+        }
+    }
+}
+
+impl fmt::Display for Input {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// Error for a benchmark/input combination that does not exist in Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownVariantError {
+    /// The requested benchmark.
+    pub benchmark: Benchmark,
+    /// The requested input.
+    pub input: Input,
+}
+
+impl fmt::Display for UnknownVariantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no input `{}` for benchmark `{}`", self.input, self.benchmark)
+    }
+}
+
+impl std::error::Error for UnknownVariantError {}
+
+/// A fully-specified benchmark variant: program + input + QoS goal + cost
+/// model + phase pattern.
+#[derive(Debug, Clone)]
+pub struct BenchmarkSpec {
+    benchmark: Benchmark,
+    input: Input,
+    target: HeartRateRange,
+    /// Nominal cycles per heartbeat on each core class.
+    cpb: PerClass<f64>,
+    phases: Vec<Phase>,
+    /// Natural rate ceiling as a multiple of the target heart rate, for
+    /// pipeline-fed applications that cannot run ahead of their input
+    /// stream (`None` = compute-bound, consumes any supply).
+    rate_cap: Option<f64>,
+}
+
+impl BenchmarkSpec {
+    /// Look up the Table 5 variant for `benchmark` on `input`.
+    ///
+    /// Demands below are the off-line-profiled *average* PU demand on a
+    /// LITTLE core at the target heart rate; the big/LITTLE speedup is the
+    /// cycles-per-heartbeat ratio. Both are synthetic but chosen so that the
+    /// workload sets of Table 6 land in the paper's intensity bands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownVariantError`] for a combination absent from Table 5.
+    pub fn of(benchmark: Benchmark, input: Input) -> Result<BenchmarkSpec, UnknownVariantError> {
+        use Benchmark as B;
+        use Input as I;
+        let err = UnknownVariantError { benchmark, input };
+        // (target_hr, demand_little_pu, speedup, phases)
+        let (hr, d_little, speedup, phases) = match (benchmark, input) {
+            (B::Swaptions, I::Large) => (10.0, 300.0, 1.9, Self::mild_phases(600.0, 0.05)),
+            (B::Swaptions, I::Native) => (10.0, 510.0, 1.9, Self::mild_phases(600.0, 0.10)),
+            (B::Bodytrack, I::Large) => (30.0, 400.0, 1.8, Self::wave_phases(450.0, 0.15)),
+            (B::Bodytrack, I::Native) => (30.0, 520.0, 1.8, Self::wave_phases(450.0, 0.15)),
+            (B::X264, I::Large) => (25.0, 450.0, 1.7, Self::dormant_active(25.0)),
+            (B::X264, I::Native) => (25.0, 900.0, 1.7, Self::dormant_active(25.0)),
+            (B::Blackscholes, I::Large) => (20.0, 200.0, 2.0, vec![Phase::new(f64::MAX, 1.0)]),
+            (B::Blackscholes, I::Native) => (20.0, 600.0, 2.0, vec![Phase::new(f64::MAX, 1.0)]),
+            (B::H264, I::Soccer) => (30.0, 400.0, 1.7, Self::mild_phases(450.0, 0.25)),
+            (B::H264, I::Bluesky) => (30.0, 500.0, 1.7, Self::mild_phases(450.0, 0.25)),
+            (B::H264, I::Foreman) => (30.0, 350.0, 1.7, Self::mild_phases(450.0, 0.25)),
+            (B::Texture, I::Vga) => (15.0, 250.0, 1.6, Self::mild_phases(450.0, 0.10)),
+            (B::Texture, I::FullHd) => (15.0, 700.0, 1.6, Self::mild_phases(450.0, 0.10)),
+            (B::Multicnt, I::Vga) => (15.0, 350.0, 1.6, Self::mild_phases(450.0, 0.15)),
+            (B::Multicnt, I::FullHd) => (15.0, 750.0, 1.6, Self::mild_phases(450.0, 0.15)),
+            (B::Tracking, I::Vga) => (30.0, 300.0, 1.6, Self::mild_phases(900.0, 0.20)),
+            (B::Tracking, I::FullHd) => (30.0, 800.0, 1.6, Self::mild_phases(900.0, 0.20)),
+            _ => return Err(err),
+        };
+        // ±5 % reference band around the target rate.
+        let target = HeartRateRange::new(hr * 0.95, hr * 1.05);
+        // demand [PU] = hr [hb/s] * cpb [cycles/hb] / 1e6 [cycles/s per PU]
+        let cpb_little = d_little * 1e6 / hr;
+        let cpb = PerClass::new(cpb_little, cpb_little / speedup);
+        // bodytrack consumes a fixed-rate camera image sequence: it cannot
+        // run meaningfully ahead of its input pipeline. The batch programs
+        // (swaptions, blackscholes) and file-fed encoders are compute-bound.
+        let rate_cap = match benchmark {
+            B::Bodytrack => Some(1.05),
+            _ => None,
+        };
+        Ok(BenchmarkSpec {
+            benchmark,
+            input,
+            target,
+            cpb,
+            phases,
+            rate_cap,
+        })
+    }
+
+    /// Build a fully custom synthetic benchmark.
+    ///
+    /// * `target_hr` — the heartbeat QoS goal.
+    /// * `demand_little` — average PU demand on a LITTLE core at the target
+    ///   rate; the big-core cost follows from `speedup`.
+    /// * `phases` — cyclic cost pattern (see [`Phase`]); pass
+    ///   `vec![Phase::new(f64::MAX, 1.0)]` for a steady program.
+    /// * `rate_cap` — optional input-pipeline ceiling as a multiple of the
+    ///   target rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive `target_hr`, demand, or speedup, or an empty
+    /// phase list.
+    pub fn custom(
+        target_hr: HeartRateRange,
+        demand_little: ProcessingUnits,
+        speedup: f64,
+        phases: Vec<Phase>,
+        rate_cap: Option<f64>,
+    ) -> BenchmarkSpec {
+        assert!(demand_little.is_positive(), "demand must be positive");
+        assert!(speedup > 0.0, "speedup must be positive");
+        assert!(!phases.is_empty(), "need at least one phase");
+        let cpb_little = demand_little.value() * 1e6 / target_hr.target();
+        BenchmarkSpec {
+            benchmark: Benchmark::Synthetic,
+            input: Input::Custom,
+            target: target_hr,
+            cpb: PerClass::new(cpb_little, cpb_little / speedup),
+            phases,
+            rate_cap,
+        }
+    }
+
+    /// Two equal-length phases swinging the cost `±swing` around nominal.
+    fn mild_phases(len: f64, swing: f64) -> Vec<Phase> {
+        vec![
+            Phase::new(len, 1.0 - swing),
+            Phase::new(len, 1.0 + swing),
+        ]
+    }
+
+    /// A four-phase wave (trough, nominal, crest, nominal): the cost only
+    /// peaks a quarter of the time, as for scene-dependent trackers.
+    fn wave_phases(len: f64, swing: f64) -> Vec<Phase> {
+        vec![
+            Phase::new(len, 1.0 - swing),
+            Phase::new(len, 1.0),
+            Phase::new(len, 1.0 + swing),
+            Phase::new(len, 1.0),
+        ]
+    }
+
+    /// x264's dormant/active pattern (§5.4, Figure 8): a cheap dormant
+    /// stretch (~100 s at the target rate) followed by a long expensive
+    /// active stretch. The length-weighted average cost is 1.0×.
+    fn dormant_active(hr: f64) -> Vec<Phase> {
+        let dormant_beats = hr * 100.0; // ~100 s at target rate
+        let active_beats = dormant_beats * 5.0;
+        // Weighted average = (0.45 + 1.11*5)/6 = 1
+        vec![
+            Phase::new(dormant_beats, 0.45),
+            Phase::new(active_beats, 1.11),
+        ]
+    }
+
+    /// The program.
+    pub fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    /// The input set.
+    pub fn input(&self) -> Input {
+        self.input
+    }
+
+    /// `name_suffix` label as used in Table 6 (e.g. `swaptions_n`).
+    pub fn label(&self) -> String {
+        format!("{}_{}", self.benchmark, self.input)
+    }
+
+    /// The QoS goal.
+    pub fn target(&self) -> &HeartRateRange {
+        self.target_range()
+    }
+
+    /// The QoS goal (alias used internally).
+    pub fn target_range(&self) -> &HeartRateRange {
+        &self.target
+    }
+
+    /// Nominal cycles per heartbeat on `class`.
+    pub fn cycles_per_heartbeat(&self, class: CoreClass) -> f64 {
+        self.cpb[class]
+    }
+
+    /// Phase pattern (cycled forever at run time).
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Fresh phase cursor for a task instance.
+    pub fn phase_sequence(&self) -> PhaseSequence {
+        PhaseSequence::new(self.phases.clone())
+    }
+
+    /// Off-line-profiled average demand on `class` at the target heart rate
+    /// (the profile the paper's LBT module uses for speculation).
+    pub fn profiled_demand(&self, class: CoreClass) -> ProcessingUnits {
+        let avg_scale = PhaseSequence::new(self.phases.clone()).average_cost_scale();
+        ProcessingUnits(self.target.target() * self.cpb[class] * avg_scale / 1e6)
+    }
+
+    /// Off-line-profiled average power of running this variant alone on one
+    /// core of `class` at the frequency that just meets its demand, using
+    /// the TC2 power model. A coarse figure, as in the paper ("the average
+    /// metrics do not capture the dynamic phases of a task").
+    pub fn profiled_power(&self, class: CoreClass) -> Watts {
+        use ppm_platform::power::PowerModel;
+        use ppm_platform::units::{MegaHertz, MilliVolts};
+        use ppm_platform::vf::VfPoint;
+        let model = PowerModel::tc2();
+        let d = self.profiled_demand(class).value();
+        // Approximate the V-F point that supplies `d` PU on this class.
+        let (f_min, f_max) = match class {
+            CoreClass::Little => (350.0, 1000.0),
+            CoreClass::Big => (500.0, 1200.0),
+        };
+        let f = d.clamp(f_min, f_max);
+        let t = (f - f_min) / (f_max - f_min);
+        let v = 900.0 + t * 350.0;
+        let point = VfPoint::new(MegaHertz(f as u32), MilliVolts(v as u32));
+        let util = (d / f).clamp(0.0, 1.0);
+        model.core_power(class, point, util)
+    }
+
+    /// Natural rate ceiling as a multiple of the target heart rate, when
+    /// the application is fed by a fixed-rate input pipeline.
+    pub fn rate_cap(&self) -> Option<f64> {
+        self.rate_cap
+    }
+
+    /// The big/LITTLE speedup: how many times fewer cycles one heartbeat
+    /// costs on a big core.
+    pub fn speedup(&self) -> f64 {
+        self.cpb[CoreClass::Little] / self.cpb[CoreClass::Big]
+    }
+
+    /// Every valid (benchmark, input) variant of Table 5.
+    pub fn catalog() -> Vec<BenchmarkSpec> {
+        use Benchmark as B;
+        use Input as I;
+        let combos = [
+            (B::Swaptions, I::Large),
+            (B::Swaptions, I::Native),
+            (B::Bodytrack, I::Large),
+            (B::Bodytrack, I::Native),
+            (B::X264, I::Large),
+            (B::X264, I::Native),
+            (B::Blackscholes, I::Large),
+            (B::Blackscholes, I::Native),
+            (B::H264, I::Soccer),
+            (B::H264, I::Bluesky),
+            (B::H264, I::Foreman),
+            (B::Texture, I::Vga),
+            (B::Texture, I::FullHd),
+            (B::Multicnt, I::Vga),
+            (B::Multicnt, I::FullHd),
+            (B::Tracking, I::Vga),
+            (B::Tracking, I::FullHd),
+        ];
+        combos
+            .into_iter()
+            .map(|(b, i)| BenchmarkSpec::of(b, i).expect("catalog combos are valid"))
+            .collect()
+    }
+}
+
+impl fmt::Display for BenchmarkSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, target {})",
+            self.label(),
+            self.benchmark.suite(),
+            self.target
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_all_table5_variants() {
+        let cat = BenchmarkSpec::catalog();
+        assert_eq!(cat.len(), 17);
+        // Every benchmark appears.
+        for b in Benchmark::ALL {
+            assert!(cat.iter().any(|s| s.benchmark() == b), "{b} missing");
+        }
+    }
+
+    #[test]
+    fn invalid_variant_is_an_error() {
+        let e = BenchmarkSpec::of(Benchmark::Swaptions, Input::Vga).unwrap_err();
+        assert_eq!(e.benchmark, Benchmark::Swaptions);
+        assert!(e.to_string().contains("swaptions"));
+    }
+
+    #[test]
+    fn profiled_demand_matches_design_numbers() {
+        let s = BenchmarkSpec::of(Benchmark::Swaptions, Input::Native).unwrap();
+        let d = s.profiled_demand(CoreClass::Little);
+        assert!((d.value() - 510.0).abs() < 1.0, "{d}");
+        // Big-core demand is lower by the speedup factor.
+        let db = s.profiled_demand(CoreClass::Big);
+        assert!((db.value() - 510.0 / 1.9).abs() < 1.0, "{db}");
+    }
+
+    #[test]
+    fn demand_is_lower_on_big_cores_for_all_variants() {
+        // §2 Demand Model: "a task would demand more PUs on a small core
+        // compared to a big core to achieve the same performance".
+        for s in BenchmarkSpec::catalog() {
+            assert!(
+                s.profiled_demand(CoreClass::Big) < s.profiled_demand(CoreClass::Little),
+                "{s}"
+            );
+            assert!(s.speedup() > 1.0);
+        }
+    }
+
+    #[test]
+    fn x264_has_dormant_and_active_phases() {
+        let s = BenchmarkSpec::of(Benchmark::X264, Input::Native).unwrap();
+        let p = s.phases();
+        assert_eq!(p.len(), 2);
+        assert!(p[0].cost_scale < 1.0, "dormant first");
+        assert!(p[1].cost_scale > 1.0, "then active");
+        // Dormant lasts about 100 s at the target rate of 25 hb/s.
+        assert!((p[0].heartbeats - 2500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn blackscholes_is_steady() {
+        let s = BenchmarkSpec::of(Benchmark::Blackscholes, Input::Native).unwrap();
+        assert_eq!(s.phases().len(), 1);
+        assert_eq!(s.phases()[0].cost_scale, 1.0);
+    }
+
+    #[test]
+    fn profiled_power_is_higher_on_big() {
+        let s = BenchmarkSpec::of(Benchmark::Bodytrack, Input::Native).unwrap();
+        assert!(s.profiled_power(CoreClass::Big) > s.profiled_power(CoreClass::Little));
+    }
+
+    #[test]
+    fn labels_match_table6_notation() {
+        let s = BenchmarkSpec::of(Benchmark::H264, Input::Foreman).unwrap();
+        assert_eq!(s.label(), "h264_fo");
+        let s = BenchmarkSpec::of(Benchmark::Texture, Input::Vga).unwrap();
+        assert_eq!(s.label(), "texture_v");
+    }
+}

@@ -1,0 +1,113 @@
+//! Random task generation for the scalability study (Table 7).
+//!
+//! §5.5 of the paper emulates large systems by feeding randomly generated
+//! tasks ("supply and demands randomly chosen between 10–50 PUs") to the
+//! constrained core, with per-cluster maximum supplies spread over
+//! 350–3000 PU. This module reproduces that generator deterministically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ppm_platform::units::{Money, ProcessingUnits};
+
+/// Demand/bid snapshot of one emulated remote task, as disseminated to the
+/// constrained core for LBT speculation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticTask {
+    /// Priority `r_t`.
+    pub priority: u32,
+    /// Observed demand in PU.
+    pub demand: ProcessingUnits,
+    /// Observed supply in PU.
+    pub supply: ProcessingUnits,
+    /// Steady-state bid.
+    pub bid: Money,
+}
+
+/// Deterministic generator of [`SyntheticTask`]s and cluster supply
+/// snapshots, matching the §5.5 parameter ranges.
+#[derive(Debug)]
+pub struct ScalabilityWorkload {
+    rng: StdRng,
+}
+
+impl ScalabilityWorkload {
+    /// Paper parameter: smallest random supply/demand (PU).
+    pub const MIN_PU: f64 = 10.0;
+    /// Paper parameter: largest random supply/demand (PU).
+    pub const MAX_PU: f64 = 50.0;
+
+    /// A generator seeded for reproducibility.
+    pub fn new(seed: u64) -> ScalabilityWorkload {
+        ScalabilityWorkload {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generate one task with supply/demand in the paper's 10–50 PU range.
+    pub fn task(&mut self) -> SyntheticTask {
+        let demand = self.rng.gen_range(Self::MIN_PU..=Self::MAX_PU);
+        let supply = self.rng.gen_range(Self::MIN_PU..=Self::MAX_PU);
+        SyntheticTask {
+            priority: self.rng.gen_range(1..=8),
+            demand: ProcessingUnits(demand),
+            supply: ProcessingUnits(supply),
+            bid: Money(self.rng.gen_range(0.1..=2.0)),
+        }
+    }
+
+    /// Generate `n` tasks.
+    pub fn tasks(&mut self, n: usize) -> Vec<SyntheticTask> {
+        (0..n).map(|_| self.task()).collect()
+    }
+
+    /// Per-core free supply snapshots for a remote cluster of `cores`
+    /// cores whose top frequency is `max_supply`.
+    pub fn cluster_supplies(
+        &mut self,
+        cores: usize,
+        max_supply: ProcessingUnits,
+    ) -> Vec<ProcessingUnits> {
+        (0..cores)
+            .map(|_| ProcessingUnits(self.rng.gen_range(0.0..=max_supply.value())))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = ScalabilityWorkload::new(7);
+        let mut b = ScalabilityWorkload::new(7);
+        assert_eq!(a.tasks(32), b.tasks(32));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ScalabilityWorkload::new(1);
+        let mut b = ScalabilityWorkload::new(2);
+        assert_ne!(a.tasks(8), b.tasks(8));
+    }
+
+    #[test]
+    fn values_stay_in_paper_ranges() {
+        let mut g = ScalabilityWorkload::new(42);
+        for t in g.tasks(1000) {
+            assert!(t.demand.value() >= 10.0 && t.demand.value() <= 50.0);
+            assert!(t.supply.value() >= 10.0 && t.supply.value() <= 50.0);
+            assert!(t.priority >= 1 && t.priority <= 8);
+            assert!(t.bid.value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn cluster_supplies_bounded_by_max() {
+        let mut g = ScalabilityWorkload::new(3);
+        let sup = g.cluster_supplies(16, ProcessingUnits(3000.0));
+        assert_eq!(sup.len(), 16);
+        assert!(sup.iter().all(|s| s.value() <= 3000.0));
+    }
+}

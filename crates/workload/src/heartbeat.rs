@@ -1,0 +1,301 @@
+//! Heart Rate Monitor (HRM) infrastructure.
+//!
+//! The paper uses Application Heartbeats [Hoffmann et al.] to let tasks
+//! express their performance demand: a task emits a heartbeat whenever its
+//! critical kernel completes one unit (a frame, a swaption, 50 000 options…),
+//! the user supplies a *reference heart-rate range* `[min, max]` hb/s, and
+//! the framework converts the observed heart rate into a PU demand with
+//!
+//! ```text
+//! d_t = target_hr · s_t / current_hr        (Table 4)
+//! ```
+//!
+//! where `target_hr` is the mean of the range and `s_t` the current supply.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use ppm_platform::units::{ProcessingUnits, SimDuration, SimTime};
+
+/// A user-supplied reference heart-rate range in heartbeats per second.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeartRateRange {
+    min: f64,
+    max: f64,
+}
+
+impl HeartRateRange {
+    /// Construct a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is not positive or `max < min`.
+    pub fn new(min: f64, max: f64) -> HeartRateRange {
+        assert!(min > 0.0, "minimum heart rate must be positive");
+        assert!(max >= min, "range must be ordered");
+        HeartRateRange { min, max }
+    }
+
+    /// Lower bound (hb/s).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Upper bound (hb/s).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The target heart rate: the mean of the bounds (as in Table 4, where
+    /// the range [24, 30] yields a target of 27 hb/s).
+    pub fn target(&self) -> f64 {
+        (self.min + self.max) / 2.0
+    }
+
+    /// True when `hr` lies inside the reference range.
+    pub fn contains(&self, hr: f64) -> bool {
+        hr >= self.min && hr <= self.max
+    }
+
+    /// True when `hr` is *below* the range — the QoS-miss condition used in
+    /// Figures 4 and 6 ("the observed heart rate was smaller than the
+    /// minimum prescribed heart rate").
+    pub fn misses_below(&self, hr: f64) -> bool {
+        hr < self.min
+    }
+
+    /// Scale both bounds (used to derive per-input variants).
+    pub fn scaled(&self, factor: f64) -> HeartRateRange {
+        HeartRateRange::new(self.min * factor, self.max * factor)
+    }
+}
+
+impl fmt::Display for HeartRateRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.1}, {:.1}] hb/s", self.min, self.max)
+    }
+}
+
+/// Convert an observed heart rate into a PU demand (Table 4).
+///
+/// `supply` is the PU supply the task enjoyed while `current_hr` was
+/// observed. When the observed rate is (near) zero — e.g. the task has just
+/// been admitted or was starved — the demand cannot be inferred and the
+/// function falls back to `fallback`.
+///
+/// ```
+/// use ppm_platform::units::ProcessingUnits;
+/// use ppm_workload::heartbeat::{demand_from_heart_rate, HeartRateRange};
+///
+/// // Table 4, phase 1: hr 15 at 500 PU, range [24, 30] -> target 27,
+/// // demand = 27 * 500 / 15 = 900 PU.
+/// let range = HeartRateRange::new(24.0, 30.0);
+/// let d = demand_from_heart_rate(&range, 15.0, ProcessingUnits(500.0),
+///                                ProcessingUnits(1000.0));
+/// assert!((d.value() - 900.0).abs() < 1e-9);
+/// ```
+pub fn demand_from_heart_rate(
+    range: &HeartRateRange,
+    current_hr: f64,
+    supply: ProcessingUnits,
+    fallback: ProcessingUnits,
+) -> ProcessingUnits {
+    if current_hr <= 1e-9 || !supply.is_positive() {
+        return fallback;
+    }
+    ProcessingUnits(range.target() * supply.value() / current_hr)
+}
+
+/// Sliding-window heart-rate monitor.
+///
+/// Tasks register cumulative heartbeat counts; the monitor reports the rate
+/// over the most recent window (default 1 s, configurable), mirroring how the
+/// HRM infrastructure smooths instantaneous rates.
+#[derive(Debug, Clone)]
+pub struct HeartbeatMonitor {
+    window: SimDuration,
+    /// `(time, cumulative beats, cumulative cycles)` samples.
+    samples: VecDeque<(SimTime, f64, f64)>,
+    total: f64,
+    total_cycles: f64,
+}
+
+impl HeartbeatMonitor {
+    /// Default smoothing window.
+    pub const DEFAULT_WINDOW: SimDuration = SimDuration(500_000);
+
+    /// Monitor with the default window.
+    pub fn new() -> HeartbeatMonitor {
+        HeartbeatMonitor::with_window(Self::DEFAULT_WINDOW)
+    }
+
+    /// Monitor with a custom smoothing window.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero window.
+    pub fn with_window(window: SimDuration) -> HeartbeatMonitor {
+        assert!(!window.is_zero(), "window must be positive");
+        HeartbeatMonitor {
+            window,
+            samples: VecDeque::new(),
+            total: 0.0,
+            total_cycles: 0.0,
+        }
+    }
+
+    /// Record that `beats` (possibly fractional) heartbeats completed by
+    /// time `now` while consuming `cycles` processor cycles. Calls must use
+    /// non-decreasing `now`.
+    pub fn record(&mut self, now: SimTime, beats: f64, cycles: f64) {
+        self.total += beats;
+        self.total_cycles += cycles;
+        self.samples.push_back((now, self.total, self.total_cycles));
+        let horizon = now.as_micros().saturating_sub(self.window.as_micros());
+        // Keep one sample at or before the horizon so the rate spans the
+        // whole window.
+        while self.samples.len() > 2 && self.samples[1].0.as_micros() <= horizon {
+            self.samples.pop_front();
+        }
+    }
+
+    /// Cumulative heartbeats observed.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Heart rate (hb/s) over the current window; zero before two samples.
+    pub fn heart_rate(&self) -> f64 {
+        let (first, last) = match (self.samples.front(), self.samples.back()) {
+            (Some(f), Some(l)) if l.0 > f.0 => (f, l),
+            _ => return 0.0,
+        };
+        let dt = last.0.since(first.0).as_secs_f64();
+        (last.1 - first.1) / dt
+    }
+
+    /// Observed cycles per heartbeat over the window, or `None` before a
+    /// meaningful number of beats has been seen.
+    ///
+    /// This is the robust form of the Table 4 conversion: with supply and
+    /// heart rate averaged over the *same* interval,
+    /// `s̄/h̄ = cycles/beats`, so `d = target_hr · cost / 10⁶` is immune to
+    /// the lag between an instantaneous supply change and the smoothed
+    /// heart rate.
+    pub fn cost_per_beat(&self) -> Option<f64> {
+        let (first, last) = match (self.samples.front(), self.samples.back()) {
+            (Some(f), Some(l)) if l.0 > f.0 => (f, l),
+            _ => return None,
+        };
+        let beats = last.1 - first.1;
+        if beats < 0.5 {
+            return None; // starved or just admitted: no reliable estimate
+        }
+        Some((last.2 - first.2) / beats)
+    }
+
+    /// The smoothing window.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Drop all history (e.g. across a migration, where the old rate is not
+    /// representative of the new core).
+    pub fn reset_window(&mut self) {
+        self.samples.clear();
+    }
+}
+
+impl Default for HeartbeatMonitor {
+    fn default() -> Self {
+        HeartbeatMonitor::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_conversions() {
+        // Reproduce all three rows of Table 4 (range [24, 30], target 27).
+        let range = HeartRateRange::new(24.0, 30.0);
+        assert_eq!(range.target(), 27.0);
+        let fb = ProcessingUnits(9999.0);
+
+        // Phase 1: 15 hb/s at 500 PU -> 900 PU.
+        let d1 = demand_from_heart_rate(&range, 15.0, ProcessingUnits(500.0), fb);
+        assert!((d1.value() - 900.0).abs() < 1e-9);
+
+        // Phase 2: 10 hb/s at 400 PU -> 1080 PU.
+        let d2 = demand_from_heart_rate(&range, 10.0, ProcessingUnits(400.0), fb);
+        assert!((d2.value() - 1080.0).abs() < 1e-9);
+
+        // Phase 3: 40 hb/s at 1000 PU -> 675 PU (demand is lowered).
+        let d3 = demand_from_heart_rate(&range, 40.0, ProcessingUnits(1000.0), fb);
+        assert!((d3.value() - 675.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rate_falls_back() {
+        let range = HeartRateRange::new(24.0, 30.0);
+        let fb = ProcessingUnits(123.0);
+        assert_eq!(
+            demand_from_heart_rate(&range, 0.0, ProcessingUnits(500.0), fb),
+            fb
+        );
+        assert_eq!(
+            demand_from_heart_rate(&range, 10.0, ProcessingUnits::ZERO, fb),
+            fb
+        );
+    }
+
+    #[test]
+    fn range_miss_classification() {
+        let range = HeartRateRange::new(24.0, 30.0);
+        assert!(range.misses_below(23.9));
+        assert!(!range.misses_below(24.0));
+        assert!(range.contains(27.0));
+        assert!(!range.contains(31.0));
+        // Exceeding the range is not a "miss" in the paper's metric.
+        assert!(!range.misses_below(40.0));
+    }
+
+    #[test]
+    fn monitor_measures_steady_rate() {
+        let mut m = HeartbeatMonitor::with_window(SimDuration::from_secs(1));
+        for i in 1..=100u64 {
+            // 3 beats every 100 ms -> 30 hb/s.
+            m.record(SimTime::from_millis(i * 100), 3.0, 3.0e6);
+        }
+        assert!((m.heart_rate() - 30.0).abs() < 0.5);
+        assert_eq!(m.total(), 300.0);
+    }
+
+    #[test]
+    fn monitor_tracks_rate_changes() {
+        let mut m = HeartbeatMonitor::with_window(SimDuration::from_millis(500));
+        for i in 1..=10u64 {
+            m.record(SimTime::from_millis(i * 100), 1.0, 2.0e6); // 10 hb/s
+        }
+        for i in 11..=20u64 {
+            m.record(SimTime::from_millis(i * 100), 5.0, 10.0e6); // 50 hb/s
+        }
+        assert!((m.heart_rate() - 50.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn monitor_empty_is_zero() {
+        let m = HeartbeatMonitor::new();
+        assert_eq!(m.heart_rate(), 0.0);
+        let mut m2 = HeartbeatMonitor::new();
+        m2.record(SimTime::from_millis(1), 1.0, 1.0e6);
+        assert_eq!(m2.heart_rate(), 0.0); // single sample: no baseline yet
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be ordered")]
+    fn reversed_range_panics() {
+        let _ = HeartRateRange::new(30.0, 24.0);
+    }
+}

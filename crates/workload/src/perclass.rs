@@ -1,0 +1,110 @@
+//! Small helper container with one value per core class.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use ppm_platform::core::CoreClass;
+
+/// One value per [`CoreClass`]: LITTLE and big.
+///
+/// Heterogeneity shows up in the task model as per-class quantities (cycles
+/// per heartbeat, profiled demand, profiled power); this container indexes
+/// them by class.
+///
+/// ```
+/// use ppm_platform::core::CoreClass;
+/// use ppm_workload::perclass::PerClass;
+///
+/// let cpb = PerClass::new(10.0_f64, 5.0);
+/// assert_eq!(cpb[CoreClass::Little], 10.0);
+/// assert_eq!(cpb[CoreClass::Big], 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PerClass<T> {
+    /// Value for LITTLE cores.
+    pub little: T,
+    /// Value for big cores.
+    pub big: T,
+}
+
+impl<T> PerClass<T> {
+    /// Construct from both values.
+    pub fn new(little: T, big: T) -> PerClass<T> {
+        PerClass { little, big }
+    }
+
+    /// Construct with the same value for both classes.
+    pub fn uniform(value: T) -> PerClass<T>
+    where
+        T: Clone,
+    {
+        PerClass {
+            little: value.clone(),
+            big: value,
+        }
+    }
+
+    /// Value for `class`.
+    pub fn get(&self, class: CoreClass) -> &T {
+        match class {
+            CoreClass::Little => &self.little,
+            CoreClass::Big => &self.big,
+        }
+    }
+
+    /// Mutable value for `class`.
+    pub fn get_mut(&mut self, class: CoreClass) -> &mut T {
+        match class {
+            CoreClass::Little => &mut self.little,
+            CoreClass::Big => &mut self.big,
+        }
+    }
+
+    /// Apply `f` to both values.
+    pub fn map<U>(&self, mut f: impl FnMut(&T) -> U) -> PerClass<U> {
+        PerClass {
+            little: f(&self.little),
+            big: f(&self.big),
+        }
+    }
+}
+
+impl<T> Index<CoreClass> for PerClass<T> {
+    type Output = T;
+    fn index(&self, class: CoreClass) -> &T {
+        self.get(class)
+    }
+}
+
+impl<T> IndexMut<CoreClass> for PerClass<T> {
+    fn index_mut(&mut self, class: CoreClass) -> &mut T {
+        self.get_mut(class)
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for PerClass<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{LITTLE: {}, big: {}}}", self.little, self.big)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_by_class() {
+        let mut p = PerClass::new(1, 2);
+        assert_eq!(p[CoreClass::Little], 1);
+        assert_eq!(p[CoreClass::Big], 2);
+        p[CoreClass::Big] = 7;
+        assert_eq!(p[CoreClass::Big], 7);
+    }
+
+    #[test]
+    fn uniform_and_map() {
+        let p = PerClass::uniform(3.0_f64);
+        let doubled = p.map(|v| v * 2.0);
+        assert_eq!(doubled, PerClass::new(6.0, 6.0));
+    }
+}

@@ -1,0 +1,213 @@
+//! Program phases.
+//!
+//! Applications "may have highly variable computation requirement due to
+//! phase behaviour" (§5.2): a video encoder's cost per frame depends on the
+//! scene, x264 alternates dormant and active phases, etc. A
+//! [`PhaseSequence`] models this as a cyclic list of phases, each phase
+//! lasting a given number of *heartbeats* (work units, not wall time — a
+//! starved task stays in its phase longer, as on real hardware) and scaling
+//! the benchmark's nominal cycles-per-heartbeat cost.
+
+use std::fmt;
+
+/// One program phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Phase length in heartbeats (work units).
+    pub heartbeats: f64,
+    /// Multiplier on the benchmark's nominal cycles-per-heartbeat.
+    /// `> 1` means the phase is more expensive (higher demand).
+    pub cost_scale: f64,
+    /// Fraction of granted supply the task can actually consume in this
+    /// phase (models I/O-bound stretches; Table 4 shows a 50 %-utilization
+    /// phase). Usually `1.0`.
+    pub utilization_cap: f64,
+}
+
+impl Phase {
+    /// A fully CPU-bound phase of `heartbeats` beats at `cost_scale`×.
+    pub fn new(heartbeats: f64, cost_scale: f64) -> Phase {
+        Phase {
+            heartbeats,
+            cost_scale,
+            utilization_cap: 1.0,
+        }
+    }
+
+    /// Same, with a utilization cap.
+    pub fn with_utilization(heartbeats: f64, cost_scale: f64, utilization_cap: f64) -> Phase {
+        Phase {
+            heartbeats,
+            cost_scale,
+            utilization_cap,
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0}hb @ {:.2}x (u<={:.0}%)",
+            self.heartbeats,
+            self.cost_scale,
+            self.utilization_cap * 100.0
+        )
+    }
+}
+
+/// A cyclic sequence of phases plus a cursor.
+///
+/// The cursor advances as heartbeats complete and wraps at the end, so a
+/// benchmark repeats its phase pattern for the whole experiment.
+#[derive(Debug, Clone)]
+pub struct PhaseSequence {
+    phases: Vec<Phase>,
+    current: usize,
+    /// Heartbeats completed inside the current phase.
+    progress: f64,
+}
+
+impl PhaseSequence {
+    /// Build a sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or any phase has non-positive length.
+    pub fn new(phases: Vec<Phase>) -> PhaseSequence {
+        assert!(!phases.is_empty(), "need at least one phase");
+        assert!(
+            phases.iter().all(|p| p.heartbeats > 0.0),
+            "phases must have positive length"
+        );
+        PhaseSequence {
+            phases,
+            current: 0,
+            progress: 0.0,
+        }
+    }
+
+    /// A single steady phase (no phase behaviour).
+    pub fn steady() -> PhaseSequence {
+        PhaseSequence::new(vec![Phase::new(f64::MAX, 1.0)])
+    }
+
+    /// The phase the task is currently in.
+    pub fn current(&self) -> &Phase {
+        &self.phases[self.current]
+    }
+
+    /// Index of the current phase.
+    pub fn current_index(&self) -> usize {
+        self.current
+    }
+
+    /// All phases.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Heartbeats left before the current phase ends (infinite for a steady
+    /// phase).
+    pub fn remaining_in_current(&self) -> f64 {
+        let p = &self.phases[self.current];
+        if p.heartbeats.is_finite() {
+            p.heartbeats - self.progress
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Advance the cursor by `beats` completed heartbeats, crossing phase
+    /// boundaries (and wrapping) as needed.
+    pub fn advance(&mut self, mut beats: f64) {
+        while beats > 0.0 {
+            let remaining = self.phases[self.current].heartbeats - self.progress;
+            if beats < remaining {
+                self.progress += beats;
+                return;
+            }
+            beats -= remaining;
+            self.current = (self.current + 1) % self.phases.len();
+            self.progress = 0.0;
+            if self.phases[self.current].heartbeats == f64::MAX {
+                // Steady phase: nothing further to cross.
+                self.progress = 0.0;
+                return;
+            }
+        }
+    }
+
+    /// Length-weighted average cost scale over one cycle — the "average
+    /// demand" an off-line profile would observe.
+    pub fn average_cost_scale(&self) -> f64 {
+        let finite: Vec<&Phase> = self
+            .phases
+            .iter()
+            .filter(|p| p.heartbeats.is_finite())
+            .collect();
+        if finite.is_empty() {
+            return self.phases[0].cost_scale;
+        }
+        let total: f64 = finite.iter().map(|p| p.heartbeats).sum();
+        finite
+            .iter()
+            .map(|p| p.cost_scale * p.heartbeats / total)
+            .sum()
+    }
+
+    /// Reset the cursor to the first phase.
+    pub fn reset(&mut self) {
+        self.current = 0;
+        self.progress = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_crosses_boundaries_and_wraps() {
+        let mut s = PhaseSequence::new(vec![Phase::new(10.0, 1.0), Phase::new(5.0, 2.0)]);
+        assert_eq!(s.current_index(), 0);
+        s.advance(9.0);
+        assert_eq!(s.current_index(), 0);
+        s.advance(1.0);
+        assert_eq!(s.current_index(), 1);
+        s.advance(5.0);
+        assert_eq!(s.current_index(), 0); // wrapped
+        s.advance(12.0); // 10 in phase 0 + 2 into phase 1
+        assert_eq!(s.current_index(), 1);
+    }
+
+    #[test]
+    fn steady_sequence_never_changes() {
+        let mut s = PhaseSequence::steady();
+        s.advance(1e12);
+        assert_eq!(s.current_index(), 0);
+        assert_eq!(s.current().cost_scale, 1.0);
+    }
+
+    #[test]
+    fn average_cost_scale_is_length_weighted() {
+        let s = PhaseSequence::new(vec![Phase::new(30.0, 1.0), Phase::new(10.0, 3.0)]);
+        // (30*1 + 10*3) / 40 = 1.5
+        assert!((s.average_cost_scale() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_returns_to_start() {
+        let mut s = PhaseSequence::new(vec![Phase::new(1.0, 1.0), Phase::new(1.0, 2.0)]);
+        s.advance(1.5);
+        assert_eq!(s.current_index(), 1);
+        s.reset();
+        assert_eq!(s.current_index(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_sequence_panics() {
+        let _ = PhaseSequence::new(vec![]);
+    }
+}

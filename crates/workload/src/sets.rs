@@ -1,0 +1,366 @@
+//! Multiprogrammed workload sets (Table 6) and the intensity metric.
+//!
+//! The paper builds nine six-task sets from the Table 5 benchmarks and
+//! classifies them by
+//!
+//! ```text
+//! intensity = (Σ_t d_t^A7  −  S_A7^maxfreq) / S_A7^maxfreq
+//! ```
+//!
+//! — whether the whole set fits in the LITTLE cluster at its top frequency.
+//! `intensity ≤ 0` is *light*, `0 < intensity ≤ 0.30` *medium*, `> 0.30`
+//! *heavy*.
+//!
+//! The printed Table 6 is partially garbled in our source text, so the
+//! medium/heavy memberships are reconstructed from the same benchmark pool
+//! such that each set lands in its intended band (see `DESIGN.md §7`); the
+//! light sets follow the table directly.
+
+use std::fmt;
+
+use ppm_platform::core::CoreClass;
+use ppm_platform::units::ProcessingUnits;
+
+use crate::benchmarks::{Benchmark, BenchmarkSpec, Input};
+use crate::task::{Priority, Task, TaskId};
+
+/// Intensity classification bands from §5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    /// Fits in the LITTLE cluster at top frequency (`intensity ≤ 0`).
+    Light,
+    /// Slightly overflows LITTLE (`0 < intensity ≤ 0.30`).
+    Medium,
+    /// Substantially overflows LITTLE (`intensity > 0.30`).
+    Heavy,
+}
+
+impl WorkloadClass {
+    /// Classify an intensity value.
+    pub fn of(intensity: f64) -> WorkloadClass {
+        if intensity <= 0.0 {
+            WorkloadClass::Light
+        } else if intensity <= 0.30 {
+            WorkloadClass::Medium
+        } else {
+            WorkloadClass::Heavy
+        }
+    }
+}
+
+impl fmt::Display for WorkloadClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadClass::Light => write!(f, "light"),
+            WorkloadClass::Medium => write!(f, "medium"),
+            WorkloadClass::Heavy => write!(f, "heavy"),
+        }
+    }
+}
+
+/// One multiprogrammed workload set.
+#[derive(Debug, Clone)]
+pub struct WorkloadSet {
+    name: String,
+    members: Vec<BenchmarkSpec>,
+}
+
+impl WorkloadSet {
+    /// Build a named set from benchmark variants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variant is not in Table 5.
+    pub fn new(name: &str, members: &[(Benchmark, Input)]) -> WorkloadSet {
+        let members = members
+            .iter()
+            .map(|&(b, i)| BenchmarkSpec::of(b, i).expect("Table 5 variant"))
+            .collect();
+        WorkloadSet {
+            name: name.to_string(),
+            members,
+        }
+    }
+
+    /// Build a set from arbitrary (possibly custom) benchmark specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty member list.
+    pub fn from_specs(name: &str, members: Vec<BenchmarkSpec>) -> WorkloadSet {
+        assert!(!members.is_empty(), "a workload set needs members");
+        WorkloadSet {
+            name: name.to_string(),
+            members,
+        }
+    }
+
+    /// Set name (`l1`, `m2`, `h3`, …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The benchmark variants in the set.
+    pub fn members(&self) -> &[BenchmarkSpec] {
+        &self.members
+    }
+
+    /// Total profiled demand of the set on the LITTLE cluster.
+    pub fn total_little_demand(&self) -> ProcessingUnits {
+        self.members
+            .iter()
+            .map(|s| s.profiled_demand(CoreClass::Little))
+            .sum()
+    }
+
+    /// The §5.2 intensity metric against a LITTLE cluster whose cores can
+    /// jointly supply `little_capacity` PU at top frequency.
+    pub fn intensity(&self, little_capacity: ProcessingUnits) -> f64 {
+        (self.total_little_demand().value() - little_capacity.value()) / little_capacity.value()
+    }
+
+    /// Classification band for the given LITTLE capacity.
+    pub fn class(&self, little_capacity: ProcessingUnits) -> WorkloadClass {
+        WorkloadClass::of(self.intensity(little_capacity))
+    }
+
+    /// Instantiate the set as tasks with ids starting at `first_id`, all at
+    /// the same priority (as in the comparative study, where "all the tasks
+    /// run at the same priority because HPM and HL do not take the
+    /// priorities into consideration").
+    pub fn spawn(&self, first_id: usize, priority: Priority) -> Vec<Task> {
+        self.members
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Task::new(TaskId(first_id + i), s.clone(), priority))
+            .collect()
+    }
+}
+
+impl fmt::Display for WorkloadSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.name)?;
+        for (i, m) in self.members.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", m.label())?;
+        }
+        Ok(())
+    }
+}
+
+/// Total PU the TC2 LITTLE cluster supplies at top frequency
+/// (3 × Cortex-A7 × 1000 MHz).
+pub const TC2_LITTLE_CAPACITY: ProcessingUnits = ProcessingUnits(3000.0);
+
+/// The nine workload sets of Table 6 (light sets verbatim; medium/heavy
+/// reconstructed — see module docs).
+pub fn table6_sets() -> Vec<WorkloadSet> {
+    use Benchmark as B;
+    use Input as I;
+    vec![
+        WorkloadSet::new(
+            "l1",
+            &[
+                (B::Texture, I::Vga),
+                (B::Tracking, I::Vga),
+                (B::H264, I::Soccer),
+                (B::Swaptions, I::Large),
+                (B::X264, I::Large),
+                (B::Blackscholes, I::Large),
+            ],
+        ),
+        WorkloadSet::new(
+            "l2",
+            &[
+                (B::Texture, I::Vga),
+                (B::Multicnt, I::Vga),
+                (B::H264, I::Bluesky),
+                (B::Swaptions, I::Large),
+                (B::Bodytrack, I::Large),
+                (B::Blackscholes, I::Large),
+            ],
+        ),
+        WorkloadSet::new(
+            "l3",
+            &[
+                (B::Tracking, I::Vga),
+                (B::Multicnt, I::Vga),
+                (B::H264, I::Soccer),
+                (B::X264, I::Large),
+                (B::Bodytrack, I::Large),
+                (B::Blackscholes, I::Large),
+            ],
+        ),
+        WorkloadSet::new(
+            "m1",
+            &[
+                (B::Swaptions, I::Native),
+                (B::Bodytrack, I::Native),
+                (B::X264, I::Native),
+                (B::Tracking, I::Vga),
+                (B::Multicnt, I::Vga),
+                (B::Blackscholes, I::Native),
+            ],
+        ),
+        WorkloadSet::new(
+            "m2",
+            &[
+                (B::Bodytrack, I::Native),
+                (B::Texture, I::FullHd),
+                (B::H264, I::Foreman),
+                (B::Swaptions, I::Native),
+                (B::X264, I::Native),
+                (B::Blackscholes, I::Large),
+            ],
+        ),
+        WorkloadSet::new(
+            "m3",
+            &[
+                (B::H264, I::Foreman),
+                (B::X264, I::Native),
+                (B::Blackscholes, I::Native),
+                (B::Texture, I::FullHd),
+                (B::Swaptions, I::Native),
+                (B::Tracking, I::Vga),
+            ],
+        ),
+        WorkloadSet::new(
+            "h1",
+            &[
+                (B::Texture, I::FullHd),
+                (B::Swaptions, I::Native),
+                (B::Multicnt, I::FullHd),
+                (B::Blackscholes, I::Native),
+                (B::X264, I::Native),
+                (B::Tracking, I::FullHd),
+            ],
+        ),
+        WorkloadSet::new(
+            "h2",
+            &[
+                (B::Bodytrack, I::Native),
+                (B::Texture, I::FullHd),
+                (B::Tracking, I::FullHd),
+                (B::H264, I::Bluesky),
+                (B::Multicnt, I::FullHd),
+                (B::X264, I::Native),
+            ],
+        ),
+        WorkloadSet::new(
+            "h3",
+            &[
+                (B::Swaptions, I::Native),
+                (B::Bodytrack, I::Native),
+                (B::Tracking, I::FullHd),
+                (B::X264, I::Native),
+                (B::Multicnt, I::FullHd),
+                (B::H264, I::Bluesky),
+            ],
+        ),
+    ]
+}
+
+/// Look a Table 6 set up by name.
+pub fn set_by_name(name: &str) -> Option<WorkloadSet> {
+    table6_sets().into_iter().find(|s| s.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_sets_of_six_tasks() {
+        let sets = table6_sets();
+        assert_eq!(sets.len(), 9);
+        for s in &sets {
+            assert_eq!(s.members().len(), 6, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn sets_land_in_their_intensity_bands() {
+        for s in table6_sets() {
+            let want = match &s.name()[..1] {
+                "l" => WorkloadClass::Light,
+                "m" => WorkloadClass::Medium,
+                "h" => WorkloadClass::Heavy,
+                _ => unreachable!(),
+            };
+            let got = s.class(TC2_LITTLE_CAPACITY);
+            assert_eq!(
+                got,
+                want,
+                "{}: intensity {:.3}",
+                s.name(),
+                s.intensity(TC2_LITTLE_CAPACITY)
+            );
+        }
+    }
+
+    #[test]
+    fn class_banding_boundaries() {
+        assert_eq!(WorkloadClass::of(0.0), WorkloadClass::Light);
+        assert_eq!(WorkloadClass::of(-0.5), WorkloadClass::Light);
+        assert_eq!(WorkloadClass::of(0.01), WorkloadClass::Medium);
+        assert_eq!(WorkloadClass::of(0.30), WorkloadClass::Medium);
+        assert_eq!(WorkloadClass::of(0.31), WorkloadClass::Heavy);
+    }
+
+    #[test]
+    fn spawn_assigns_sequential_ids_and_priority() {
+        let tasks = set_by_name("l1").expect("exists").spawn(10, Priority(3));
+        assert_eq!(tasks.len(), 6);
+        assert_eq!(tasks[0].id(), TaskId(10));
+        assert_eq!(tasks[5].id(), TaskId(15));
+        assert!(tasks.iter().all(|t| t.priority() == Priority(3)));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(set_by_name("h3").is_some());
+        assert!(set_by_name("x9").is_none());
+    }
+
+    #[test]
+    fn heavier_sets_demand_more() {
+        let l1 = set_by_name("l1").expect("l1").total_little_demand();
+        let m1 = set_by_name("m1").expect("m1").total_little_demand();
+        let h1 = set_by_name("h1").expect("h1").total_little_demand();
+        assert!(l1 < m1 && m1 < h1);
+    }
+}
+
+#[cfg(test)]
+mod custom_set_tests {
+    use super::*;
+    use crate::heartbeat::HeartRateRange;
+    use crate::phase::Phase;
+
+    #[test]
+    fn custom_specs_form_a_set() {
+        let spec = BenchmarkSpec::custom(
+            HeartRateRange::new(9.5, 10.5),
+            ProcessingUnits(800.0),
+            1.7,
+            vec![Phase::new(f64::MAX, 1.0)],
+            None,
+        );
+        let set = WorkloadSet::from_specs("mine", vec![spec.clone(), spec]);
+        assert_eq!(set.name(), "mine");
+        assert_eq!(set.members().len(), 2);
+        assert_eq!(set.total_little_demand(), ProcessingUnits(1600.0));
+        // 1600 of 3000 LITTLE capacity: a light set.
+        assert_eq!(set.class(TC2_LITTLE_CAPACITY), WorkloadClass::Light);
+        let tasks = set.spawn(0, Priority(2));
+        assert_eq!(tasks[1].id(), TaskId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs members")]
+    fn empty_custom_set_panics() {
+        let _ = WorkloadSet::from_specs("empty", vec![]);
+    }
+}

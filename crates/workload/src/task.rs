@@ -1,0 +1,367 @@
+//! Runtime task instances.
+//!
+//! A [`Task`] is "a computational entity that can execute on a core" (§2).
+//! It wraps a [`BenchmarkSpec`] with run-time state: the phase cursor, the
+//! heartbeat monitor, and a user-assigned priority. The scheduler feeds it
+//! cycles; it emits heartbeats and exposes the demand estimate the paper's
+//! task agents consume.
+
+use std::fmt;
+
+use ppm_platform::core::CoreClass;
+use ppm_platform::units::{Cycles, ProcessingUnits, SimTime};
+
+use crate::benchmarks::BenchmarkSpec;
+use crate::heartbeat::HeartbeatMonitor;
+use crate::phase::PhaseSequence;
+
+/// Identifier of a task, unique within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub usize);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// User-assigned task priority `r_t`; higher values mean higher priority.
+///
+/// The paper adds a `prio` member to Linux's `task_struct`, settable from
+/// user space and fixed for the lifetime of the task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Priority(pub u32);
+
+impl Priority {
+    /// The default priority used when experiments equalise priorities.
+    pub const NORMAL: Priority = Priority(1);
+
+    /// Raw value.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for Priority {
+    fn default() -> Self {
+        Priority::NORMAL
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prio{}", self.0)
+    }
+}
+
+/// A running task: benchmark spec + phase cursor + heartbeat telemetry.
+#[derive(Debug, Clone)]
+pub struct Task {
+    id: TaskId,
+    spec: BenchmarkSpec,
+    priority: Priority,
+    phases: PhaseSequence,
+    monitor: HeartbeatMonitor,
+    total_cycles: Cycles,
+}
+
+impl Task {
+    /// Instantiate `spec` as task `id` with `priority`.
+    pub fn new(id: TaskId, spec: BenchmarkSpec, priority: Priority) -> Task {
+        let phases = spec.phase_sequence();
+        Task {
+            id,
+            spec,
+            priority,
+            phases,
+            monitor: HeartbeatMonitor::new(),
+            total_cycles: Cycles::ZERO,
+        }
+    }
+
+    /// Task identifier.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// The benchmark variant this task runs.
+    pub fn spec(&self) -> &BenchmarkSpec {
+        &self.spec
+    }
+
+    /// Human-readable label (`swaptions_n` style).
+    pub fn label(&self) -> String {
+        self.spec.label()
+    }
+
+    /// User priority `r_t`.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Heartbeats emitted so far.
+    pub fn total_heartbeats(&self) -> f64 {
+        self.monitor.total()
+    }
+
+    /// Cycles consumed so far.
+    pub fn total_cycles(&self) -> Cycles {
+        self.total_cycles
+    }
+
+    /// Current observed heart rate (hb/s) over the monitor window.
+    pub fn heart_rate(&self) -> f64 {
+        self.monitor.heart_rate()
+    }
+
+    /// Observed cycles-per-heartbeat over the monitor window, when enough
+    /// beats have been seen — the raw signal online estimators consume.
+    pub fn measured_cost_per_beat(&self) -> Option<f64> {
+        self.monitor.cost_per_beat()
+    }
+
+    /// Effective cycles-per-heartbeat right now on `class` (nominal cost
+    /// scaled by the current phase).
+    pub fn current_cost(&self, class: CoreClass) -> f64 {
+        self.spec.cycles_per_heartbeat(class) * self.phases.current().cost_scale
+    }
+
+    /// Fraction of its granted supply the task can consume in the current
+    /// phase (`1.0` when fully CPU-bound).
+    pub fn utilization_cap(&self) -> f64 {
+        self.phases.current().utilization_cap
+    }
+
+    /// Most PU the task can consume on a core of `class` whose supply is
+    /// `supply`: the phase utilization cap, further bounded by the input
+    /// pipeline's rate ceiling for rate-limited applications.
+    pub fn consumption_cap(&self, class: CoreClass, supply: ProcessingUnits) -> ProcessingUnits {
+        let by_util = supply * self.utilization_cap();
+        match self.spec.rate_cap() {
+            Some(k) => by_util.min(self.analytic_demand(class) * k),
+            None => by_util,
+        }
+    }
+
+    /// Consume `cycles` of compute on a core of `class` ending at `now`.
+    /// Returns the (possibly fractional) heartbeats completed.
+    ///
+    /// Walks phase boundaries so a cheap-phase tail and an expensive-phase
+    /// head within one quantum are both priced correctly.
+    pub fn execute(&mut self, cycles: Cycles, class: CoreClass, now: SimTime) -> f64 {
+        let mut remaining = cycles.value();
+        let mut beats = 0.0;
+        // Bounded: each iteration either exhausts the cycles or crosses one
+        // phase boundary, and phases have positive length.
+        for _ in 0..64 {
+            if remaining <= 0.0 {
+                break;
+            }
+            let cost = self.current_cost(class);
+            let possible = remaining / cost;
+            let left_in_phase = self.phases.remaining_in_current();
+            if possible <= left_in_phase {
+                self.phases.advance(possible);
+                beats += possible;
+                remaining = 0.0;
+            } else {
+                self.phases.advance(left_in_phase);
+                beats += left_in_phase;
+                remaining -= left_in_phase * cost;
+            }
+        }
+        self.total_cycles += cycles;
+        self.monitor.record(now, beats, cycles.value());
+        beats
+    }
+
+    /// Record the passage of time without progress (starved or migrating),
+    /// so the heart-rate window decays.
+    pub fn record_idle(&mut self, now: SimTime) {
+        self.monitor.record(now, 0.0, 0.0);
+    }
+
+    /// The demand `d_t` in PU on `class` (Table 4 conversion).
+    ///
+    /// Uses the window-consistent form `d = target_hr · (cycles/beat) / 10⁶`
+    /// — identical to the paper's `d = target_hr · s_t / hr_t` with supply
+    /// and heart rate averaged over the same interval, and robust against
+    /// supply changes mid-window. Falls back to the off-line profile while
+    /// no reliable measurement exists (admission, starvation, migration).
+    ///
+    /// When the measurement was taken on a different core class than
+    /// `class`, the profiled cost ratio rescales it.
+    pub fn demand(&self, class: CoreClass, measured_on: CoreClass) -> ProcessingUnits {
+        let profiled = self.spec.profiled_demand(class);
+        let Some(cost) = self.monitor.cost_per_beat() else {
+            return profiled;
+        };
+        let scale = self.spec.cycles_per_heartbeat(class)
+            / self.spec.cycles_per_heartbeat(measured_on);
+        let d = ProcessingUnits(self.spec.target_range().target() * cost * scale / 1e6);
+        d.min(self.max_reasonable_demand(class))
+    }
+
+    /// Analytic demand on `class` for the *current* phase: the supply that
+    /// would hold the task exactly at its target heart rate.
+    pub fn analytic_demand(&self, class: CoreClass) -> ProcessingUnits {
+        ProcessingUnits(self.spec.target_range().target() * self.current_cost(class) / 1e6)
+    }
+
+    /// Sanity ceiling on inferred demand (2× the most expensive phase):
+    /// protects the market from transient division-by-small-heart-rate
+    /// spikes right after admission or migration.
+    fn max_reasonable_demand(&self, class: CoreClass) -> ProcessingUnits {
+        let worst = self
+            .spec
+            .phases()
+            .iter()
+            .map(|p| p.cost_scale)
+            .fold(1.0_f64, f64::max);
+        ProcessingUnits(
+            2.0 * worst * self.spec.target_range().target() * self.spec.cycles_per_heartbeat(class)
+                / 1e6,
+        )
+    }
+
+    /// True when the current heart rate is below the reference range — the
+    /// QoS-miss condition of Figures 4 and 6.
+    pub fn misses_qos(&self) -> bool {
+        self.spec.target_range().misses_below(self.heart_rate())
+    }
+
+    /// Heart rate normalised to the target (1.0 = exactly on target), as
+    /// plotted in Figures 7 and 8.
+    pub fn normalized_heart_rate(&self) -> f64 {
+        self.heart_rate() / self.spec.target_range().target()
+    }
+
+    /// Clear heartbeat history (used across migrations, where the stale
+    /// window no longer reflects the new core).
+    pub fn reset_monitor_window(&mut self) {
+        self.monitor.reset_window();
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}", self.id, self.label(), self.priority)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::{Benchmark, Input};
+    use ppm_platform::units::SimDuration;
+
+    fn task(b: Benchmark, i: Input) -> Task {
+        Task::new(
+            TaskId(0),
+            BenchmarkSpec::of(b, i).expect("valid variant"),
+            Priority::NORMAL,
+        )
+    }
+
+    #[test]
+    fn executing_at_demand_supply_hits_target_rate() {
+        let mut t = task(Benchmark::Blackscholes, Input::Native);
+        // Supply exactly the profiled demand: 500 PU on LITTLE.
+        let supply = t.spec().profiled_demand(CoreClass::Little);
+        let dt = SimDuration::from_millis(10);
+        let mut now = SimTime::ZERO;
+        for _ in 0..200 {
+            now += dt;
+            t.execute(supply.cycles_over(dt), CoreClass::Little, now);
+        }
+        // Steady benchmark: rate should sit at the target (20 hb/s).
+        assert!((t.heart_rate() - 20.0).abs() < 0.2, "hr={}", t.heart_rate());
+        assert!(!t.misses_qos());
+        assert!((t.normalized_heart_rate() - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn half_supply_halves_heart_rate() {
+        let mut t = task(Benchmark::Blackscholes, Input::Native);
+        let supply = t.spec().profiled_demand(CoreClass::Little) * 0.5;
+        let dt = SimDuration::from_millis(10);
+        let mut now = SimTime::ZERO;
+        for _ in 0..200 {
+            now += dt;
+            t.execute(supply.cycles_over(dt), CoreClass::Little, now);
+        }
+        assert!((t.heart_rate() - 10.0).abs() < 0.2);
+        assert!(t.misses_qos());
+    }
+
+    #[test]
+    fn same_supply_runs_faster_on_big_core() {
+        let mut little = task(Benchmark::Swaptions, Input::Native);
+        let mut big = task(Benchmark::Swaptions, Input::Native);
+        let supply = ProcessingUnits(400.0);
+        let dt = SimDuration::from_millis(10);
+        let mut now = SimTime::ZERO;
+        for _ in 0..100 {
+            now += dt;
+            little.execute(supply.cycles_over(dt), CoreClass::Little, now);
+            big.execute(supply.cycles_over(dt), CoreClass::Big, now);
+        }
+        let ratio = big.heart_rate() / little.heart_rate();
+        assert!((ratio - 1.9).abs() < 0.05, "speedup {ratio}");
+    }
+
+    #[test]
+    fn demand_inference_converges_to_analytic() {
+        let mut t = task(Benchmark::Bodytrack, Input::Large);
+        let supply = ProcessingUnits(300.0); // below its ~400 PU demand
+        let dt = SimDuration::from_millis(10);
+        let mut now = SimTime::ZERO;
+        for _ in 0..300 {
+            now += dt;
+            t.execute(supply.cycles_over(dt), CoreClass::Little, now);
+        }
+        let inferred = t.demand(CoreClass::Little, CoreClass::Little);
+        let analytic = t.analytic_demand(CoreClass::Little);
+        let rel = (inferred.value() - analytic.value()).abs() / analytic.value();
+        assert!(rel < 0.1, "inferred {inferred} vs analytic {analytic}");
+    }
+
+    #[test]
+    fn demand_before_any_observation_uses_profile() {
+        let t = task(Benchmark::Texture, Input::FullHd);
+        let d = t.demand(CoreClass::Little, CoreClass::Little);
+        assert_eq!(d, t.spec().profiled_demand(CoreClass::Little));
+    }
+
+    #[test]
+    fn demand_is_capped_against_spikes() {
+        let mut t = task(Benchmark::Blackscholes, Input::Large);
+        // Observe an absurdly low rate: one beat over a long stretch.
+        t.execute(
+            Cycles(1.0),
+            CoreClass::Little,
+            SimTime::from_millis(1),
+        );
+        t.record_idle(SimTime::from_secs(10));
+        let d = t.demand(CoreClass::Little, CoreClass::Little);
+        let cap = ProcessingUnits(2.0 * 200.0); // 2x worst-phase demand
+        assert!(d <= cap, "demand {d} exceeds cap {cap}");
+    }
+
+    #[test]
+    fn phase_crossing_prices_cycles_correctly() {
+        // Two phases: 10 beats at 1x, then 1e9 beats at 2x cost.
+        // Give exactly the cycles for 10 + 5 beats.
+        let mut t = task(Benchmark::X264, Input::Large); // dormant 0.45x, active 1.11x
+        let cpb = t.spec().cycles_per_heartbeat(CoreClass::Little);
+        let dormant_beats = t.spec().phases()[0].heartbeats;
+        let cycles_dormant = dormant_beats * cpb * 0.45;
+        let cycles_active_5 = 5.0 * cpb * 1.11;
+        let beats = t.execute(
+            Cycles(cycles_dormant + cycles_active_5),
+            CoreClass::Little,
+            SimTime::from_millis(1),
+        );
+        assert!((beats - (dormant_beats + 5.0)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,210 @@
+//! Demand traces: define a task's time-varying computational demand as a
+//! piecewise-constant schedule and compile it into the phase model.
+//!
+//! Useful for replaying measured application behaviour through the market
+//! (the off-line-profiling role in §5.2, but user-supplied) and for
+//! constructing targeted experiments.
+//!
+//! The textual format is a comma-separated list of `start_s:scale`
+//! segments; each scale multiplies the benchmark's nominal demand until the
+//! next segment starts:
+//!
+//! ```text
+//! 0:1.0, 30:0.5, 60:1.4
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::phase::Phase;
+
+/// One segment of a [`DemandTrace`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSegment {
+    /// Segment start, in seconds from the trace origin.
+    pub start_s: f64,
+    /// Demand multiplier relative to the nominal cost.
+    pub scale: f64,
+}
+
+/// A piecewise-constant demand schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemandTrace {
+    segments: Vec<TraceSegment>,
+}
+
+/// Error from parsing a [`DemandTrace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError(String);
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid demand trace: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl DemandTrace {
+    /// Build a trace from segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the list is empty, does not start at 0,
+    /// start times are not strictly increasing, or a scale is not positive.
+    pub fn new(segments: Vec<TraceSegment>) -> Result<DemandTrace, ParseTraceError> {
+        if segments.is_empty() {
+            return Err(ParseTraceError("no segments".into()));
+        }
+        if segments[0].start_s != 0.0 {
+            return Err(ParseTraceError("first segment must start at 0".into()));
+        }
+        for w in segments.windows(2) {
+            if w[1].start_s <= w[0].start_s {
+                return Err(ParseTraceError(format!(
+                    "start times must increase ({} after {})",
+                    w[1].start_s, w[0].start_s
+                )));
+            }
+        }
+        if let Some(bad) = segments.iter().find(|s| s.scale <= 0.0) {
+            return Err(ParseTraceError(format!(
+                "scale must be positive (got {} at {}s)",
+                bad.scale, bad.start_s
+            )));
+        }
+        Ok(DemandTrace { segments })
+    }
+
+    /// The segments, in order.
+    pub fn segments(&self) -> &[TraceSegment] {
+        &self.segments
+    }
+
+    /// Total trace span in seconds (start of the last segment plus
+    /// `tail_s`, the duration given to it).
+    pub fn span_s(&self, tail_s: f64) -> f64 {
+        self.segments.last().expect("non-empty").start_s + tail_s
+    }
+
+    /// Compile the trace into cyclic [`Phase`]s for a task whose target
+    /// heart rate is `target_hr` hb/s. The final segment lasts `tail_s`
+    /// seconds per cycle.
+    ///
+    /// Phase lengths are in heartbeats at the target rate, so a starved
+    /// task stretches its schedule — the same semantics as the built-in
+    /// benchmark phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_hr` or `tail_s` is not positive.
+    pub fn to_phases(&self, target_hr: f64, tail_s: f64) -> Vec<Phase> {
+        assert!(target_hr > 0.0, "target heart rate must be positive");
+        assert!(tail_s > 0.0, "tail duration must be positive");
+        let mut phases = Vec::with_capacity(self.segments.len());
+        for (i, seg) in self.segments.iter().enumerate() {
+            let duration = match self.segments.get(i + 1) {
+                Some(next) => next.start_s - seg.start_s,
+                None => tail_s,
+            };
+            phases.push(Phase::new(duration * target_hr, seg.scale));
+        }
+        phases
+    }
+}
+
+impl FromStr for DemandTrace {
+    type Err = ParseTraceError;
+
+    fn from_str(s: &str) -> Result<DemandTrace, ParseTraceError> {
+        let mut segments = Vec::new();
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (start, scale) = part
+                .split_once(':')
+                .ok_or_else(|| ParseTraceError(format!("`{part}` is not `start:scale`")))?;
+            let start_s: f64 = start
+                .trim()
+                .parse()
+                .map_err(|e| ParseTraceError(format!("start `{start}`: {e}")))?;
+            let scale: f64 = scale
+                .trim()
+                .parse()
+                .map_err(|e| ParseTraceError(format!("scale `{scale}`: {e}")))?;
+            segments.push(TraceSegment { start_s, scale });
+        }
+        DemandTrace::new(segments)
+    }
+}
+
+impl fmt::Display for DemandTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.segments.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}:{}", s.start_s, s.scale)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::BenchmarkSpec;
+    use crate::heartbeat::HeartRateRange;
+    use ppm_platform::core::CoreClass;
+    use ppm_platform::units::ProcessingUnits;
+
+    #[test]
+    fn parses_the_documented_format() {
+        let t: DemandTrace = "0:1.0, 30:0.5, 60:1.4".parse().expect("valid");
+        assert_eq!(t.segments().len(), 3);
+        assert_eq!(t.segments()[1].start_s, 30.0);
+        assert_eq!(t.segments()[2].scale, 1.4);
+        assert_eq!(t.to_string(), "0:1, 30:0.5, 60:1.4");
+    }
+
+    #[test]
+    fn rejects_malformed_traces() {
+        assert!("".parse::<DemandTrace>().is_err());
+        assert!("5:1.0".parse::<DemandTrace>().is_err()); // must start at 0
+        assert!("0:1.0, 0:2.0".parse::<DemandTrace>().is_err()); // not increasing
+        assert!("0:-1.0".parse::<DemandTrace>().is_err()); // non-positive scale
+        assert!("0;1.0".parse::<DemandTrace>().is_err()); // wrong separator
+    }
+
+    #[test]
+    fn phases_get_heartbeat_lengths() {
+        let t: DemandTrace = "0:1.0, 10:2.0".parse().expect("valid");
+        let phases = t.to_phases(30.0, 5.0);
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].heartbeats, 300.0); // 10 s at 30 hb/s
+        assert_eq!(phases[0].cost_scale, 1.0);
+        assert_eq!(phases[1].heartbeats, 150.0); // 5 s tail
+        assert_eq!(phases[1].cost_scale, 2.0);
+        assert_eq!(t.span_s(5.0), 15.0);
+    }
+
+    #[test]
+    fn trace_drives_a_custom_benchmark() {
+        let trace: DemandTrace = "0:0.5, 20:1.5".parse().expect("valid");
+        let target = HeartRateRange::new(19.0, 21.0);
+        let spec = BenchmarkSpec::custom(
+            target,
+            ProcessingUnits(400.0),
+            1.8,
+            trace.to_phases(20.0, 20.0),
+            None,
+        );
+        // Average of the two equal-length phases is the nominal demand.
+        let avg = spec.profiled_demand(CoreClass::Little);
+        assert!((avg.value() - 400.0).abs() < 1e-9, "{avg}");
+        assert_eq!(spec.label(), "synthetic_c");
+        assert!((spec.speedup() - 1.8).abs() < 1e-12);
+    }
+}

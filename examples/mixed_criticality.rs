@@ -1,0 +1,66 @@
+//! Mixed criticality on one core: the §5.4 priority study as a runnable
+//! demo. Two demanding tasks are pinned to a single LITTLE core (no load
+//! balancing or migration), first at equal priority, then with one task
+//! boosted — showing how allowances steer QoS under contention.
+//!
+//! ```sh
+//! cargo run --release -p ppm --example mixed_criticality
+//! ```
+
+use ppm::core::config::PpmConfig;
+use ppm::core::manager::PpmManager;
+use ppm::platform::chip::Chip;
+use ppm::platform::core::CoreId;
+use ppm::platform::units::SimDuration;
+use ppm::sched::{AllocationPolicy, Simulation, System};
+use ppm::workload::benchmarks::{Benchmark, BenchmarkSpec, Input};
+use ppm::workload::task::{Priority, Task, TaskId};
+
+fn run(swaptions_priority: u32) -> Result<(f64, f64), Box<dyn std::error::Error>> {
+    let mut sys = System::new(Chip::tc2(), AllocationPolicy::Market);
+    sys.add_task(
+        Task::new(
+            TaskId(0),
+            BenchmarkSpec::of(Benchmark::Swaptions, Input::Native)?,
+            Priority(swaptions_priority),
+        ),
+        CoreId(0),
+    );
+    sys.add_task(
+        Task::new(
+            TaskId(1),
+            BenchmarkSpec::of(Benchmark::Bodytrack, Input::Native)?,
+            Priority(1),
+        ),
+        CoreId(0),
+    );
+    let mgr = PpmManager::new(PpmConfig::tc2().without_lbt());
+    let mut sim = Simulation::new(sys, mgr).with_warmup(SimDuration::from_secs(5));
+    sim.run_for(SimDuration::from_secs(120));
+    let m = sim.metrics();
+    Ok((
+        m.task(TaskId(0)).map_or(0.0, |t| t.out_of_range_fraction()),
+        m.task(TaskId(1)).map_or(0.0, |t| t.out_of_range_fraction()),
+    ))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("swaptions + bodytrack pinned to one Cortex-A7, LBT disabled\n");
+    println!("| priorities (swap:body) | swaptions outside goal | bodytrack outside goal |");
+    println!("|---|---|---|");
+    for prio in [1, 7] {
+        let (swap, body) = run(prio)?;
+        println!(
+            "| {prio}:1 | {:.1}% | {:.1}% |",
+            swap * 100.0,
+            body * 100.0
+        );
+    }
+    println!(
+        "\nWith equal priorities both tasks share the shortfall; boosting \
+         swaptions to priority 7 multiplies its allowance, its bids win the \
+         contested cycles, and bodytrack absorbs the misses — Figure 7 of \
+         the paper."
+    );
+    Ok(())
+}

@@ -1,0 +1,176 @@
+//! Property-based tests on the pure agent decision rules (§3.1/§3.2).
+
+use proptest::prelude::*;
+
+use ppm::core::agents::{chip_agent, cluster_agent, core_agent, task_agent};
+use ppm::core::market::VfStep;
+use ppm::platform::units::{Money, Price, ProcessingUnits};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Eq. 1 output always lies in [b_min, max(cap, b_min)].
+    #[test]
+    fn bids_stay_in_bounds(
+        prev in 0.0f64..100.0,
+        d in 0.0f64..2000.0,
+        s in 0.0f64..2000.0,
+        p in 0.0f64..1.0,
+        cap in 0.0f64..50.0,
+        min in 0.001f64..1.0,
+    ) {
+        let b = task_agent::next_bid(
+            Money(prev),
+            ProcessingUnits(d),
+            ProcessingUnits(s),
+            Price(p),
+            Money(cap),
+            Money(min),
+        );
+        prop_assert!(b.value() >= min - 1e-12);
+        prop_assert!(b.value() <= cap.max(min) + 1e-12);
+    }
+
+    /// Bids move in the direction of the supply error.
+    #[test]
+    fn bids_follow_the_error_direction(
+        prev in 1.0f64..10.0,
+        d in 0.0f64..1000.0,
+        s in 0.0f64..1000.0,
+        p in 0.001f64..0.1,
+    ) {
+        let b = task_agent::next_bid(
+            Money(prev),
+            ProcessingUnits(d),
+            ProcessingUnits(s),
+            Price(p),
+            Money(1e9),
+            Money(1e-9),
+        );
+        if d > s {
+            prop_assert!(b.value() >= prev);
+        } else {
+            prop_assert!(b.value() <= prev);
+        }
+    }
+
+    /// Savings never go negative and never exceed the cap.
+    #[test]
+    fn savings_bounds(
+        m in 0.0f64..100.0,
+        a in 0.0f64..10.0,
+        b in 0.0f64..50.0,
+        cap in 0.0f64..10.0,
+    ) {
+        let m2 = task_agent::next_savings(Money(m), Money(a), Money(b), cap);
+        prop_assert!(m2.value() >= 0.0);
+        prop_assert!(m2.value() <= a * cap + 1e-9);
+    }
+
+    /// Price discovery sells exactly the supply whenever any bid is
+    /// positive, and purchases are bid-proportional.
+    #[test]
+    fn discovery_exhausts_supply(
+        bids in proptest::collection::vec(0.001f64..10.0, 1..10),
+        supply in 1.0f64..5000.0,
+    ) {
+        let money: Vec<Money> = bids.iter().map(|&b| Money(b)).collect();
+        let (price, purchases) = core_agent::discover(&money, ProcessingUnits(supply));
+        let total: f64 = purchases.iter().map(|p| p.value()).sum();
+        prop_assert!((total - supply).abs() < 1e-6);
+        prop_assert!(price.value() > 0.0);
+        // Proportionality: s_i / s_j = b_i / b_j.
+        if purchases.len() >= 2 {
+            let r_s = purchases[0].value() / purchases[1].value();
+            let r_b = bids[0] / bids[1];
+            prop_assert!((r_s - r_b).abs() / r_b < 1e-6);
+        }
+    }
+
+    /// The cluster agent never steps up without headroom, never steps down
+    /// without a lower level, and always steps down in emergency (when
+    /// possible).
+    #[test]
+    fn cluster_steps_are_legal(
+        price in 0.0f64..0.1,
+        base in 0.0001f64..0.1,
+        tol in 0.05f64..0.5,
+        up in proptest::bool::ANY,
+        down in proptest::option::of(10.0f64..1000.0),
+        demand in 0.0f64..1500.0,
+        emergency in proptest::bool::ANY,
+    ) {
+        let view = cluster_agent::ClusterView {
+            price: Price(price),
+            base_price: Price(base),
+            tolerance: tol,
+            can_step_up: up,
+            supply_down: down.map(ProcessingUnits),
+            constrained_demand: ProcessingUnits(demand),
+            emergency,
+        };
+        match cluster_agent::decide_step(view) {
+            Some(VfStep::Up) => {
+                prop_assert!(up);
+                prop_assert!(!emergency);
+            }
+            Some(VfStep::Down) => {
+                prop_assert!(down.is_some());
+                if !emergency {
+                    prop_assert!(down.unwrap() >= demand);
+                }
+            }
+            None => {
+                if emergency {
+                    prop_assert!(down.is_none());
+                }
+            }
+        }
+    }
+
+    /// Allowance distribution conserves money over active clusters and
+    /// gives power-hungrier clusters no more than cooler ones.
+    #[test]
+    fn distribution_conserves_and_orders(
+        a in 0.1f64..100.0,
+        w1 in 0.0f64..5.0,
+        w2 in 0.0f64..5.0,
+        r1 in 1u32..10,
+        r2 in 1u32..10,
+    ) {
+        let total_w = w1 + w2;
+        let out = chip_agent::distribute(Money(a), total_w, &[(w1, r1), (w2, r2)]);
+        let sum: f64 = out.iter().map(|m| m.value()).sum();
+        prop_assert!((sum - a).abs() < 1e-9 * a.max(1.0));
+        if total_w > 1e-9 && (w1 - w2).abs() > 1e-9 {
+            if w1 < w2 {
+                prop_assert!(out[0] >= out[1]);
+            } else {
+                prop_assert!(out[1] >= out[0]);
+            }
+        }
+    }
+
+    /// Priority splits conserve and order by priority.
+    #[test]
+    fn priority_split_conserves(
+        a in 0.0f64..100.0,
+        prios in proptest::collection::vec(0u32..10, 1..8),
+    ) {
+        let out = chip_agent::split_by_priority(Money(a), &prios);
+        let total: u32 = prios.iter().sum();
+        let sum: f64 = out.iter().map(|m| m.value()).sum();
+        if total > 0 {
+            prop_assert!((sum - a).abs() < 1e-9 * a.max(1.0));
+        } else {
+            prop_assert!(sum == 0.0);
+        }
+        for (i, &ri) in prios.iter().enumerate() {
+            for (j, &rj) in prios.iter().enumerate() {
+                if ri > rj {
+                    prop_assert!(out[i] >= out[j]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! End-to-end integration tests: the full stack (platform + workload +
+//! scheduler + market + LBT) on realistic scenarios.
+
+use ppm::core::config::PpmConfig;
+use ppm::core::manager::{tc2_ppm_system, PpmManager};
+use ppm::platform::chip::Chip;
+use ppm::platform::cluster::ClusterId;
+use ppm::platform::core::{CoreClass, CoreId};
+use ppm::platform::units::{SimDuration, Watts};
+use ppm::sched::{AllocationPolicy, Simulation, System};
+use ppm::workload::benchmarks::{Benchmark, BenchmarkSpec, Input};
+use ppm::workload::sets::set_by_name;
+use ppm::workload::task::{Priority, Task, TaskId};
+
+fn spec(b: Benchmark, i: Input) -> BenchmarkSpec {
+    BenchmarkSpec::of(b, i).expect("Table 5 variant")
+}
+
+#[test]
+fn light_workload_runs_on_little_at_low_power() {
+    let set = set_by_name("l1").expect("l1");
+    let (sys, mgr) = tc2_ppm_system(set.spawn(0, Priority::NORMAL), PpmConfig::tc2());
+    let mut sim = Simulation::new(sys, mgr).with_warmup(SimDuration::from_secs(5));
+    sim.run_for(SimDuration::from_secs(40));
+    let m = sim.metrics();
+    assert!(m.any_miss_fraction() < 0.15, "miss {:.2}", m.any_miss_fraction());
+    // A light set fits the LITTLE cluster: the big cluster contributes at
+    // most briefly and average power stays far below HL's ~6 W regime.
+    assert!(m.average_power() < Watts(2.5), "power {}", m.average_power());
+}
+
+#[test]
+fn heavy_workload_spills_to_big_cluster() {
+    let set = set_by_name("h1").expect("h1");
+    let (sys, mgr) = tc2_ppm_system(set.spawn(0, Priority::NORMAL), PpmConfig::tc2());
+    let mut sim = Simulation::new(sys, mgr).with_warmup(SimDuration::from_secs(5));
+    sim.run_for(SimDuration::from_secs(40));
+    let s = sim.system();
+    let on_big = s
+        .task_ids()
+        .iter()
+        .filter(|&&t| s.chip().core(s.core_of(t)).class() == CoreClass::Big)
+        .count();
+    assert!(on_big >= 2, "heavy set should use the big cluster: {on_big}");
+    assert!(!s.chip().cluster(ClusterId(1)).is_off());
+    assert!(
+        sim.metrics().any_miss_fraction() < 0.25,
+        "miss {:.2}",
+        sim.metrics().any_miss_fraction()
+    );
+}
+
+#[test]
+fn tdp_cap_holds_on_medium_workload() {
+    let set = set_by_name("m2").expect("m2");
+    let tdp = Watts(4.0);
+    let (mut sys, mgr) = tc2_ppm_system(set.spawn(0, Priority::NORMAL), PpmConfig::tc2_with_tdp(tdp));
+    sys.set_tdp_accounting(tdp);
+    let mut sim = Simulation::new(sys, mgr).with_warmup(SimDuration::from_secs(5));
+    sim.run_for(SimDuration::from_secs(60));
+    let m = sim.metrics();
+    assert!(m.average_power() < tdp, "avg {}", m.average_power());
+    let above = m.time_above_tdp.as_secs_f64() / m.total_time().as_secs_f64();
+    assert!(above < 0.10, "above-TDP {above:.2}");
+    // The cap must not wreck a medium workload's QoS (Figure 6 shape).
+    assert!(m.any_miss_fraction() < 0.25, "miss {:.2}", m.any_miss_fraction());
+}
+
+#[test]
+fn steady_state_stops_switching_levels() {
+    // §3.2.4: with constant demand the market reaches a stable state — the
+    // V-F switching rate must collapse after convergence.
+    let tasks = vec![
+        Task::new(TaskId(0), spec(Benchmark::Blackscholes, Input::Native), Priority(1)),
+        Task::new(TaskId(1), spec(Benchmark::Blackscholes, Input::Large), Priority(1)),
+    ];
+    let (sys, mgr) = tc2_ppm_system(tasks, PpmConfig::tc2());
+    let mut sim = Simulation::new(sys, mgr);
+    sim.run_for(SimDuration::from_secs(20));
+    let early = sim.metrics().vf_transitions;
+    sim.run_for(SimDuration::from_secs(60));
+    let late = sim.metrics().vf_transitions - early;
+    assert!(
+        late <= 2,
+        "steady demand must not keep switching levels: {late} transitions in 60s"
+    );
+}
+
+#[test]
+fn idle_clusters_power_down_and_wake_up() {
+    let tasks = vec![Task::new(
+        TaskId(0),
+        spec(Benchmark::Texture, Input::Vga),
+        Priority(1),
+    )];
+    // LBT off so the manual migration below is not (correctly!) undone by
+    // the power-efficiency branch.
+    let (sys, mgr) = tc2_ppm_system(tasks, PpmConfig::tc2().without_lbt());
+    let mut sim = Simulation::new(sys, mgr);
+    sim.run_for(SimDuration::from_secs(5));
+    assert!(
+        sim.system().chip().cluster(ClusterId(1)).is_off(),
+        "empty big cluster should be gated"
+    );
+    // Force the task onto the big cluster: the manager must wake it.
+    sim.system_mut().power_on(ClusterId(1));
+    sim.system_mut().migrate(TaskId(0), CoreId(3));
+    sim.run_for(SimDuration::from_secs(5));
+    assert!(!sim.system().chip().cluster(ClusterId(1)).is_off());
+    assert!(
+        sim.system().chip().cluster(ClusterId(0)).is_off(),
+        "now-empty LITTLE cluster should be gated instead"
+    );
+}
+
+#[test]
+fn priorities_shift_qos_under_contention() {
+    let run = |prio: u32| {
+        let mut sys = System::new(Chip::tc2(), AllocationPolicy::Market);
+        sys.add_task(
+            Task::new(TaskId(0), spec(Benchmark::Swaptions, Input::Native), Priority(prio)),
+            CoreId(0),
+        );
+        sys.add_task(
+            Task::new(TaskId(1), spec(Benchmark::Bodytrack, Input::Native), Priority(1)),
+            CoreId(0),
+        );
+        let mgr = PpmManager::new(PpmConfig::tc2().without_lbt());
+        let mut sim = Simulation::new(sys, mgr).with_warmup(SimDuration::from_secs(5));
+        // Long enough to cover several of bodytrack's demand waves.
+        sim.run_for(SimDuration::from_secs(150));
+        let m = sim.metrics();
+        (
+            m.task(TaskId(0)).map_or(0.0, |t| t.out_of_range_fraction()),
+            m.task(TaskId(1)).map_or(0.0, |t| t.out_of_range_fraction()),
+        )
+    };
+    let (swap_eq, _body_eq) = run(1);
+    let (swap_hi, body_hi) = run(7);
+    assert!(
+        swap_hi < swap_eq,
+        "priority 7 must improve swaptions: {swap_hi:.2} vs {swap_eq:.2}"
+    );
+    assert!(
+        swap_hi < body_hi,
+        "the boosted task must do better than its competitor"
+    );
+}
+
+#[test]
+fn migration_counts_stay_bounded() {
+    // §3.3.1: the LBT module must reach a fixed point — no task ping-pong.
+    let set = set_by_name("m3").expect("m3");
+    let (sys, mgr) = tc2_ppm_system(set.spawn(0, Priority::NORMAL), PpmConfig::tc2());
+    let mut sim = Simulation::new(sys, mgr);
+    sim.run_for(SimDuration::from_secs(30));
+    let early = sim.metrics().migrations_inter + sim.metrics().migrations_intra;
+    sim.run_for(SimDuration::from_secs(60));
+    let late = sim.metrics().migrations_inter + sim.metrics().migrations_intra - early;
+    // Phase changes may warrant occasional moves, but nothing near the
+    // 315 LBT invocations that 60 s contains.
+    assert!(late < 20, "LBT keeps migrating: {late} moves in 60s");
+}
+
+#[test]
+fn savings_are_banked_and_spent() {
+    // The Figure 8 mechanism end-to-end: a dormant x264 banks allowance and
+    // liquidates it when its active phase begins.
+    let mut sys = System::new(Chip::tc2(), AllocationPolicy::Market);
+    sys.add_task(
+        Task::new(TaskId(0), spec(Benchmark::Swaptions, Input::Native), Priority(1)),
+        CoreId(0),
+    );
+    sys.add_task(
+        Task::new(TaskId(1), spec(Benchmark::X264, Input::Native), Priority(1)),
+        CoreId(0),
+    );
+    let mut config = PpmConfig::tc2().without_lbt();
+    config.savings_cap_factor = 10.0;
+    let mut sim = Simulation::new(sys, PpmManager::new(config));
+    sim.run_for(SimDuration::from_secs(60)); // dormant: banking
+    let banked = sim.manager().market().savings_of(TaskId(1));
+    assert!(banked.value() > 1.0, "x264 should bank savings: {banked}");
+    sim.run_for(SimDuration::from_secs(120)); // well into the active phase
+    let after = sim.manager().market().savings_of(TaskId(1));
+    assert!(
+        after.value() < banked.value() * 0.2,
+        "savings should be spent in the active phase: {banked} -> {after}"
+    );
+}

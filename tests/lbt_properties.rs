@@ -1,0 +1,150 @@
+//! Property-based tests on the full LBT decision procedures over random
+//! system snapshots: no panics, and every proposed move references a real
+//! task and a real destination core.
+
+use proptest::prelude::*;
+
+use ppm::core::lbt::{
+    decide_load_balance, decide_migration, estimate_cluster, ClusterPowerProfile,
+    ClusterSnapshot, CoreSnapshot, SystemSnapshot, TaskSnapshot,
+};
+use ppm::platform::cluster::ClusterId;
+use ppm::platform::core::{CoreClass, CoreId};
+use ppm::platform::units::{Money, Price, ProcessingUnits, Watts};
+use ppm::workload::perclass::PerClass;
+use ppm::workload::task::TaskId;
+
+fn snapshot_strategy() -> impl Strategy<Value = SystemSnapshot> {
+    // 1-4 clusters of 1-4 cores, 0-3 tasks per core.
+    (1usize..=4, 1usize..=4, 0u64..1000).prop_map(|(n_clusters, n_cores, seed)| {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut task_id = 0usize;
+        let clusters: Vec<ClusterSnapshot> = (0..n_clusters)
+            .map(|ci| {
+                let base = 200.0 + (next() % 800) as f64;
+                let levels = 3 + (next() % 5) as usize;
+                let ladder: Vec<ProcessingUnits> = (0..levels)
+                    .map(|l| ProcessingUnits(base * (1.0 + l as f64 * 0.4)))
+                    .collect();
+                let level = (next() as usize) % levels;
+                let cores: Vec<CoreSnapshot> = (0..n_cores)
+                    .map(|co| {
+                        let n_tasks = (next() % 4) as usize;
+                        let tasks = (0..n_tasks)
+                            .map(|_| {
+                                let d = 20.0 + (next() % 700) as f64;
+                                let t = TaskSnapshot {
+                                    id: TaskId(task_id),
+                                    priority: 1 + (next() % 8) as u32,
+                                    demand: PerClass::new(
+                                        ProcessingUnits(d),
+                                        ProcessingUnits(d / 1.8),
+                                    ),
+                                    supply: ProcessingUnits((next() % 600) as f64),
+                                    bid: Money(0.01 + (next() % 100) as f64 / 50.0),
+                                };
+                                task_id += 1;
+                                t
+                            })
+                            .collect();
+                        CoreSnapshot {
+                            id: CoreId(ci * n_cores + co),
+                            tasks,
+                        }
+                    })
+                    .collect();
+                ClusterSnapshot {
+                    id: ClusterId(ci),
+                    class: if ci % 2 == 0 {
+                        CoreClass::Little
+                    } else {
+                        CoreClass::Big
+                    },
+                    ladder,
+                    level,
+                    price: Price((next() % 100) as f64 / 10_000.0),
+                    power: ClusterPowerProfile {
+                        idle: (0..levels).map(|l| Watts(0.05 + 0.02 * l as f64)).collect(),
+                        watts_per_pu: (0..levels)
+                            .map(|l| 0.0004 * (1.0 + 0.1 * l as f64))
+                            .collect(),
+                    },
+                    cores,
+                }
+            })
+            .collect();
+        SystemSnapshot {
+            clusters,
+            tolerance: 0.2,
+            min_bid: Money(0.01),
+            supply_capped: (seed % 2) == 0,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Both decision procedures terminate without panicking and only ever
+    /// propose moves of existing tasks to existing cores.
+    #[test]
+    fn decisions_are_well_formed(snapshot in snapshot_strategy()) {
+        let all_tasks: Vec<TaskId> = snapshot
+            .clusters
+            .iter()
+            .flat_map(|c| c.cores.iter())
+            .flat_map(|c| c.tasks.iter().map(|t| t.id))
+            .collect();
+        let all_cores: Vec<CoreId> = snapshot
+            .clusters
+            .iter()
+            .flat_map(|c| c.cores.iter().map(|c| c.id))
+            .collect();
+        for m in [decide_migration(&snapshot), decide_load_balance(&snapshot)]
+            .into_iter()
+            .flatten()
+        {
+            prop_assert!(all_tasks.contains(&m.task), "unknown task {:?}", m.task);
+            prop_assert!(all_cores.contains(&m.to_core), "unknown core {:?}", m.to_core);
+        }
+    }
+
+    /// Cluster estimates always produce ratios in [0, 1], non-negative
+    /// spending and power, and a level inside the ladder.
+    #[test]
+    fn estimates_are_sane(snapshot in snapshot_strategy()) {
+        for cluster in &snapshot.clusters {
+            let assignment: Vec<Vec<&TaskSnapshot>> =
+                cluster.cores.iter().map(|c| c.tasks.iter().collect()).collect();
+            let est = estimate_cluster(&snapshot, cluster, &assignment);
+            prop_assert!(est.level < cluster.ladder.len());
+            prop_assert!(est.spend.value() >= 0.0);
+            prop_assert!(est.power.value() >= 0.0);
+            for &(_, _, r) in &est.ratios {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&r), "ratio {r}");
+            }
+        }
+    }
+
+    /// A proposed migration, when applied, never moves the task onto the
+    /// core it already occupies.
+    #[test]
+    fn moves_actually_move(snapshot in snapshot_strategy()) {
+        if let Some(m) = decide_migration(&snapshot) {
+            let from = snapshot
+                .clusters
+                .iter()
+                .flat_map(|c| c.cores.iter())
+                .find(|c| c.tasks.iter().any(|t| t.id == m.task))
+                .expect("task exists")
+                .id;
+            prop_assert_ne!(from, m.to_core, "no-op move proposed");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! The §3.2.2 freeze invariant: "while the V-F level is changing, we do
+//! not allow the task agents to change their bids until they have observed
+//! the effect of the new supply on their existing bids."
+
+use proptest::prelude::*;
+
+use ppm::core::config::PpmConfig;
+use ppm::core::market::{ClusterObs, CoreObs, Market, MarketObs, TaskObs, VfStep};
+use ppm::platform::cluster::ClusterId;
+use ppm::platform::core::CoreId;
+use ppm::platform::units::{ProcessingUnits, Watts};
+use ppm::workload::task::TaskId;
+
+#[derive(Debug, Clone)]
+struct World {
+    level: usize,
+    ladder: Vec<f64>,
+    demands: Vec<f64>,
+}
+
+impl World {
+    fn obs(&self) -> MarketObs {
+        MarketObs {
+            chip_power: Watts(0.8),
+            tasks: self
+                .demands
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| TaskObs {
+                    id: TaskId(i),
+                    core: CoreId(i % 2),
+                    priority: 1 + (i as u32 % 3),
+                    demand: ProcessingUnits(d),
+                })
+                .collect(),
+            cores: vec![
+                CoreObs {
+                    id: CoreId(0),
+                    cluster: ClusterId(0),
+                },
+                CoreObs {
+                    id: CoreId(1),
+                    cluster: ClusterId(0),
+                },
+            ],
+            clusters: vec![ClusterObs {
+                id: ClusterId(0),
+                supply: ProcessingUnits(self.ladder[self.level]),
+                supply_up: self.ladder.get(self.level + 1).map(|&s| ProcessingUnits(s)),
+                supply_down: (self.level > 0)
+                    .then(|| ProcessingUnits(self.ladder[self.level - 1])),
+                power: Watts(0.8),
+            }],
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// In the round following a DVFS request, every bid on that cluster is
+    /// unchanged.
+    #[test]
+    fn bids_freeze_across_vf_changes(
+        demands in proptest::collection::vec(30.0f64..900.0, 2..6),
+        demand_bumps in proptest::collection::vec((0usize..6, 1.2f64..2.0), 1..4),
+    ) {
+        let mut w = World {
+            level: 0,
+            ladder: vec![300.0, 450.0, 600.0, 800.0, 1000.0],
+            demands,
+        };
+        let mut market = Market::new(PpmConfig::tc2());
+        let mut bumps = demand_bumps.into_iter();
+        for round in 0..60u32 {
+            let before = w.obs();
+            let decision = market.round(&before);
+            // Occasionally perturb a demand to provoke V-F activity.
+            if round % 7 == 3 {
+                if let Some((i, f)) = bumps.next() {
+                    if let Some(d) = w.demands.get_mut(i % before.tasks.len().max(1)) {
+                        *d = (*d * f).min(1000.0);
+                    }
+                }
+            }
+            if decision.dvfs.iter().any(|(c, _)| *c == ClusterId(0)) {
+                // Apply the step and run the next round: bids must be
+                // byte-identical to this round's.
+                let frozen_bids: Vec<_> =
+                    decision.tasks.iter().map(|t| (t.id, t.bid)).collect();
+                for (cl, step) in &decision.dvfs {
+                    assert_eq!(*cl, ClusterId(0));
+                    match step {
+                        VfStep::Up => w.level = (w.level + 1).min(w.ladder.len() - 1),
+                        VfStep::Down => w.level = w.level.saturating_sub(1),
+                    }
+                }
+                let next = market.round(&w.obs());
+                for (id, bid) in frozen_bids {
+                    let now = next.tasks.iter().find(|t| t.id == id).expect("same tasks");
+                    prop_assert_eq!(now.bid, bid, "bid moved during the freeze");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! The paper's stated future work, end to end: PPM running with the online
+//! power-performance estimator instead of off-line demand profiles must
+//! deliver comparable QoS and power.
+
+use ppm::core::config::PpmConfig;
+use ppm::core::manager::tc2_ppm_system;
+use ppm::platform::core::CoreClass;
+use ppm::platform::units::SimDuration;
+use ppm::sched::Simulation;
+use ppm::workload::sets::set_by_name;
+use ppm::workload::task::{Priority, TaskId};
+
+fn run(config: PpmConfig, set: &str) -> (f64, f64) {
+    let set = set_by_name(set).expect("Table 6 set");
+    let (sys, mgr) = tc2_ppm_system(set.spawn(0, Priority::NORMAL), config);
+    let mut sim = Simulation::new(sys, mgr).with_warmup(SimDuration::from_secs(5));
+    sim.run_for(SimDuration::from_secs(60));
+    let m = sim.metrics();
+    (m.any_miss_fraction(), m.average_power().value())
+}
+
+#[test]
+fn online_estimation_matches_offline_profiles_on_medium_set() {
+    let (miss_offline, power_offline) = run(PpmConfig::tc2(), "m1");
+    let (miss_online, power_online) = run(PpmConfig::tc2().with_online_estimation(), "m1");
+    // Within the paper's expectations: the estimator replaces profiling
+    // without wrecking QoS or power.
+    assert!(
+        miss_online < miss_offline + 0.15,
+        "online {miss_online:.2} vs offline {miss_offline:.2}"
+    );
+    assert!(
+        power_online < power_offline * 1.4 + 0.5,
+        "online {power_online:.2}W vs offline {power_offline:.2}W"
+    );
+}
+
+#[test]
+fn estimator_learns_the_population_speedup_from_migrations() {
+    let set = set_by_name("h1").expect("h1");
+    let (sys, mgr) = tc2_ppm_system(
+        set.spawn(0, Priority::NORMAL),
+        PpmConfig::tc2().with_online_estimation(),
+    );
+    let mut sim = Simulation::new(sys, mgr);
+    sim.run_for(SimDuration::from_secs(60));
+    let est = sim.manager().estimator();
+    // A heavy set forces migrations, so at least one task is observed on
+    // both classes and the speedup leaves its prior.
+    assert!(
+        est.speedup_samples() > 0,
+        "no dual-class observations: {est}"
+    );
+    assert!(
+        (1.2..=2.6).contains(&est.speedup()),
+        "implausible learned speedup: {}",
+        est.speedup()
+    );
+    // Every active task should have a usable cross-class prediction.
+    for id in sim.system().task_ids() {
+        let d = est.demand_per_class(id).expect("warmed up");
+        assert!(d[CoreClass::Big] < d[CoreClass::Little]);
+        let _ = TaskId(id.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Robustness: the market must tolerate imperfect sensors and odd
+//! configurations without thrashing or violating its invariants.
+
+use ppm::core::config::PpmConfig;
+use ppm::core::manager::tc2_ppm_system;
+use ppm::platform::units::{SimDuration, Watts};
+use ppm::sched::Simulation;
+use ppm::workload::sets::set_by_name;
+use ppm::workload::task::Priority;
+
+fn run_with_noise(noise: f64, tdp: Option<Watts>) -> (f64, f64, u64) {
+    let set = set_by_name("m2").expect("m2");
+    let config = match tdp {
+        Some(t) => PpmConfig::tc2_with_tdp(t),
+        None => PpmConfig::tc2(),
+    };
+    let (mut sys, mgr) = tc2_ppm_system(set.spawn(0, Priority::NORMAL), config);
+    sys.set_sensor_noise(noise);
+    if let Some(t) = tdp {
+        sys.set_tdp_accounting(t);
+    }
+    let mut sim = Simulation::new(sys, mgr).with_warmup(SimDuration::from_secs(5));
+    sim.run_for(SimDuration::from_secs(60));
+    let m = sim.metrics();
+    (
+        m.any_miss_fraction(),
+        m.average_power().value(),
+        m.vf_transitions,
+    )
+}
+
+#[test]
+fn five_percent_sensor_noise_is_tolerated() {
+    let (miss_clean, power_clean, vf_clean) = run_with_noise(0.0, None);
+    let (miss_noisy, power_noisy, vf_noisy) = run_with_noise(0.05, None);
+    assert!(
+        miss_noisy < miss_clean + 0.10,
+        "noise wrecked QoS: {miss_noisy:.2} vs {miss_clean:.2}"
+    );
+    assert!(
+        power_noisy < power_clean * 1.3 + 0.3,
+        "noise inflated power: {power_noisy:.2} vs {power_clean:.2}"
+    );
+    assert!(
+        vf_noisy < vf_clean * 4 + 40,
+        "noise caused V-F thrash: {vf_noisy} vs {vf_clean}"
+    );
+}
+
+#[test]
+fn noisy_sensors_near_the_tdp_do_not_collapse_the_market() {
+    // Noise makes the power reading flicker across the threshold/emergency
+    // boundaries; the state machine and cooldowns must damp it.
+    let tdp = Watts(4.0);
+    let (miss, power, _vf) = run_with_noise(0.05, Some(tdp));
+    assert!(power < 4.0, "cap must hold on average: {power:.2} W");
+    assert!(miss < 0.5, "flicker starved the workload: {miss:.2}");
+}

@@ -1,0 +1,185 @@
+//! Property-based tests on the substrate invariants: allocation, heartbeat
+//! accounting, V-F tables, PELT, and the LBT estimator.
+
+use proptest::prelude::*;
+
+use ppm::core::lbt::{constrained_core_scan, RemoteCluster, TaskSnapshot};
+use ppm::platform::core::CoreClass;
+use ppm::platform::units::{MegaHertz, Money, Price, ProcessingUnits, SimDuration, SimTime};
+use ppm::platform::vf::linear_table;
+use ppm::sched::runqueue::{fair_allocate, market_allocate, Claimant};
+use ppm::sched::PeltTracker;
+use ppm::workload::benchmarks::{Benchmark, BenchmarkSpec, Input};
+use ppm::workload::perclass::PerClass;
+use ppm::workload::task::{Priority, Task, TaskId};
+
+fn claimants() -> impl Strategy<Value = Vec<Claimant>> {
+    proptest::collection::vec(
+        (1u32..100_000, 0.0f64..1500.0, 1.0f64..2000.0).prop_map(|(w, s, c)| Claimant {
+            task: TaskId(0),
+            weight: w,
+            share: ProcessingUnits(s),
+            cap: ProcessingUnits(c),
+        }),
+        1..12,
+    )
+    .prop_map(|mut v| {
+        for (i, c) in v.iter_mut().enumerate() {
+            c.task = TaskId(i);
+        }
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Fair allocation never over-commits the supply and never exceeds a
+    /// claimant's cap.
+    #[test]
+    fn fair_allocation_is_feasible(claims in claimants(), supply in 0.0f64..2000.0) {
+        let grants = fair_allocate(ProcessingUnits(supply), &claims);
+        let total: f64 = grants.iter().map(|g| g.value()).sum();
+        prop_assert!(total <= supply + 1e-6, "over-committed: {total} > {supply}");
+        for (g, c) in grants.iter().zip(&claims) {
+            prop_assert!(g.value() <= c.cap.value() + 1e-9);
+            prop_assert!(g.value() >= 0.0);
+        }
+    }
+
+    /// Fair allocation is work-conserving: if any claimant still has cap
+    /// headroom, the supply is fully consumed.
+    #[test]
+    fn fair_allocation_is_work_conserving(claims in claimants(), supply in 1.0f64..2000.0) {
+        let grants = fair_allocate(ProcessingUnits(supply), &claims);
+        let total: f64 = grants.iter().map(|g| g.value()).sum();
+        let cap_total: f64 = claims.iter().map(|c| c.cap.value()).sum();
+        let expected = supply.min(cap_total);
+        prop_assert!((total - expected).abs() < 1e-6,
+            "left supply on the table: {total} vs {expected}");
+    }
+
+    /// Market allocation scales proportionally under over-subscription.
+    #[test]
+    fn market_allocation_respects_shares(claims in claimants(), supply in 1.0f64..2000.0) {
+        let grants = market_allocate(ProcessingUnits(supply), &claims);
+        let share_total: f64 = claims.iter().map(|c| c.share.value()).sum();
+        for (g, c) in grants.iter().zip(&claims) {
+            prop_assert!(g.value() <= c.cap.value() + 1e-9);
+            let entitled = if share_total > supply && share_total > 0.0 {
+                c.share.value() * supply / share_total
+            } else {
+                c.share.value()
+            };
+            prop_assert!(g.value() <= entitled + 1e-6);
+        }
+    }
+
+    /// Heartbeat accounting conserves work: executing C cycles in a steady
+    /// phase yields exactly C / cycles-per-beat heartbeats.
+    #[test]
+    fn heartbeats_conserve_cycles(ms in 1u64..200, supply in 50.0f64..1200.0) {
+        let spec = BenchmarkSpec::of(Benchmark::Blackscholes, Input::Native).unwrap();
+        let cpb = spec.cycles_per_heartbeat(CoreClass::Little);
+        let mut task = Task::new(TaskId(0), spec, Priority(1));
+        let cycles = ProcessingUnits(supply).cycles_over(SimDuration::from_millis(ms));
+        let beats = task.execute(cycles, CoreClass::Little, SimTime::from_millis(ms));
+        prop_assert!((beats - cycles.value() / cpb).abs() < 1e-6);
+        prop_assert!((task.total_cycles().value() - cycles.value()).abs() < 1e-9);
+    }
+
+    /// Work is class-consistent: the same cycles produce `speedup`× more
+    /// beats on a big core.
+    #[test]
+    fn speedup_is_consistent(supply in 50.0f64..1000.0) {
+        let spec = BenchmarkSpec::of(Benchmark::Swaptions, Input::Native).unwrap();
+        let speedup = spec.speedup();
+        let mut little = Task::new(TaskId(0), spec.clone(), Priority(1));
+        let mut big = Task::new(TaskId(1), spec, Priority(1));
+        let cycles = ProcessingUnits(supply).cycles_over(SimDuration::from_millis(50));
+        let b_l = little.execute(cycles, CoreClass::Little, SimTime::from_millis(50));
+        let b_b = big.execute(cycles, CoreClass::Big, SimTime::from_millis(50));
+        prop_assert!((b_b / b_l - speedup).abs() / speedup < 0.05);
+    }
+
+    /// `level_for_demand` always returns a level whose supply covers the
+    /// demand when one exists, and the smallest such level.
+    #[test]
+    fn vf_level_selection_rounds_up(lo in 100u32..500, span in 100u32..2000, steps in 2usize..10,
+                                    demand in 0.0f64..3000.0) {
+        let table = linear_table(MegaHertz(lo), MegaHertz(lo + span), steps);
+        let level = table.level_for_demand(ProcessingUnits(demand));
+        let supply = table.point(level).supply();
+        let max = table.max().supply();
+        if demand <= max.value() {
+            prop_assert!(supply.value() >= demand);
+            if level.0 > 0 {
+                let below = table.point(ppm::platform::vf::VfLevel(level.0 - 1)).supply();
+                prop_assert!(below.value() < demand, "not minimal");
+            }
+        } else {
+            prop_assert_eq!(supply, max);
+        }
+    }
+
+    /// PELT stays in [0, 1] and converges to a constant input.
+    #[test]
+    fn pelt_is_bounded_and_convergent(fraction in 0.0f64..1.0, steps in 1usize..3000) {
+        let mut p = PeltTracker::new();
+        for _ in 0..steps {
+            p.update(SimDuration::from_millis(1), fraction);
+            prop_assert!((0.0..=1.0).contains(&p.load()));
+        }
+        if steps > 1000 {
+            prop_assert!((p.load() - fraction).abs() < 0.01);
+        }
+    }
+
+    /// The constrained-core scan never invents a better-than-perfect ratio
+    /// and always returns a task/cluster that exists.
+    #[test]
+    fn scan_results_are_well_formed(
+        n_tasks in 1usize..16,
+        n_clusters in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        // Deterministic pseudo-random values from the seed (xorshift).
+        let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s % 1000) as f64
+        };
+        let tasks: Vec<TaskSnapshot> = (0..n_tasks)
+            .map(|i| TaskSnapshot {
+                id: TaskId(i),
+                priority: 1 + (next() as u32 % 8),
+                demand: PerClass::new(
+                    ProcessingUnits(10.0 + next() % 50.0),
+                    ProcessingUnits(5.0 + next() % 30.0),
+                ),
+                supply: ProcessingUnits(10.0 + next() % 50.0),
+                bid: Money(0.1 + next() / 1000.0),
+            })
+            .collect();
+        let remotes: Vec<RemoteCluster> = (0..n_clusters)
+            .map(|i| RemoteCluster {
+                class: if i % 2 == 0 { CoreClass::Little } else { CoreClass::Big },
+                price: Price(0.001 + next() / 1e5),
+                level: 2,
+                ladder: vec![
+                    ProcessingUnits(300.0),
+                    ProcessingUnits(500.0),
+                    ProcessingUnits(700.0),
+                    ProcessingUnits(900.0),
+                ],
+                cores: (0..4).map(|_| (ProcessingUnits(next() % 600.0), 4u32)).collect(),
+            })
+            .collect();
+        let r = constrained_core_scan(&tasks, &remotes, 0.2).expect("non-empty inputs");
+        prop_assert!(r.task.0 < n_tasks);
+        prop_assert!(r.cluster < n_clusters);
+        prop_assert!(r.core < 4);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&r.ratio));
+        prop_assert!(r.spend.value() >= 0.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! The thermal extension: junction-temperature limits enforced through the
+//! market's money supply, against the RC thermal model.
+
+use ppm::core::config::PpmConfig;
+use ppm::core::manager::tc2_ppm_system;
+use ppm::platform::thermal::{Celsius, ThermalModel, ThermalParams};
+use ppm::platform::units::SimDuration;
+use ppm::sched::Simulation;
+use ppm::workload::sets::set_by_name;
+use ppm::workload::task::Priority;
+
+/// Hot chassis: aggressive thermal resistance so a heavy workload heats up
+/// fast and the limit actually binds.
+fn hot_thermal() -> ThermalModel {
+    ThermalModel::new(
+        vec![
+            ThermalParams {
+                resistance: 18.0,
+                time_constant: 3.0,
+            };
+            2
+        ],
+        Celsius(40.0),
+        Celsius(100.0),
+    )
+}
+
+fn run(config: PpmConfig) -> (f64, f64) {
+    let set = set_by_name("h1").expect("h1");
+    let (mut sys, mgr) = tc2_ppm_system(set.spawn(0, Priority::NORMAL), config);
+    sys.attach_thermal(hot_thermal());
+    let mut sim = Simulation::new(sys, mgr).with_warmup(SimDuration::from_secs(5));
+    sim.run_for(SimDuration::from_secs(60));
+    let peak = sim.system().thermal().expect("attached").peak().value();
+    (peak, sim.metrics().any_miss_fraction())
+}
+
+#[test]
+fn thermal_limit_caps_the_junction_temperature() {
+    // Unconstrained: the heavy set drives the big cluster far past 80 C.
+    let (peak_free, _) = run(PpmConfig::tc2());
+    assert!(peak_free > 85.0, "workload should run hot: {peak_free:.1} C");
+
+    // With an (75, 82) C limit the market throttles: noticeably cooler.
+    let (peak_limited, miss) = run(
+        PpmConfig::tc2().with_thermal_limit(Celsius(75.0), Celsius(82.0)),
+    );
+    assert!(
+        peak_limited < peak_free - 3.0,
+        "limit should cool the chip: {peak_limited:.1} vs {peak_free:.1} C"
+    );
+    assert!(
+        peak_limited < 90.0,
+        "sustained temperature must approach the limit: {peak_limited:.1} C"
+    );
+    // Throttling a heavy set this hard costs most of its QoS (the budget
+    // shrinks to roughly half the chip), but the market must keep
+    // operating — some heartbeats keep landing in range.
+    assert!(miss < 1.0, "thermal throttling deadlocked the market: {miss:.2}");
+}
+
+#[test]
+fn thermal_limit_is_inert_on_cool_workloads() {
+    let set = set_by_name("l1").expect("l1");
+    let config = PpmConfig::tc2().with_thermal_limit(Celsius(75.0), Celsius(82.0));
+    let (mut sys, mgr) = tc2_ppm_system(set.spawn(0, Priority::NORMAL), config);
+    sys.attach_thermal(hot_thermal());
+    let mut sim = Simulation::new(sys, mgr).with_warmup(SimDuration::from_secs(5));
+    sim.run_for(SimDuration::from_secs(40));
+    // Light sets never get near the limit, so QoS is unaffected.
+    assert!(sim.metrics().any_miss_fraction() < 0.15);
+    assert!(sim.system().thermal().expect("attached").peak().value() < 75.0);
+}
