@@ -115,9 +115,9 @@ impl HpmManager {
     const MIGRATION_COOLDOWN: SimDuration = SimDuration(2_000_000);
 
     fn may_move(&self, sys: &System, id: TaskId) -> bool {
-        self.migrated_at
-            .get(id.0)
-            .is_none_or(|&t| sys.now().since(SimTime::ZERO) >= t.since(SimTime::ZERO) + Self::MIGRATION_COOLDOWN)
+        self.migrated_at.get(id.0).is_none_or(|&t| {
+            sys.now().since(SimTime::ZERO) >= t.since(SimTime::ZERO) + Self::MIGRATION_COOLDOWN
+        })
     }
 
     fn note_move(&mut self, sys: &System, id: TaskId) {
@@ -138,11 +138,8 @@ impl HpmManager {
         let max_id = ids.iter().map(|i| i.0 + 1).max().unwrap_or(0);
         while self.task_pids.len() < max_id {
             // Output is a share adjustment in PU per update.
-            self.task_pids.push(Pid::new(PidConfig::pi(
-                80.0,
-                40.0,
-                (-150.0, 150.0),
-            )));
+            self.task_pids
+                .push(Pid::new(PidConfig::pi(80.0, 40.0, (-150.0, 150.0))));
         }
         for id in ids {
             let hr = sys.task(id).heart_rate();
@@ -200,12 +197,11 @@ impl HpmManager {
                 })
                 .fold(0.0, f64::max);
             let table = sys.chip().cluster(cl).table().clone();
-            let wanted = table.level_for_demand(ProcessingUnits(
-                busiest / self.config.target_utilization,
-            ));
+            let wanted =
+                table.level_for_demand(ProcessingUnits(busiest / self.config.target_utilization));
             let cap_offset = self.level_cap.round() as i64; // ≤ 0
-            let capped = (wanted.0 as i64 + cap_offset)
-                .clamp(0, table.max_level().0 as i64) as usize;
+            let capped =
+                (wanted.0 as i64 + cap_offset).clamp(0, table.max_level().0 as i64) as usize;
             let target = VfLevel(capped);
             if sys.chip().cluster(cl).effective_target() != target {
                 sys.request_level(cl, target);
@@ -290,9 +286,7 @@ impl HpmManager {
                     .tasks_on(c)
                     .iter()
                     .filter(|&&t| self.may_move(sys, t))
-                    .max_by(|&&a, &&b| {
-                        sys.share_of(a).value().total_cmp(&sys.share_of(b).value())
-                    })
+                    .max_by(|&&a, &&b| sys.share_of(a).value().total_cmp(&sys.share_of(b).value()))
                     .copied();
                 let target = big_cores
                     .iter()

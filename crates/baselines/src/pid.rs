@@ -66,7 +66,8 @@ impl Pid {
             _ => 0.0,
         };
         self.last_error = Some(error);
-        let out = self.config.kp * error + self.config.ki * self.integral + self.config.kd * derivative;
+        let out =
+            self.config.kp * error + self.config.ki * self.integral + self.config.kd * derivative;
         out.clamp(self.config.output_limits.0, self.config.output_limits.1)
     }
 

@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ppm_core::config::PpmConfig;
-use ppm_core::market::{ClusterObs, CoreObs, Market, MarketObs, TaskObs};
+use ppm_core::market::{ClusterObs, CoreObs, Market, MarketDecision, MarketObs, TaskObs};
 use ppm_platform::cluster::ClusterId;
 use ppm_platform::core::CoreId;
 use ppm_platform::units::{ProcessingUnits, Watts};
@@ -52,6 +52,7 @@ fn obs(clusters: usize, cores: usize, tasks: usize) -> MarketObs {
     }
 }
 
+/// The allocating wrapper (fresh decision per call), small grids.
 fn bench_round(cr: &mut Criterion) {
     let mut group = cr.benchmark_group("supply_demand/round");
     for (clusters, cores, tasks) in [(2usize, 3usize, 2usize), (4, 4, 8), (16, 8, 8)] {
@@ -70,5 +71,38 @@ fn bench_round(cr: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_round);
+/// The zero-allocation entry point over the paper's §5.5 grid, up to 256
+/// clusters — the numbers recorded in BENCH_market.json come from the same
+/// loop (see `src/bin/bench_market.rs`).
+fn bench_round_into(cr: &mut Criterion) {
+    let mut group = cr.benchmark_group("supply_demand/round_into");
+    for (clusters, cores, tasks) in [
+        (2usize, 3usize, 2usize),
+        (4, 4, 8),
+        (16, 8, 8),
+        (64, 8, 16),
+        (256, 8, 32),
+        (256, 16, 32),
+    ] {
+        let snapshot = obs(clusters, cores, tasks);
+        let total = clusters * cores * tasks;
+        group.throughput(Throughput::Elements(total as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("V{clusters}_C{cores}_T{tasks}")),
+            &snapshot,
+            |b, snapshot| {
+                let mut market = Market::new(PpmConfig::tc2());
+                let mut out = MarketDecision::default();
+                // Warm the scratch arenas so the loop measures steady state.
+                for _ in 0..3 {
+                    market.round_into(snapshot, &mut out);
+                }
+                b.iter(|| market.round_into(snapshot, &mut out));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round, bench_round_into);
 criterion_main!(benches);

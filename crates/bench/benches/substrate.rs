@@ -77,5 +77,10 @@ fn bench_fair_allocate(cr: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulation, bench_task_execute, bench_fair_allocate);
+criterion_group!(
+    benches,
+    bench_simulation,
+    bench_task_execute,
+    bench_fair_allocate
+);
 criterion_main!(benches);

@@ -77,8 +77,8 @@ mod full_decide {
     use super::*;
     use criterion::Criterion;
     use ppm_core::lbt::{
-        decide_load_balance, decide_migration, ClusterPowerProfile, ClusterSnapshot,
-        CoreSnapshot, SystemSnapshot,
+        decide_load_balance, decide_migration, ClusterPowerProfile, ClusterSnapshot, CoreSnapshot,
+        SystemSnapshot,
     };
     use ppm_platform::cluster::ClusterId;
     use ppm_platform::core::CoreId;
@@ -104,7 +104,9 @@ mod full_decide {
             idle: (0..8)
                 .map(|l| Watts(uncore + n * leak * (0.9 + 0.05 * l as f64)))
                 .collect(),
-            watts_per_pu: (0..8).map(|l| dyn_c * (0.9_f64 + 0.05 * l as f64).powi(2)).collect(),
+            watts_per_pu: (0..8)
+                .map(|l| dyn_c * (0.9_f64 + 0.05 * l as f64).powi(2))
+                .collect(),
         };
         SystemSnapshot {
             clusters: vec![
@@ -151,10 +153,91 @@ mod full_decide {
         let snapshot = tc2_snapshot();
         let mut group = cr.benchmark_group("lbt/full_decide_tc2");
         group.bench_function("migration", |b| b.iter(|| decide_migration(&snapshot)));
-        group.bench_function("load_balance", |b| b.iter(|| decide_load_balance(&snapshot)));
+        group.bench_function("load_balance", |b| {
+            b.iter(|| decide_load_balance(&snapshot))
+        });
+        group.finish();
+    }
+}
+
+mod market_full {
+    use super::*;
+    use criterion::Criterion;
+    use ppm_core::config::PpmConfig;
+    use ppm_core::market::{ClusterObs, CoreObs, Market, MarketDecision, MarketObs, TaskObs};
+    use ppm_platform::cluster::ClusterId;
+    use ppm_platform::core::CoreId;
+    use ppm_platform::units::Watts;
+
+    fn obs(v: usize, c: usize, t: usize) -> MarketObs {
+        let mut gen = ScalabilityWorkload::new(11);
+        let mut tasks = Vec::new();
+        let mut cores = Vec::new();
+        for cl in 0..v {
+            for co in 0..c {
+                let core = CoreId(cl * c + co);
+                cores.push(CoreObs {
+                    id: core,
+                    cluster: ClusterId(cl),
+                });
+                for _ in 0..t {
+                    let s = gen.task();
+                    tasks.push(TaskObs {
+                        id: TaskId(tasks.len()),
+                        core,
+                        priority: s.priority,
+                        demand: s.demand,
+                    });
+                }
+            }
+        }
+        MarketObs {
+            chip_power: Watts(2.0),
+            tasks,
+            cores,
+            clusters: (0..v)
+                .map(|cl| ClusterObs {
+                    id: ClusterId(cl),
+                    supply: ProcessingUnits(600.0),
+                    supply_up: Some(ProcessingUnits(700.0)),
+                    supply_down: Some(ProcessingUnits(500.0)),
+                    power: Watts(2.0 / v as f64),
+                })
+                .collect(),
+        }
+    }
+
+    /// The other half of Table 7: the supply-demand module's full round at
+    /// the same (V, C, T) grid as the LBT scan, up to 256 clusters.
+    pub fn bench(cr: &mut Criterion) {
+        let mut group = cr.benchmark_group("table7/market_round");
+        for (v, c, t) in [
+            (2usize, 4usize, 8usize),
+            (4, 4, 32),
+            (16, 8, 32),
+            (16, 16, 32),
+            (256, 8, 32),
+            (256, 16, 32),
+        ] {
+            let snapshot = obs(v, c, t);
+            group.throughput(Throughput::Elements(snapshot.tasks.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("V{v}_C{c}_T{t}")),
+                &snapshot,
+                |b, snapshot| {
+                    let mut market = Market::new(PpmConfig::tc2());
+                    let mut out = MarketDecision::default();
+                    for _ in 0..3 {
+                        market.round_into(snapshot, &mut out);
+                    }
+                    b.iter(|| market.round_into(snapshot, &mut out));
+                },
+            );
+        }
         group.finish();
     }
 }
 
 criterion_group!(full, full_decide::bench);
-criterion_main!(benches, full);
+criterion_group!(market, market_full::bench);
+criterion_main!(benches, full, market);

@@ -1,0 +1,149 @@
+//! Wall-clock cost of the full `Market::round` over the paper's §5.5
+//! scalability grid (V clusters × C cores per cluster × T tasks per core),
+//! up to 256 clusters, and a JSON record (`BENCH_market.json`) so future
+//! changes have a perf trajectory to compare against.
+//!
+//! Run with `cargo run --release -p ppm-bench --bin bench_market [out.json]`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ppm_core::config::PpmConfig;
+use ppm_core::market::{ClusterObs, CoreObs, Market, MarketDecision, MarketObs, TaskObs};
+use ppm_platform::cluster::ClusterId;
+use ppm_platform::core::CoreId;
+use ppm_platform::units::{ProcessingUnits, Watts};
+use ppm_workload::generator::ScalabilityWorkload;
+use ppm_workload::task::TaskId;
+
+/// The measured grid: the paper's Table 7 shapes plus the large
+/// (V=256, C=16, T=32) point used as the acceptance target.
+const GRID: [(usize, usize, usize); 7] = [
+    (2, 4, 2),
+    (4, 4, 8),
+    (16, 8, 8),
+    (16, 16, 32),
+    (64, 8, 16),
+    (256, 8, 32),
+    (256, 16, 32),
+];
+
+/// An observation snapshot with `v` clusters × `c` cores × `t` tasks/core.
+fn obs(v: usize, c: usize, t: usize) -> MarketObs {
+    let mut gen = ScalabilityWorkload::new(11);
+    let mut tasks = Vec::new();
+    let mut cores = Vec::new();
+    for cl in 0..v {
+        for co in 0..c {
+            let core = CoreId(cl * c + co);
+            cores.push(CoreObs {
+                id: core,
+                cluster: ClusterId(cl),
+            });
+            for _ in 0..t {
+                let s = gen.task();
+                tasks.push(TaskObs {
+                    id: TaskId(tasks.len()),
+                    core,
+                    priority: s.priority,
+                    demand: s.demand,
+                });
+            }
+        }
+    }
+    MarketObs {
+        chip_power: Watts(2.0),
+        tasks,
+        cores,
+        clusters: (0..v)
+            .map(|cl| ClusterObs {
+                id: ClusterId(cl),
+                supply: ProcessingUnits(600.0),
+                supply_up: Some(ProcessingUnits(700.0)),
+                supply_down: Some(ProcessingUnits(500.0)),
+                power: Watts(2.0 / v as f64),
+            })
+            .collect(),
+    }
+}
+
+struct Sample {
+    v: usize,
+    c: usize,
+    t: usize,
+    tasks: usize,
+    rounds: u64,
+    ns_per_round: f64,
+}
+
+fn bench_point(v: usize, c: usize, t: usize) -> Sample {
+    let snapshot = obs(v, c, t);
+    let mut market = Market::new(PpmConfig::tc2());
+    let mut out = MarketDecision::default();
+    // Warm the agent arenas and scratch capacity out of the measurement.
+    for _ in 0..10 {
+        market.round_into(&snapshot, &mut out);
+    }
+    let mut rounds: u64 = 0;
+    let start = Instant::now();
+    let budget = std::time::Duration::from_millis(500);
+    while start.elapsed() < budget || rounds < 20 {
+        market.round_into(&snapshot, &mut out);
+        rounds += 1;
+        if rounds >= 100_000 {
+            break;
+        }
+    }
+    let ns_per_round = start.elapsed().as_secs_f64() * 1e9 / rounds as f64;
+    Sample {
+        v,
+        c,
+        t,
+        tasks: snapshot.tasks.len(),
+        rounds,
+        ns_per_round,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_market.json".to_string());
+    let mut samples = Vec::new();
+    println!(
+        "{:<18} {:>8} {:>10} {:>14}",
+        "grid", "tasks", "rounds", "ns/round"
+    );
+    for &(v, c, t) in &GRID {
+        let s = bench_point(v, c, t);
+        println!(
+            "V{:<4} C{:<3} T{:<5} {:>8} {:>10} {:>14.0}",
+            s.v, s.c, s.t, s.tasks, s.rounds, s.ns_per_round
+        );
+        samples.push(s);
+    }
+
+    let mut json = String::new();
+    json.push_str(
+        "{\n  \"bench\": \"market_round\",\n  \"unit\": \"ns_per_round\",\n  \"grid\": [\n",
+    );
+    for (i, s) in samples.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"v\": {}, \"c\": {}, \"t\": {}, \"tasks\": {}, \"rounds\": {}, \"ns_per_round\": {:.0}}}{}",
+            s.v,
+            s.c,
+            s.t,
+            s.tasks,
+            s.rounds,
+            s.ns_per_round,
+            if i + 1 == samples.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

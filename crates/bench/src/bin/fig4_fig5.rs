@@ -31,9 +31,11 @@ fn main() {
         rows.push(row);
     }
 
-    print_matrix("Figure 4 — % time reference heart rate missed", &rows, |r| {
-        format!("{:.1}%", r.any_miss * 100.0)
-    });
+    print_matrix(
+        "Figure 4 — % time reference heart rate missed",
+        &rows,
+        |r| format!("{:.1}%", r.any_miss * 100.0),
+    );
     print_matrix("Figure 5 — average power consumption [W]", &rows, |r| {
         format!("{:.2}", r.avg_power.value())
     });

@@ -152,11 +152,7 @@ fn run<M: PowerManager>(sys: System, manager: M, duration: SimDuration) -> RunMe
 }
 
 /// Print a markdown table: rows = workload sets, columns = schemes.
-pub fn print_matrix<F: Fn(&RunSummary) -> String>(
-    title: &str,
-    rows: &[Vec<RunSummary>],
-    cell: F,
-) {
+pub fn print_matrix<F: Fn(&RunSummary) -> String>(title: &str, rows: &[Vec<RunSummary>], cell: F) {
     println!("\n## {title}\n");
     print!("| workload |");
     for s in Scheme::ALL {

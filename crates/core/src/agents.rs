@@ -134,45 +134,68 @@ pub mod chip_agent {
     /// entries with zero priority mass receive nothing. Returns one
     /// allowance per entry; the results sum to `A` (money conservation)
     /// whenever any entry has priority mass.
-    pub fn distribute(
+    pub fn distribute(allowance: Money, chip_power: f64, clusters: &[(f64, u32)]) -> Vec<Money> {
+        let powers: Vec<f64> = clusters.iter().map(|&(w, _)| w).collect();
+        let masses: Vec<u32> = clusters.iter().map(|&(_, r)| r).collect();
+        let mut out = Vec::new();
+        distribute_into(allowance, chip_power, &powers, &masses, &mut out);
+        out
+    }
+
+    /// [`distribute`] into a caller-provided buffer, with the cluster stats
+    /// as parallel slices: the market's hot path calls this once per round
+    /// with reusable scratch, so no allocation happens in steady state.
+    /// Weights are recomputed instead of stored; the arithmetic (and thus
+    /// the result, bit for bit) matches `distribute`.
+    pub fn distribute_into(
         allowance: Money,
         chip_power: f64,
-        clusters: &[(f64, u32)],
-    ) -> Vec<Money> {
-        let active: Vec<usize> = clusters
-            .iter()
-            .enumerate()
-            .filter(|(_, (_, r))| *r > 0)
-            .map(|(i, _)| i)
-            .collect();
-        let mut out = vec![Money::ZERO; clusters.len()];
-        if active.is_empty() {
-            return out;
+        cluster_power: &[f64],
+        priority_mass: &[u32],
+        out: &mut Vec<Money>,
+    ) {
+        assert_eq!(cluster_power.len(), priority_mass.len());
+        out.clear();
+        out.resize(cluster_power.len(), Money::ZERO);
+        let active_count = priority_mass.iter().filter(|&&r| r > 0).count();
+        if active_count == 0 {
+            return;
         }
-        let mut weights = vec![0.0; clusters.len()];
-        let mut sum = 0.0;
-        for &i in &active {
-            let w = if active.len() == 1 {
+        let power_weight = |i: usize| -> f64 {
+            if active_count == 1 {
                 1.0
             } else if chip_power > 1e-9 {
-                ((chip_power - clusters[i].0) / chip_power).max(0.0)
+                ((chip_power - cluster_power[i]) / chip_power).max(0.0)
             } else {
                 0.0
-            };
-            weights[i] = w;
-            sum += w;
-        }
-        if sum <= 1e-12 {
-            sum = 0.0;
-            for &i in &active {
-                weights[i] = clusters[i].1 as f64;
-                sum += weights[i];
+            }
+        };
+        let mut sum = 0.0;
+        for (i, &mass) in priority_mass.iter().enumerate() {
+            if mass > 0 {
+                sum += power_weight(i);
             }
         }
-        for &i in &active {
-            out[i] = allowance * (weights[i] / sum);
+        let fall_back = sum <= 1e-12;
+        if fall_back {
+            sum = 0.0;
+            for &mass in priority_mass {
+                if mass > 0 {
+                    sum += mass as f64;
+                }
+            }
         }
-        out
+        for i in 0..cluster_power.len() {
+            if priority_mass[i] == 0 {
+                continue;
+            }
+            let w = if fall_back {
+                priority_mass[i] as f64
+            } else {
+                power_weight(i)
+            };
+            out[i] = allowance * (w / sum);
+        }
     }
 
     /// Split a cluster allowance among its tasks proportionally to priority:

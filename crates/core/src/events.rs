@@ -63,6 +63,14 @@ pub enum Event {
         /// The task.
         task: TaskId,
     },
+    /// A task was skipped by a market round because its core was missing
+    /// from the observation snapshot (scheduler/observer race).
+    TaskOrphaned {
+        /// The task.
+        task: TaskId,
+        /// The unobserved core it claimed to run on.
+        core: CoreId,
+    },
 }
 
 impl fmt::Display for Event {
@@ -94,6 +102,9 @@ impl fmt::Display for Event {
             ),
             Event::TaskAdmitted { task } => write!(f, "{task} admitted"),
             Event::TaskExited { task } => write!(f, "{task} exited"),
+            Event::TaskOrphaned { task, core } => {
+                write!(f, "{task} orphaned on unobserved {core}")
+            }
         }
     }
 }
@@ -254,9 +265,7 @@ mod tests {
             },
         );
         log.push(SimTime::ZERO, admit(1));
-        let dvfs: Vec<_> = log
-            .filtered(|e| matches!(e, Event::Dvfs { .. }))
-            .collect();
+        let dvfs: Vec<_> = log.filtered(|e| matches!(e, Event::Dvfs { .. })).collect();
         assert_eq!(dvfs.len(), 1);
     }
 

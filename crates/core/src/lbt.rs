@@ -366,7 +366,11 @@ impl fmt::Display for Move {
 
 /// Assignment of a cluster as plain reference lists (one per core).
 fn assignment_of(cluster: &ClusterSnapshot) -> Vec<Vec<&TaskSnapshot>> {
-    cluster.cores.iter().map(|c| c.tasks.iter().collect()).collect()
+    cluster
+        .cores
+        .iter()
+        .map(|c| c.tasks.iter().collect())
+        .collect()
 }
 
 /// Candidate evaluation shared by migration and load balancing: move `task`
@@ -422,10 +426,8 @@ fn evaluate_move(
         new.extend(dst_after.ratios);
         old_ratios = old;
         new_ratios = new;
-        spend_delta =
-            (src_after.spend + dst_after.spend) - (src_before.spend + dst_before.spend);
-        power_delta =
-            (src_after.power + dst_after.power) - (src_before.power + dst_before.power);
+        spend_delta = (src_after.spend + dst_after.spend) - (src_before.spend + dst_before.spend);
+        power_delta = (src_after.power + dst_after.power) - (src_before.power + dst_before.power);
     }
     Candidate {
         task: task.id,
@@ -738,8 +740,18 @@ mod tests {
             vec![vec![], vec![]],
         );
         let est = estimate_cluster(&s, &s.clusters[0], &assignment_of(&s.clusters[0]));
-        let r0 = est.ratios.iter().find(|(i, _, _)| *i == TaskId(0)).expect("t0").2;
-        let r1 = est.ratios.iter().find(|(i, _, _)| *i == TaskId(1)).expect("t1").2;
+        let r0 = est
+            .ratios
+            .iter()
+            .find(|(i, _, _)| *i == TaskId(0))
+            .expect("t0")
+            .2;
+        let r1 = est
+            .ratios
+            .iter()
+            .find(|(i, _, _)| *i == TaskId(1))
+            .expect("t1")
+            .2;
         assert!(r0 > r1);
         assert!((r0 - 750.0 / 800.0).abs() < 1e-9);
         assert!((r1 - 250.0 / 800.0).abs() < 1e-9);
@@ -811,8 +823,7 @@ mod tests {
 
     #[test]
     fn load_balance_ignores_single_core_clusters() {
-        let ladder: Vec<ProcessingUnits> =
-            vec![ProcessingUnits(300.0), ProcessingUnits(600.0)];
+        let ladder: Vec<ProcessingUnits> = vec![ProcessingUnits(300.0), ProcessingUnits(600.0)];
         let s = SystemSnapshot {
             clusters: vec![ClusterSnapshot {
                 id: ClusterId(0),
@@ -901,7 +912,10 @@ mod tests {
             }
         }
         assert!(moves > 0, "the overloaded core must shed tasks");
-        assert!(moves < 20, "LBT must reach a fixed point, got {moves} moves");
+        assert!(
+            moves < 20,
+            "LBT must reach a fixed point, got {moves} moves"
+        );
     }
 }
 
@@ -1062,7 +1076,10 @@ mod scan_tests {
     #[test]
     fn scan_finds_a_candidate() {
         let tasks = vec![task(0, 1, 500.0), task(1, 2, 700.0)];
-        let remotes = vec![remote(CoreClass::Big, 4, false), remote(CoreClass::Little, 4, true)];
+        let remotes = vec![
+            remote(CoreClass::Big, 4, false),
+            remote(CoreClass::Little, 4, true),
+        ];
         let r = constrained_core_scan(&tasks, &remotes, 0.2).expect("candidates exist");
         assert!(r.ratio > 0.0 && r.ratio <= 1.0);
         assert!(r.cluster < remotes.len());

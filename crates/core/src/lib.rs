@@ -51,8 +51,8 @@ pub mod market;
 pub mod state;
 
 pub use crate::config::{ConfigError, PpmConfig};
+pub use crate::events::{Event, EventLog, LoggedEvent};
 pub use crate::lbt::{decide_load_balance, decide_migration, Move, MoveGoal, SystemSnapshot};
 pub use crate::manager::{place_on_little, tc2_ppm_system, PpmManager};
 pub use crate::market::{Market, MarketDecision, MarketObs, VfStep};
-pub use crate::events::{Event, EventLog, LoggedEvent};
 pub use crate::state::PowerState;

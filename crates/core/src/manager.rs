@@ -35,11 +35,19 @@ pub struct PpmManager {
     next_round: SimTime,
     rounds_since_lb: u32,
     lbs_since_migration: u32,
+    /// The latest decision; taken back as the reusable `round_into` buffer
+    /// each round, so steady-state rounds recycle its capacity.
     last_decision: Option<MarketDecision>,
+    /// Reusable observation buffer (cleared and refilled every round).
+    obs_buf: MarketObs,
     /// Moves performed, for diagnostics.
     moves: Vec<(SimTime, Move)>,
-    /// Tasks seen in the previous round, for exit cleanup.
-    known_tasks: std::collections::HashSet<TaskId>,
+    /// Tasks seen in the previous round (sorted), for exit cleanup.
+    known_tasks: Vec<TaskId>,
+    /// Scratch for this round's sorted task ids.
+    current_tasks: Vec<TaskId>,
+    /// Scratch for grouping shares by core in nice actuation.
+    nice_scratch: Vec<(CoreId, TaskId, f64)>,
     /// Online demand estimator (when `config.online_estimation` is set).
     estimator: OnlineEstimator,
     /// Structured decision log.
@@ -62,8 +70,11 @@ impl PpmManager {
             rounds_since_lb: 0,
             lbs_since_migration: 0,
             last_decision: None,
+            obs_buf: MarketObs::empty(),
             moves: Vec::new(),
-            known_tasks: std::collections::HashSet::new(),
+            known_tasks: Vec::new(),
+            current_tasks: Vec::new(),
+            nice_scratch: Vec::new(),
             estimator: OnlineEstimator::new(),
             events: EventLog::new(),
             last_state: PowerState::Normal,
@@ -108,7 +119,7 @@ impl PpmManager {
 
     /// Feed the estimator with this round's observations.
     fn observe_costs(&mut self, sys: &System) {
-        for id in sys.task_ids() {
+        for id in sys.task_iter() {
             let task = sys.task(id);
             if let Some(cost) = task.measured_cost_per_beat() {
                 let class = sys.chip().core(sys.core_of(id)).class();
@@ -118,49 +129,40 @@ impl PpmManager {
         }
     }
 
-    /// Snapshot the live system into a market observation.
-    fn observe(&self, sys: &System) -> MarketObs {
+    /// Snapshot the live system into `self.obs_buf` (capacity is reused).
+    fn observe_into(&mut self, sys: &System) {
         let chip = sys.chip();
-        let tasks = sys
-            .task_ids()
-            .into_iter()
-            .map(|id| {
-                let core = sys.core_of(id);
-                let class = chip.core(core).class();
-                let demand = sys.task(id).demand(class, class);
-                TaskObs {
-                    id,
-                    core,
-                    priority: sys.task(id).priority().value(),
-                    demand,
-                }
-            })
-            .collect();
-        let cores = chip
-            .cores()
-            .iter()
-            .map(|d| CoreObs {
-                id: d.id(),
-                cluster: d.cluster(),
-            })
-            .collect();
-        let clusters = chip
-            .clusters()
-            .iter()
-            .map(|cl| {
-                let level = cl.level();
-                let table = cl.table();
-                ClusterObs {
-                    id: cl.id(),
-                    supply: cl.supply_per_core(),
-                    supply_up: (level < table.max_level())
-                        .then(|| table.point(table.step_up(level)).supply()),
-                    supply_down: (level.0 > 0)
-                        .then(|| table.point(table.step_down(level)).supply()),
-                    power: sys.cluster_power(cl.id()),
-                }
-            })
-            .collect();
+        let obs = &mut self.obs_buf;
+        obs.tasks.clear();
+        obs.tasks.extend(sys.task_iter().map(|id| {
+            let core = sys.core_of(id);
+            let class = chip.core(core).class();
+            let demand = sys.task(id).demand(class, class);
+            TaskObs {
+                id,
+                core,
+                priority: sys.task(id).priority().value(),
+                demand,
+            }
+        }));
+        obs.cores.clear();
+        obs.cores.extend(chip.cores().iter().map(|d| CoreObs {
+            id: d.id(),
+            cluster: d.cluster(),
+        }));
+        obs.clusters.clear();
+        obs.clusters.extend(chip.clusters().iter().map(|cl| {
+            let level = cl.level();
+            let table = cl.table();
+            ClusterObs {
+                id: cl.id(),
+                supply: cl.supply_per_core(),
+                supply_up: (level < table.max_level())
+                    .then(|| table.point(table.step_up(level)).supply()),
+                supply_down: (level.0 > 0).then(|| table.point(table.step_down(level)).supply()),
+                power: sys.cluster_power(cl.id()),
+            }
+        }));
         // Thermal pressure (extension): translate junction-temperature
         // headroom into the equivalent power signal so the chip agent's
         // state machine — and hence the money supply — reacts to heat
@@ -174,16 +176,11 @@ impl PpmManager {
                 chip_power = chip_power.max(self.config.threshold * 1.01);
             }
         }
-        MarketObs {
-            chip_power,
-            tasks,
-            cores,
-            clusters,
-        }
+        obs.chip_power = chip_power;
     }
 
     /// Apply one market decision to the system.
-    fn apply(&self, sys: &mut System, decision: &MarketDecision) {
+    fn apply(&mut self, sys: &mut System, decision: &MarketDecision) {
         if self.config.actuate_via_nice {
             self.apply_via_nice(sys, decision);
         } else {
@@ -205,28 +202,38 @@ impl PpmManager {
     /// each core's market shares into nice values ("lower nice value
     /// manifests as higher priority and more resource consumption") and let
     /// CFS weighted fair sharing approximate the ratios.
-    fn apply_via_nice(&self, sys: &mut System, decision: &MarketDecision) {
-        use std::collections::HashMap;
-        let mut by_core: HashMap<_, Vec<(TaskId, f64)>> = HashMap::new();
-        for &(task, share) in &decision.shares {
-            by_core
-                .entry(sys.core_of(task))
-                .or_default()
-                .push((task, share.value()));
-        }
-        for (_core, tasks) in by_core {
-            let total: f64 = tasks.iter().map(|(_, s)| s).sum();
-            if total <= 0.0 {
-                continue;
+    fn apply_via_nice(&mut self, sys: &mut System, decision: &MarketDecision) {
+        // Group by core via a sorted scratch vector instead of a HashMap:
+        // deterministic actuation order and no per-round allocation.
+        self.nice_scratch.clear();
+        self.nice_scratch.extend(
+            decision
+                .shares
+                .iter()
+                .map(|&(task, share)| (sys.core_of(task), task, share.value())),
+        );
+        self.nice_scratch
+            .sort_unstable_by_key(|&(core, task, _)| (core, task));
+        let mut start = 0;
+        while start < self.nice_scratch.len() {
+            let core = self.nice_scratch[start].0;
+            let mut end = start + 1;
+            while end < self.nice_scratch.len() && self.nice_scratch[end].0 == core {
+                end += 1;
             }
-            // CFS only sees weight ratios: scale the shares so the mean
-            // target weight is the nice-0 weight, then snap each to the
-            // closest table entry.
-            let n = tasks.len() as f64;
-            for (task, share) in tasks {
-                let target = Nice::DEFAULT.weight() as f64 * n * share / total;
-                sys.set_nice(task, Nice::for_weight(target));
+            let group = &self.nice_scratch[start..end];
+            let total: f64 = group.iter().map(|&(_, _, s)| s).sum();
+            if total > 0.0 {
+                // CFS only sees weight ratios: scale the shares so the mean
+                // target weight is the nice-0 weight, then snap each to the
+                // closest table entry.
+                let n = group.len() as f64;
+                for &(_, task, share) in group {
+                    let target = Nice::DEFAULT.weight() as f64 * n * share / total;
+                    sys.set_nice(task, Nice::for_weight(target));
+                }
             }
+            start = end;
         }
     }
 
@@ -235,9 +242,9 @@ impl PpmManager {
         if !self.config.power_down_idle_clusters {
             return;
         }
-        let ids: Vec<ClusterId> = sys.chip().clusters().iter().map(|c| c.id()).collect();
-        for id in ids {
-            let has_tasks = !sys.tasks_on_cluster(id).is_empty();
+        for i in 0..sys.chip().clusters().len() {
+            let id = sys.chip().clusters()[i].id();
+            let has_tasks = sys.cluster_has_tasks(id);
             let off = sys.chip().cluster(id).is_off();
             if has_tasks && off {
                 sys.power_on(id);
@@ -257,15 +264,13 @@ impl PpmManager {
             .map(|cl| {
                 let class = cl.class();
                 let table = cl.table();
-                let ladder: Vec<ProcessingUnits> =
-                    table.iter().map(|(_, p)| p.supply()).collect();
+                let ladder: Vec<ProcessingUnits> = table.iter().map(|(_, p)| p.supply()).collect();
                 let params = model.params(class);
                 let n = cl.core_count() as f64;
                 let idle = table
                     .iter()
                     .map(|(_, p)| {
-                        model.uncore(class)
-                            + Watts(params.leakage_coeff * p.voltage.volts() * n)
+                        model.uncore(class) + Watts(params.leakage_coeff * p.voltage.volts() * n)
                     })
                     .collect();
                 let watts_per_pu = table
@@ -296,10 +301,7 @@ impl PpmManager {
                     ladder,
                     level: cl.level().0,
                     price,
-                    power: ClusterPowerProfile {
-                        idle,
-                        watts_per_pu,
-                    },
+                    power: ClusterPowerProfile { idle, watts_per_pu },
                     cores,
                 }
             })
@@ -317,8 +319,10 @@ impl PpmManager {
         // Off-line profile by default; the online estimator (the paper's
         // stated future work) replaces it when enabled and warmed up.
         let mut demand = ppm_workload::perclass::PerClass::new(
-            task.spec().profiled_demand(ppm_platform::core::CoreClass::Little),
-            task.spec().profiled_demand(ppm_platform::core::CoreClass::Big),
+            task.spec()
+                .profiled_demand(ppm_platform::core::CoreClass::Little),
+            task.spec()
+                .profiled_demand(ppm_platform::core::CoreClass::Big),
         );
         if self.config.online_estimation {
             if let Some(est) = self.estimator.demand_per_class(id) {
@@ -340,6 +344,8 @@ impl PpmManager {
             return Price::ZERO;
         };
         // Constrained core: highest demand among this cluster's cores.
+        // `decision.tasks` and `decision.prices` are sorted by id, so the
+        // lookups are binary searches.
         let mut best: Option<(ProcessingUnits, CoreId)> = None;
         for &core in sys.chip().cores_of(cluster) {
             let d: ProcessingUnits = sys
@@ -348,9 +354,8 @@ impl PpmManager {
                 .map(|&t| {
                     decision
                         .tasks
-                        .iter()
-                        .find(|r| r.id == t)
-                        .map_or(ProcessingUnits::ZERO, |r| r.demand)
+                        .binary_search_by_key(&t, |r| r.id)
+                        .map_or(ProcessingUnits::ZERO, |i| decision.tasks[i].demand)
                 })
                 .sum();
             if best.is_none_or(|(bd, _)| d > bd) {
@@ -360,9 +365,9 @@ impl PpmManager {
         best.and_then(|(_, core)| {
             decision
                 .prices
-                .iter()
-                .find(|(c, _)| *c == core)
-                .map(|&(_, p)| p)
+                .binary_search_by_key(&core, |&(c, _)| c)
+                .ok()
+                .map(|i| decision.prices[i].1)
         })
         .unwrap_or(Price::ZERO)
     }
@@ -430,31 +435,64 @@ impl PowerManager for PpmManager {
         if self.config.online_estimation {
             self.observe_costs(sys);
         }
-        let obs = self.observe(sys);
-        // Task exit: retire the market agents of departed tasks (their
-        // savings leave the economy with them).
-        let current: std::collections::HashSet<TaskId> =
-            obs.tasks.iter().map(|t| t.id).collect();
+        self.observe_into(sys);
+        // Task churn: retire the market agents of departed tasks (their
+        // savings leave the economy with them) and log admissions. The
+        // sorted merge-diff replaces HashSet differences, so churn events
+        // fire in task-id order on every run.
+        self.current_tasks.clear();
+        self.current_tasks
+            .extend(self.obs_buf.tasks.iter().map(|t| t.id));
+        self.current_tasks.sort_unstable();
         let now = sys.now();
-        for gone in self.known_tasks.difference(&current) {
-            self.market.remove_task(*gone);
-            self.estimator.remove_task(*gone);
-            self.events.push(now, Event::TaskExited { task: *gone });
+        let (mut i, mut j) = (0, 0);
+        while i < self.known_tasks.len() || j < self.current_tasks.len() {
+            let old = self.known_tasks.get(i).copied();
+            let new = self.current_tasks.get(j).copied();
+            match (old, new) {
+                (Some(o), Some(n)) if o == n => {
+                    i += 1;
+                    j += 1;
+                }
+                (Some(o), Some(n)) if o < n => {
+                    self.market.remove_task(o);
+                    self.estimator.remove_task(o);
+                    self.events.push(now, Event::TaskExited { task: o });
+                    i += 1;
+                }
+                (Some(_), Some(n)) => {
+                    self.events.push(now, Event::TaskAdmitted { task: n });
+                    j += 1;
+                }
+                (Some(o), None) => {
+                    self.market.remove_task(o);
+                    self.estimator.remove_task(o);
+                    self.events.push(now, Event::TaskExited { task: o });
+                    i += 1;
+                }
+                (None, Some(n)) => {
+                    self.events.push(now, Event::TaskAdmitted { task: n });
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
         }
-        for new in current.difference(&self.known_tasks) {
-            self.events.push(now, Event::TaskAdmitted { task: *new });
-        }
-        self.known_tasks = current;
-        let decision = self.market.round(&obs);
+        std::mem::swap(&mut self.known_tasks, &mut self.current_tasks);
+        // Run the round into the recycled decision buffer.
+        let mut decision = self.last_decision.take().unwrap_or_default();
+        self.market.round_into(&self.obs_buf, &mut decision);
         self.events.push(
             now,
             Event::Round {
                 round: self.market.rounds(),
                 allowance: decision.allowance,
-                power: obs.chip_power,
+                power: self.obs_buf.chip_power,
                 state: decision.state,
             },
         );
+        for &(task, core) in &decision.orphans {
+            self.events.push(now, Event::TaskOrphaned { task, core });
+        }
         if decision.state != self.last_state {
             self.events.push(
                 now,
@@ -676,7 +714,8 @@ mod debug_tests {
     #[ignore]
     fn debug_tdp_scenario() {
         use crate::manager::tc2_ppm_system;
-        let mk = |id: usize, b, i| Task::new(TaskId(id), BenchmarkSpec::of(b, i).unwrap(), Priority(1));
+        let mk =
+            |id: usize, b, i| Task::new(TaskId(id), BenchmarkSpec::of(b, i).unwrap(), Priority(1));
         let (sys, mgr) = tc2_ppm_system(
             vec![
                 mk(0, Benchmark::Tracking, Input::FullHd),
@@ -693,14 +732,30 @@ mod debug_tests {
             sim.run_for(SimDuration::from_millis(250));
             let s = sim.system();
             let d = sim.manager().last_decision().unwrap();
-            println!("t={:.2}s W={:.2} A={:.2} state={:?} lvl={:?} D={:.0} S={:.0} map={:?}",
-                s.now().as_secs_f64(), s.chip_power().value(), d.allowance.value(), d.state,
-                s.chip().clusters().iter().map(|c| if c.is_off() {99} else {c.level().0}).collect::<Vec<_>>(),
-                d.total_demand.value(), d.total_supply.value(),
-                s.task_ids().iter().map(|&t| s.core_of(t).0).collect::<Vec<_>>());
+            println!(
+                "t={:.2}s W={:.2} A={:.2} state={:?} lvl={:?} D={:.0} S={:.0} map={:?}",
+                s.now().as_secs_f64(),
+                s.chip_power().value(),
+                d.allowance.value(),
+                d.state,
+                s.chip()
+                    .clusters()
+                    .iter()
+                    .map(|c| if c.is_off() { 99 } else { c.level().0 })
+                    .collect::<Vec<_>>(),
+                d.total_demand.value(),
+                d.total_supply.value(),
+                s.task_ids()
+                    .iter()
+                    .map(|&t| s.core_of(t).0)
+                    .collect::<Vec<_>>()
+            );
         }
         let m = sim.metrics();
-        println!("ABOVE_TDP fraction: {:.3}", m.time_above_tdp.as_secs_f64() / m.total_time().as_secs_f64());
+        println!(
+            "ABOVE_TDP fraction: {:.3}",
+            m.time_above_tdp.as_secs_f64() / m.total_time().as_secs_f64()
+        );
     }
 
     #[test]
@@ -708,8 +763,16 @@ mod debug_tests {
     fn debug_priority_scenario() {
         let chip = ppm_platform::chip::Chip::tc2();
         let mut sys = System::new(chip, AllocationPolicy::Market);
-        let t0 = Task::new(TaskId(0), BenchmarkSpec::of(Benchmark::Swaptions, Input::Native).unwrap(), Priority(7));
-        let t1 = Task::new(TaskId(1), BenchmarkSpec::of(Benchmark::Bodytrack, Input::Native).unwrap(), Priority(1));
+        let t0 = Task::new(
+            TaskId(0),
+            BenchmarkSpec::of(Benchmark::Swaptions, Input::Native).unwrap(),
+            Priority(7),
+        );
+        let t1 = Task::new(
+            TaskId(1),
+            BenchmarkSpec::of(Benchmark::Bodytrack, Input::Native).unwrap(),
+            Priority(1),
+        );
         sys.add_task(t0, CoreId(3));
         sys.add_task(t1, CoreId(3));
         let mgr = PpmManager::new(PpmConfig::tc2().without_lbt());
@@ -718,12 +781,34 @@ mod debug_tests {
             sim.run_for(SimDuration::from_millis(200));
             let s = sim.system();
             let d = sim.manager().last_decision().unwrap();
-            println!("t={:.1}s W={:.2} A={:.2} state={:?} lvl={:?} hr0={:.2} hr1={:.2} | {:?}",
-                s.now().as_secs_f64(), s.chip_power().value(), d.allowance.value(), d.state,
-                s.chip().clusters().iter().map(|c| c.level().0).collect::<Vec<_>>(),
-                s.task(TaskId(0)).normalized_heart_rate(), s.task(TaskId(1)).normalized_heart_rate(),
-                d.tasks.iter().map(|t| format!("b={:.2} m={:.2} s={:.0} d={:.0} a={:.2}", t.bid.value(), t.savings.value(), t.supply.value(), t.demand.value(), t.allowance.value())).collect::<Vec<_>>());
-            if step > 40 { break; }
+            println!(
+                "t={:.1}s W={:.2} A={:.2} state={:?} lvl={:?} hr0={:.2} hr1={:.2} | {:?}",
+                s.now().as_secs_f64(),
+                s.chip_power().value(),
+                d.allowance.value(),
+                d.state,
+                s.chip()
+                    .clusters()
+                    .iter()
+                    .map(|c| c.level().0)
+                    .collect::<Vec<_>>(),
+                s.task(TaskId(0)).normalized_heart_rate(),
+                s.task(TaskId(1)).normalized_heart_rate(),
+                d.tasks
+                    .iter()
+                    .map(|t| format!(
+                        "b={:.2} m={:.2} s={:.0} d={:.0} a={:.2}",
+                        t.bid.value(),
+                        t.savings.value(),
+                        t.supply.value(),
+                        t.demand.value(),
+                        t.allowance.value()
+                    ))
+                    .collect::<Vec<_>>()
+            );
+            if step > 40 {
+                break;
+            }
         }
     }
 }
@@ -738,7 +823,11 @@ mod nice_actuation_tests {
 
     fn run(config: PpmConfig) -> f64 {
         let mk = |id: usize, b, i, p| {
-            Task::new(TaskId(id), BenchmarkSpec::of(b, i).expect("variant"), Priority(p))
+            Task::new(
+                TaskId(id),
+                BenchmarkSpec::of(b, i).expect("variant"),
+                Priority(p),
+            )
         };
         let (sys, mgr) = tc2_ppm_system(
             vec![

@@ -8,8 +8,20 @@
 //! the running examples of Tables 1–3 directly replayable — see the golden
 //! tests at the bottom of this module — and lets the scalability harness
 //! drive the market without hardware.
+//!
+//! # Hot path
+//!
+//! [`Market::round_into`] is the per-round engine and is written to be
+//! allocation-free and hasher-independent in steady state (see
+//! DESIGN.md, *Hot path & determinism*). Raw [`TaskId`]/[`CoreId`]/
+//! [`ClusterId`] values are resolved once per round into dense slots via
+//! epoch-stamped sparse maps; all per-round working sets live in reusable
+//! scratch buffers inside the [`Market`]; persistent task agents live in a
+//! slot arena with a free list. Every loop runs in observation order (or
+//! dense slot order derived from it), so a round's outcome is a pure
+//! function of the market state and the snapshot — no `HashMap` iteration
+//! order can leak into results.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use ppm_platform::cluster::ClusterId;
@@ -17,9 +29,12 @@ use ppm_platform::core::CoreId;
 use ppm_platform::units::{Money, Price, ProcessingUnits, Watts};
 use ppm_workload::task::TaskId;
 
-use crate::agents::{chip_agent, cluster_agent, core_agent, task_agent};
+use crate::agents::{chip_agent, cluster_agent, task_agent};
 use crate::config::PpmConfig;
 use crate::state::{allowance_delta, PowerState};
+
+/// Sentinel for "no slot" in the dense index arenas.
+const SLOT_NONE: u32 = u32::MAX;
 
 /// What a task agent reports for one bidding round.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,6 +86,18 @@ pub struct MarketObs {
     pub clusters: Vec<ClusterObs>,
 }
 
+impl MarketObs {
+    /// An empty snapshot, useful as a reusable buffer.
+    pub fn empty() -> MarketObs {
+        MarketObs {
+            chip_power: Watts(0.0),
+            tasks: Vec::new(),
+            cores: Vec::new(),
+            clusters: Vec::new(),
+        }
+    }
+}
+
 /// A DVFS step requested by a cluster agent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VfStep {
@@ -98,28 +125,68 @@ pub struct TaskRound {
 }
 
 /// The market's decision for one round.
+///
+/// All vectors are sorted by their id key, so two decisions are comparable
+/// field-by-field and the sequence of decisions is reproducible
+/// byte-for-byte across runs.
 #[derive(Debug, Clone)]
 pub struct MarketDecision {
-    /// Supply to grant each task (`s_t = b_t / P_c`).
+    /// Supply to grant each task (`s_t = b_t / P_c`), sorted by task id.
     pub shares: Vec<(TaskId, ProcessingUnits)>,
-    /// DVFS steps requested by cluster agents.
+    /// DVFS steps requested by cluster agents, in observation order.
     pub dvfs: Vec<(ClusterId, VfStep)>,
     /// Chip power state this round.
     pub state: PowerState,
     /// Global allowance `A` for the next round.
     pub allowance: Money,
-    /// Per-core prices discovered this round.
+    /// Per-core prices discovered this round, sorted by core id.
     pub prices: Vec<(CoreId, Price)>,
     /// Per-task dynamics (bids, savings, …) for tracing and the running
-    /// examples.
+    /// examples, sorted by task id.
     pub tasks: Vec<TaskRound>,
+    /// Tasks skipped this round because their core (or its cluster) was
+    /// missing from the observation — a scheduler/observer race. They keep
+    /// their agent state and rejoin the market once the mapping heals.
+    pub orphans: Vec<(TaskId, CoreId)>,
     /// Total chip demand `D` (sum of constrained-core demands).
     pub total_demand: ProcessingUnits,
     /// Total chip supply `S` (sum of cluster supplies).
     pub total_supply: ProcessingUnits,
 }
 
-#[derive(Debug, Clone)]
+impl Default for MarketDecision {
+    fn default() -> MarketDecision {
+        MarketDecision {
+            shares: Vec::new(),
+            dvfs: Vec::new(),
+            state: PowerState::Normal,
+            allowance: Money::ZERO,
+            prices: Vec::new(),
+            tasks: Vec::new(),
+            orphans: Vec::new(),
+            total_demand: ProcessingUnits::ZERO,
+            total_supply: ProcessingUnits::ZERO,
+        }
+    }
+}
+
+impl MarketDecision {
+    /// Reset for reuse as a `round_into` output buffer; capacity is kept.
+    fn reset(&mut self) {
+        self.shares.clear();
+        self.dvfs.clear();
+        self.prices.clear();
+        self.tasks.clear();
+        self.orphans.clear();
+        self.state = PowerState::Normal;
+        self.allowance = Money::ZERO;
+        self.total_demand = ProcessingUnits::ZERO;
+        self.total_supply = ProcessingUnits::ZERO;
+    }
+}
+
+/// Persistent per-task agent state, stored in a slot arena.
+#[derive(Debug, Clone, Copy)]
 struct TaskAgent {
     bid: Money,
     savings: Money,
@@ -131,7 +198,22 @@ struct TaskAgent {
     seen: bool,
 }
 
-#[derive(Debug, Clone, Default)]
+impl TaskAgent {
+    fn fresh(demand: ProcessingUnits) -> TaskAgent {
+        TaskAgent {
+            bid: Money::ZERO,
+            savings: Money::ZERO,
+            prev_demand: demand,
+            prev_supply: ProcessingUnits::ZERO,
+            prev_price: Price::ZERO,
+            seen: false,
+        }
+    }
+}
+
+/// Persistent per-cluster agent state, indexed directly by raw cluster id
+/// (clusters are few and densely numbered).
+#[derive(Debug, Clone, Copy, Default)]
 struct ClusterAgent {
     base_price: Price,
     has_base: bool,
@@ -142,13 +224,93 @@ struct ClusterAgent {
     last_price: Price,
 }
 
+/// Reusable per-round working sets. Sized to the snapshot each round
+/// (`clear` + `resize` keeps capacity), so after warm-up a round touches no
+/// allocator at all.
+///
+/// The raw-id → slot maps are *epoch stamped*: instead of clearing a sparse
+/// `Vec` that may span the whole id space, each entry records the round
+/// epoch it was written in, and a lookup only trusts entries stamped with
+/// the current epoch. Invalidation is a single counter bump.
+#[derive(Debug, Clone, Default)]
+struct RoundScratch {
+    epoch: u32,
+    /// Raw `CoreId` → dense core slot for this round.
+    core_map_epoch: Vec<u32>,
+    core_map_slot: Vec<u32>,
+    /// Raw `ClusterId` → dense cluster slot for this round.
+    cluster_map_epoch: Vec<u32>,
+    cluster_map_slot: Vec<u32>,
+
+    // Per-core (dense, obs.cores order):
+    core_cluster: Vec<u32>,
+    core_bids: Vec<Money>,
+    core_price: Vec<Price>,
+    core_demand: Vec<ProcessingUnits>,
+    core_tasks: Vec<u32>,
+
+    // Per-task (dense, obs.tasks order):
+    t_core: Vec<u32>,
+    t_cluster: Vec<u32>,
+    t_agent: Vec<u32>,
+    t_allow: Vec<Money>,
+    t_bid: Vec<Money>,
+
+    // Per-cluster (dense, obs.clusters order):
+    cl_priority: Vec<u32>,
+    cl_tasks: Vec<u32>,
+    cl_allow: Vec<Money>,
+    cl_power: Vec<f64>,
+    cl_reacting: Vec<bool>,
+    cl_constrained: Vec<u32>,
+    cl_constr_demand: Vec<ProcessingUnits>,
+}
+
+impl RoundScratch {
+    fn next_epoch(&mut self) {
+        if self.epoch == u32::MAX {
+            // Wrap: stale stamps could collide with a reused epoch value, so
+            // reset them all once every 2^32 rounds.
+            self.core_map_epoch.fill(0);
+            self.cluster_map_epoch.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+}
+
+/// Stamp `raw -> slot` in an epoch map, growing it on first sight of an id.
+fn map_insert(epochs: &mut Vec<u32>, slots: &mut Vec<u32>, raw: usize, slot: u32, epoch: u32) {
+    if epochs.len() <= raw {
+        epochs.resize(raw + 1, 0);
+        slots.resize(raw + 1, SLOT_NONE);
+    }
+    epochs[raw] = epoch;
+    slots[raw] = slot;
+}
+
+/// Look up `raw` in an epoch map; stale or unknown ids give `SLOT_NONE`.
+fn map_get(epochs: &[u32], slots: &[u32], raw: usize, epoch: u32) -> u32 {
+    if raw < epochs.len() && epochs[raw] == epoch {
+        slots[raw]
+    } else {
+        SLOT_NONE
+    }
+}
+
 /// The supply-demand module: all agent state plus the round engine.
 #[derive(Debug, Clone)]
 pub struct Market {
     config: PpmConfig,
-    tasks: HashMap<TaskId, TaskAgent>,
-    clusters: HashMap<ClusterId, ClusterAgent>,
-    /// Global allowance `A`.
+    /// Task agents in a slot arena; `task_slots[raw id]` points into it.
+    task_agents: Vec<TaskAgent>,
+    task_slots: Vec<u32>,
+    free_agents: Vec<u32>,
+    cluster_agents: Vec<ClusterAgent>,
+    /// Global allowance `A`. Stays `None` until the market has observed at
+    /// least one participating task, so an idle boot cannot anchor the money
+    /// supply before there is anything to pay for.
     allowance: Option<Money>,
     state: PowerState,
     round: u64,
@@ -157,6 +319,7 @@ pub struct Market {
     /// The bid every new task agent starts with (the paper's examples start
     /// at $1).
     initial_bid: Money,
+    scratch: RoundScratch,
 }
 
 impl Market {
@@ -174,13 +337,16 @@ impl Market {
         config.validate().expect("valid PPM configuration");
         Market {
             config,
-            tasks: HashMap::new(),
-            clusters: HashMap::new(),
+            task_agents: Vec::new(),
+            task_slots: Vec::new(),
+            free_agents: Vec::new(),
+            cluster_agents: Vec::new(),
             allowance: None,
             state: PowerState::Normal,
             round: 0,
             emergency_cooldown: 0,
             initial_bid: Money(1.0),
+            scratch: RoundScratch::default(),
         }
     }
 
@@ -209,99 +375,276 @@ impl Market {
         self.round
     }
 
+    fn agent_slot(&self, id: TaskId) -> Option<usize> {
+        match self.task_slots.get(id.0) {
+            Some(&s) if s != SLOT_NONE => Some(s as usize),
+            _ => None,
+        }
+    }
+
     /// A task agent's current savings `m_t`.
     pub fn savings_of(&self, id: TaskId) -> Money {
-        self.tasks.get(&id).map_or(Money::ZERO, |a| a.savings)
+        self.agent_slot(id)
+            .map_or(Money::ZERO, |s| self.task_agents[s].savings)
     }
 
     /// A task agent's current bid `b_t`.
     pub fn bid_of(&self, id: TaskId) -> Money {
-        self.tasks.get(&id).map_or(Money::ZERO, |a| a.bid)
+        self.agent_slot(id)
+            .map_or(Money::ZERO, |s| self.task_agents[s].bid)
     }
 
     /// Remove the agent of a departed task, returning its savings to the
-    /// void (money supply is controlled by the chip agent anyway).
+    /// void (money supply is controlled by the chip agent anyway). The slot
+    /// is recycled for the next admitted task.
     pub fn remove_task(&mut self, id: TaskId) {
-        self.tasks.remove(&id);
+        if let Some(slot) = self.agent_slot(id) {
+            self.task_slots[id.0] = SLOT_NONE;
+            self.task_agents[slot] = TaskAgent::fresh(ProcessingUnits::ZERO);
+            self.free_agents.push(slot as u32);
+        }
+    }
+
+    /// Find or create the persistent agent slot for `id`.
+    ///
+    /// A free function over the individual fields so the round engine can
+    /// call it while scratch buffers are borrowed.
+    fn ensure_agent(
+        task_slots: &mut Vec<u32>,
+        task_agents: &mut Vec<TaskAgent>,
+        free_agents: &mut Vec<u32>,
+        id: TaskId,
+        demand: ProcessingUnits,
+    ) -> u32 {
+        if task_slots.len() <= id.0 {
+            task_slots.resize(id.0 + 1, SLOT_NONE);
+        }
+        let existing = task_slots[id.0];
+        if existing != SLOT_NONE {
+            return existing;
+        }
+        let slot = match free_agents.pop() {
+            Some(s) => {
+                task_agents[s as usize] = TaskAgent::fresh(demand);
+                s
+            }
+            None => {
+                task_agents.push(TaskAgent::fresh(demand));
+                (task_agents.len() - 1) as u32
+            }
+        };
+        task_slots[id.0] = slot;
+        slot
+    }
+
+    /// Execute one bidding round, allocating a fresh decision.
+    ///
+    /// Convenience wrapper over [`Market::round_into`]; hot callers should
+    /// hold a reusable [`MarketDecision`] buffer instead.
+    pub fn round(&mut self, obs: &MarketObs) -> MarketDecision {
+        let mut out = MarketDecision::default();
+        self.round_into(obs, &mut out);
+        out
     }
 
     /// Execute one bidding round (§3.2.1–§3.2.3): distribute allowances,
     /// update bids, discover prices, purchase supply, update savings, run
     /// the cluster agents' inflation/deflation control and the chip agent's
     /// allowance control.
-    pub fn round(&mut self, obs: &MarketObs) -> MarketDecision {
+    ///
+    /// Writes the decision into `out` (clearing it first). In steady state —
+    /// stable populations and a warmed-up `out` buffer — this performs no
+    /// heap allocation (asserted by `tests/zero_alloc.rs`) and its result
+    /// depends only on `(self, obs)`, never on hasher seeds or map iteration
+    /// order.
+    ///
+    /// Tasks whose core (or its cluster) is absent from the snapshot do not
+    /// participate this round and are reported in [`MarketDecision::orphans`]
+    /// instead of panicking.
+    pub fn round_into(&mut self, obs: &MarketObs, out: &mut MarketDecision) {
         self.round += 1;
-        let core_cluster: HashMap<CoreId, ClusterId> =
-            obs.cores.iter().map(|c| (c.id, c.cluster)).collect();
-        let cluster_supply: HashMap<ClusterId, ClusterObs> =
-            obs.clusters.iter().map(|c| (c.id, *c)).collect();
+        out.reset();
 
-        // --- Group tasks by core and cluster. ---
-        let mut tasks_by_core: HashMap<CoreId, Vec<&TaskObs>> = HashMap::new();
-        for t in &obs.tasks {
-            tasks_by_core.entry(t.core).or_default().push(t);
+        let s = &mut self.scratch;
+        s.next_epoch();
+        let epoch = s.epoch;
+        let ncores = obs.cores.len();
+        let nclusters = obs.clusters.len();
+        let ntasks = obs.tasks.len();
+
+        // --- Resolve ids to dense slots for this round. ---
+        for (vs, c) in obs.clusters.iter().enumerate() {
+            map_insert(
+                &mut s.cluster_map_epoch,
+                &mut s.cluster_map_slot,
+                c.id.0,
+                vs as u32,
+                epoch,
+            );
+            if self.cluster_agents.len() <= c.id.0 {
+                self.cluster_agents
+                    .resize(c.id.0 + 1, ClusterAgent::default());
+            }
         }
-        let mut tasks_by_cluster: HashMap<ClusterId, Vec<&TaskObs>> = HashMap::new();
-        for t in &obs.tasks {
-            let cl = core_cluster
-                .get(&t.core)
-                .copied()
-                .expect("task core must be listed in obs.cores");
-            tasks_by_cluster.entry(cl).or_default().push(t);
+        s.core_cluster.clear();
+        s.core_cluster.resize(ncores, SLOT_NONE);
+        for (cs, c) in obs.cores.iter().enumerate() {
+            map_insert(
+                &mut s.core_map_epoch,
+                &mut s.core_map_slot,
+                c.id.0,
+                cs as u32,
+                epoch,
+            );
+            s.core_cluster[cs] = map_get(
+                &s.cluster_map_epoch,
+                &s.cluster_map_slot,
+                c.cluster.0,
+                epoch,
+            );
         }
 
-        // --- Chip agent: initial allowance on first sight. ---
-        let total_priority: u32 = obs.tasks.iter().map(|t| t.priority).sum();
-        let allowance = *self.allowance.get_or_insert({
-            Money(self.config.initial_allowance_per_priority * total_priority as f64)
-        });
+        // --- Size the per-round working sets (no-ops once warm). ---
+        s.core_bids.clear();
+        s.core_bids.resize(ncores, Money::ZERO);
+        s.core_price.clear();
+        s.core_price.resize(ncores, Price::ZERO);
+        s.core_demand.clear();
+        s.core_demand.resize(ncores, ProcessingUnits::ZERO);
+        s.core_tasks.clear();
+        s.core_tasks.resize(ncores, 0);
+        s.t_core.clear();
+        s.t_core.resize(ntasks, SLOT_NONE);
+        s.t_cluster.clear();
+        s.t_cluster.resize(ntasks, SLOT_NONE);
+        s.t_agent.clear();
+        s.t_agent.resize(ntasks, SLOT_NONE);
+        s.t_allow.clear();
+        s.t_allow.resize(ntasks, Money::ZERO);
+        s.t_bid.clear();
+        s.t_bid.resize(ntasks, Money::ZERO);
+        s.cl_priority.clear();
+        s.cl_priority.resize(nclusters, 0);
+        s.cl_tasks.clear();
+        s.cl_tasks.resize(nclusters, 0);
+        s.cl_allow.clear();
+        s.cl_allow.resize(nclusters, Money::ZERO);
+        s.cl_power.clear();
+        s.cl_power
+            .extend(obs.clusters.iter().map(|c| c.power.value()));
+        s.cl_reacting.clear();
+        s.cl_reacting.resize(nclusters, false);
+        s.cl_constrained.clear();
+        s.cl_constrained.resize(nclusters, SLOT_NONE);
+        s.cl_constr_demand.clear();
+        s.cl_constr_demand.resize(nclusters, ProcessingUnits::ZERO);
+
+        // --- Place tasks: core/cluster slots, per-core and per-cluster
+        // aggregates, orphan detection. ---
+        let mut total_priority: u32 = 0;
+        let mut participating: usize = 0;
+        for (ti, t) in obs.tasks.iter().enumerate() {
+            let cs = map_get(&s.core_map_epoch, &s.core_map_slot, t.core.0, epoch);
+            let vs = if cs == SLOT_NONE {
+                SLOT_NONE
+            } else {
+                s.core_cluster[cs as usize]
+            };
+            if vs == SLOT_NONE {
+                // The task's core (or its cluster) is not in the snapshot:
+                // skip it gracefully instead of poisoning the whole round.
+                out.orphans.push((t.id, t.core));
+                continue;
+            }
+            s.t_core[ti] = cs;
+            s.t_cluster[ti] = vs;
+            s.core_tasks[cs as usize] += 1;
+            s.core_demand[cs as usize] += t.demand;
+            s.cl_tasks[vs as usize] += 1;
+            s.cl_priority[vs as usize] += t.priority;
+            total_priority += t.priority;
+            participating += 1;
+        }
+
+        // --- Chip agent: initial allowance on first sight of a task. An
+        // idle market (no participating tasks) must NOT anchor the money
+        // supply: the seed version cached `A = rate · R` here even with
+        // `R = 0`, freezing the allowance at the `b_min` floor forever. ---
+        // `self.state` is NOT updated yet: the cluster agents below must see
+        // the previous round's state (the seed classified after running
+        // them), so the emergency reaction lags one round as in Table 3.
+        let state = PowerState::classify(obs.chip_power, &self.config);
+        out.state = state;
+        for c in &obs.clusters {
+            out.total_supply += c.supply;
+        }
+        if participating == 0 {
+            self.state = state;
+            // No economy to run. Hold the allowance (if initialised, apply
+            // the emergency cut discipline so an overheating idle chip still
+            // ratchets the money supply down).
+            if let Some(allowance) = self.allowance {
+                let delta = self.chip_delta(
+                    state,
+                    allowance,
+                    ProcessingUnits::ZERO,
+                    out.total_supply,
+                    ProcessingUnits::ZERO,
+                    out.total_supply,
+                    false,
+                    obs.chip_power,
+                );
+                let floor = self.config.min_bid;
+                let next = (allowance + delta).clamp(floor, floor * 1e12);
+                self.allowance = Some(next);
+                out.allowance = next;
+            }
+            return;
+        }
+        let allowance = *self.allowance.get_or_insert(Money(
+            self.config.initial_allowance_per_priority * total_priority as f64,
+        ));
 
         // --- Hierarchical allowance distribution (§3.2.3): A -> A_v
         // (inverse to cluster power) -> a_t (proportional to priority). ---
-        let cluster_stats: Vec<(f64, u32)> = obs
-            .clusters
-            .iter()
-            .map(|c| {
-                let r = tasks_by_cluster
-                    .get(&c.id)
-                    .map_or(0, |ts| ts.iter().map(|t| t.priority).sum());
-                (c.power.value(), r)
-            })
-            .collect();
-        let cluster_allowances =
-            chip_agent::distribute(allowance, obs.chip_power.value(), &cluster_stats);
-        let mut task_allowance: HashMap<TaskId, Money> = HashMap::new();
-        for (c, av) in obs.clusters.iter().zip(&cluster_allowances) {
-            let Some(ts) = tasks_by_cluster.get(&c.id) else {
-                continue;
-            };
-            let priorities: Vec<u32> = ts.iter().map(|t| t.priority).collect();
-            for (t, a) in ts.iter().zip(chip_agent::split_by_priority(*av, &priorities)) {
-                task_allowance.insert(t.id, a);
-            }
-        }
+        chip_agent::distribute_into(
+            allowance,
+            obs.chip_power.value(),
+            &s.cl_power,
+            &s.cl_priority,
+            &mut s.cl_allow,
+        );
 
-        // --- Task agents bid (Eq. 1). ---
-        let mut bids: HashMap<TaskId, Money> = HashMap::new();
-        for t in &obs.tasks {
-            let cl = core_cluster[&t.core];
-            let frozen = self.clusters.get(&cl).is_some_and(|c| c.frozen);
-            let a = task_allowance
-                .get(&t.id)
-                .copied()
-                .unwrap_or(Money::ZERO);
-            let agent = self.tasks.entry(t.id).or_insert_with(|| TaskAgent {
-                bid: Money::ZERO,
-                savings: Money::ZERO,
-                prev_demand: t.demand,
-                prev_supply: ProcessingUnits::ZERO,
-                prev_price: Price::ZERO,
-                seen: false,
-            });
+        // --- Task agents: allowances and bids (Eq. 1). ---
+        for (ti, t) in obs.tasks.iter().enumerate() {
+            let cs = s.t_core[ti];
+            if cs == SLOT_NONE {
+                continue;
+            }
+            let vs = s.t_cluster[ti] as usize;
+            // a_t = A_v · r_t / R_v (split_by_priority, inlined per task).
+            let mass = s.cl_priority[vs];
+            let a = if mass > 0 {
+                s.cl_allow[vs] * (t.priority as f64 / mass as f64)
+            } else {
+                Money::ZERO
+            };
+            s.t_allow[ti] = a;
+            let frozen = self.cluster_agents[obs.clusters[vs].id.0].frozen;
+            let slot = Self::ensure_agent(
+                &mut self.task_slots,
+                &mut self.task_agents,
+                &mut self.free_agents,
+                t.id,
+                t.demand,
+            );
+            s.t_agent[ti] = slot;
+            let agent = &mut self.task_agents[slot as usize];
             let cap = a + agent.savings;
             let bid = if !agent.seen {
                 agent.seen = true;
-                self.initial_bid.clamp(self.config.min_bid, cap.max(self.config.min_bid))
+                self.initial_bid
+                    .clamp(self.config.min_bid, cap.max(self.config.min_bid))
             } else if frozen {
                 agent.bid
             } else {
@@ -315,91 +658,78 @@ impl Market {
                 )
             };
             agent.bid = bid;
-            bids.insert(t.id, bid);
+            s.t_bid[ti] = bid;
+            s.core_bids[cs as usize] += bid;
         }
 
-        // --- Core agents: price discovery and purchases. ---
-        let mut prices: Vec<(CoreId, Price)> = Vec::new();
-        let mut price_of_core: HashMap<CoreId, Price> = HashMap::new();
-        let mut shares: Vec<(TaskId, ProcessingUnits)> = Vec::new();
-        let mut supply_of_task: HashMap<TaskId, ProcessingUnits> = HashMap::new();
-        for (&core, ts) in &tasks_by_core {
-            let cl = core_cluster[&core];
-            let sc = cluster_supply[&cl].supply;
-            let core_bids: Vec<Money> = ts.iter().map(|t| bids[&t.id]).collect();
-            let (price, purchases) = core_agent::discover(&core_bids, sc);
-            prices.push((core, price));
-            price_of_core.insert(core, price);
-            for (t, s) in ts.iter().zip(purchases) {
-                shares.push((t.id, s));
-                supply_of_task.insert(t.id, s);
+        // --- Core agents: price discovery P_c = Σ b_t / S_c. ---
+        for cs in 0..ncores {
+            if s.core_tasks[cs] == 0 {
+                continue;
             }
+            let vs = s.core_cluster[cs] as usize;
+            let price = Price::discover(s.core_bids[cs], obs.clusters[vs].supply);
+            s.core_price[cs] = price;
+            out.prices.push((obs.cores[cs].id, price));
         }
-        prices.sort_by_key(|(c, _)| *c);
-        shares.sort_by_key(|(t, _)| *t);
+        out.prices.sort_unstable_by_key(|(c, _)| *c);
 
-        // --- Savings update and agent memory. ---
-        let mut task_rounds: Vec<TaskRound> = Vec::new();
-        for t in &obs.tasks {
-            let a = task_allowance.get(&t.id).copied().unwrap_or(Money::ZERO);
-            let s = supply_of_task
-                .get(&t.id)
-                .copied()
-                .unwrap_or(ProcessingUnits::ZERO);
-            let p = price_of_core
-                .get(&t.core)
-                .copied()
-                .unwrap_or(Price::ZERO);
-            let agent = self.tasks.get_mut(&t.id).expect("agent created above");
+        // --- Purchases s_t = b_t / P_c, savings update, agent memory. ---
+        for (ti, t) in obs.tasks.iter().enumerate() {
+            let cs = s.t_core[ti];
+            if cs == SLOT_NONE {
+                continue;
+            }
+            let price = s.core_price[cs as usize];
+            let share = price.purchase(s.t_bid[ti]);
+            out.shares.push((t.id, share));
+            let agent = &mut self.task_agents[s.t_agent[ti] as usize];
             agent.savings = task_agent::next_savings(
                 agent.savings,
-                a,
+                s.t_allow[ti],
                 agent.bid,
                 self.config.savings_cap_factor,
             );
             agent.prev_demand = t.demand;
-            agent.prev_supply = s;
-            agent.prev_price = p;
-            task_rounds.push(TaskRound {
+            agent.prev_supply = share;
+            agent.prev_price = price;
+            out.tasks.push(TaskRound {
                 id: t.id,
-                allowance: a,
+                allowance: s.t_allow[ti],
                 bid: agent.bid,
                 savings: agent.savings,
-                supply: s,
+                supply: share,
                 demand: t.demand,
             });
         }
-        task_rounds.sort_by_key(|t| t.id);
+        out.shares.sort_unstable_by_key(|(t, _)| *t);
+        out.tasks.sort_unstable_by_key(|t| t.id);
+
+        // --- Constrained core per cluster: highest summed demand, ties
+        // broken towards the lowest core id. ---
+        for cs in 0..ncores {
+            if s.core_tasks[cs] == 0 {
+                continue;
+            }
+            let vs = s.core_cluster[cs] as usize;
+            let d = s.core_demand[cs];
+            let best = s.cl_constrained[vs];
+            let replace = best == SLOT_NONE
+                || d > s.cl_constr_demand[vs]
+                || (d == s.cl_constr_demand[vs] && obs.cores[cs].id < obs.cores[best as usize].id);
+            if replace {
+                s.cl_constrained[vs] = cs as u32;
+                s.cl_constr_demand[vs] = d;
+            }
+        }
 
         // --- Cluster agents: inflation/deflation control (§3.2.2). ---
-        let mut dvfs: Vec<(ClusterId, VfStep)> = Vec::new();
-        // Clusters whose market is already reacting to under-supply (price
-        // climbing towards the inflation threshold, or a V-F switch in
-        // flight): the chip agent leaves those to the cluster agents.
-        let mut reacting: std::collections::HashSet<ClusterId> = std::collections::HashSet::new();
-        for c in &obs.clusters {
-            let Some(ts) = tasks_by_cluster.get(&c.id) else {
+        for (vs, c) in obs.clusters.iter().enumerate() {
+            if s.cl_tasks[vs] == 0 {
                 continue;
-            };
-            // Constrained core: highest summed demand in the cluster.
-            let mut per_core: HashMap<CoreId, ProcessingUnits> = HashMap::new();
-            for t in ts {
-                *per_core.entry(t.core).or_insert(ProcessingUnits::ZERO) += t.demand;
             }
-            let (constrained, constrained_demand) = per_core
-                .iter()
-                .max_by(|a, b| {
-                    a.1.partial_cmp(b.1)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(b.0.cmp(a.0)) // deterministic tie-break: lowest id
-                })
-                .map(|(c, d)| (*c, *d))
-                .expect("cluster has tasks");
-            let price = price_of_core
-                .get(&constrained)
-                .copied()
-                .unwrap_or(Price::ZERO);
-            let agent = self.clusters.entry(c.id).or_default();
+            let price = s.core_price[s.cl_constrained[vs] as usize];
+            let agent = &mut self.cluster_agents[c.id.0];
             if agent.frozen || !agent.has_base {
                 // First observation at the (possibly new) supply anchors
                 // the base price; bids were held while switching.
@@ -407,13 +737,13 @@ impl Market {
                 agent.has_base = true;
                 agent.frozen = false;
                 agent.last_price = price;
-                reacting.insert(c.id);
+                s.cl_reacting[vs] = true;
                 continue;
             }
             // The market is reacting on its own while the price climbs:
             // the chip agent holds the money supply meanwhile.
             if price.value() > agent.last_price.value() * 1.02 {
-                reacting.insert(c.id);
+                s.cl_reacting[vs] = true;
             }
             agent.last_price = price;
             // The agent's step rule (see `agents::cluster_agent`): forced
@@ -425,19 +755,17 @@ impl Market {
                 tolerance: self.config.tolerance,
                 can_step_up: c.supply_up.is_some(),
                 supply_down: c.supply_down,
-                constrained_demand,
+                constrained_demand: s.cl_constr_demand[vs],
                 emergency: self.state == PowerState::Emergency,
             });
             if let Some(step) = step {
-                dvfs.push((c.id, step));
+                out.dvfs.push((c.id, step));
                 agent.frozen = true;
             }
         }
+        self.state = state;
 
-        // --- Chip agent: state classification and allowance control. ---
-        let state = PowerState::classify(obs.chip_power, &self.config);
-        let mut total_demand = ProcessingUnits::ZERO;
-        let mut total_supply = ProcessingUnits::ZERO;
+        // --- Chip agent: allowance control. ---
         // "The allowance is increased … when the demand is not satisfied in
         // at least one of the clusters" (§3.2.3). The deficit is evaluated
         // per cluster — netting a starved cluster against another cluster's
@@ -450,38 +778,60 @@ impl Market {
         // adding a single PU.
         let mut growth_helps = false;
         let mut worst_deficit: Option<(ProcessingUnits, ProcessingUnits)> = None;
-        for c in &obs.clusters {
-            total_supply += c.supply;
-            if let Some(ts) = tasks_by_cluster.get(&c.id) {
-                let mut per_core: HashMap<CoreId, ProcessingUnits> = HashMap::new();
-                for t in ts {
-                    *per_core.entry(t.core).or_insert(ProcessingUnits::ZERO) += t.demand;
-                }
-                let dv = per_core
-                    .values()
-                    .copied()
-                    .fold(ProcessingUnits::ZERO, ProcessingUnits::max);
-                total_demand += dv;
-                if dv > c.supply && c.supply_up.is_some() && !reacting.contains(&c.id) {
-                    if std::env::var_os("PPM_DEBUG_GROWTH").is_some() {
-                        eprintln!(
-                            "round {}: growth on {}: Dv={} Sv={} reacting={:?}",
-                            self.round, c.id, dv, c.supply, reacting
-                        );
-                    }
-                    growth_helps = true;
-                    let rate = (dv - c.supply).value() / dv.value();
-                    let worse = worst_deficit
-                        .is_none_or(|(d, s)| rate > (d - s).value() / d.value());
-                    if worse {
-                        worst_deficit = Some((dv, c.supply));
-                    }
+        for (vs, c) in obs.clusters.iter().enumerate() {
+            if s.cl_tasks[vs] == 0 {
+                continue;
+            }
+            let dv = s.cl_constr_demand[vs];
+            out.total_demand += dv;
+            if dv > c.supply && c.supply_up.is_some() && !s.cl_reacting[vs] {
+                growth_helps = true;
+                let rate = (dv - c.supply).value() / dv.value();
+                let worse =
+                    worst_deficit.is_none_or(|(d, sup)| rate > (d - sup).value() / d.value());
+                if worse {
+                    worst_deficit = Some((dv, c.supply));
                 }
             }
         }
         let (deficit_demand, deficit_supply) =
-            worst_deficit.unwrap_or((total_demand, total_supply));
-        let delta = match state {
+            worst_deficit.unwrap_or((out.total_demand, out.total_supply));
+        let delta = self.chip_delta(
+            state,
+            allowance,
+            out.total_demand,
+            out.total_supply,
+            deficit_demand,
+            deficit_supply,
+            growth_helps,
+            obs.chip_power,
+        );
+        // Keep enough money in circulation for every agent's minimum bid,
+        // and bound the ratchet from repeated normal-state growth: the
+        // market is scale-free (bids, savings caps and prices all track A),
+        // so the ceiling only guards floating-point hygiene.
+        let floor = self.config.min_bid * participating.max(1) as f64;
+        let ceiling = floor * 1e12;
+        let next_allowance = (allowance + delta).clamp(floor, ceiling);
+        self.allowance = Some(next_allowance);
+        out.allowance = next_allowance;
+    }
+
+    /// The chip agent's Δ policy: emergency cuts gated by the cooldown,
+    /// growth only when it can actually buy supply, threshold freeze.
+    #[allow(clippy::too_many_arguments)]
+    fn chip_delta(
+        &mut self,
+        state: PowerState,
+        allowance: Money,
+        total_demand: ProcessingUnits,
+        total_supply: ProcessingUnits,
+        deficit_demand: ProcessingUnits,
+        deficit_supply: ProcessingUnits,
+        growth_helps: bool,
+        chip_power: Watts,
+    ) -> Money {
+        match state {
             PowerState::Emergency => {
                 if self.emergency_cooldown == 0 {
                     self.emergency_cooldown = Self::EMERGENCY_COOLDOWN_ROUNDS;
@@ -490,7 +840,7 @@ impl Market {
                         allowance,
                         total_demand,
                         total_supply,
-                        obs.chip_power,
+                        chip_power,
                         &self.config,
                     )
                 } else {
@@ -509,7 +859,7 @@ impl Market {
                     allowance,
                     deficit_demand,
                     deficit_supply,
-                    obs.chip_power,
+                    chip_power,
                     &self.config,
                 )
             }
@@ -520,30 +870,10 @@ impl Market {
                     allowance,
                     total_demand,
                     total_supply,
-                    obs.chip_power,
+                    chip_power,
                     &self.config,
                 )
             }
-        };
-        // Keep enough money in circulation for every agent's minimum bid,
-        // and bound the ratchet from repeated normal-state growth: the
-        // market is scale-free (bids, savings caps and prices all track A),
-        // so the ceiling only guards floating-point hygiene.
-        let floor = self.config.min_bid * obs.tasks.len().max(1) as f64;
-        let ceiling = floor * 1e12;
-        let next_allowance = (allowance + delta).clamp(floor, ceiling);
-        self.allowance = Some(next_allowance);
-        self.state = state;
-
-        MarketDecision {
-            shares,
-            dvfs,
-            state,
-            allowance: next_allowance,
-            prices,
-            tasks: task_rounds,
-            total_demand,
-            total_supply,
         }
     }
 }
@@ -602,10 +932,7 @@ mod tests {
                 clusters: vec![ClusterObs {
                     id: ClusterId(0),
                     supply,
-                    supply_up: self
-                        .ladder
-                        .get(self.level + 1)
-                        .map(|&s| ProcessingUnits(s)),
+                    supply_up: self.ladder.get(self.level + 1).map(|&s| ProcessingUnits(s)),
                     supply_down: if self.level > 0 {
                         Some(ProcessingUnits(self.ladder[self.level - 1]))
                     } else {
@@ -812,9 +1139,8 @@ mod tests {
             let d = b.round();
             for t in &d.tasks {
                 assert!(t.bid.value() >= b.market.config().min_bid.value() - 1e-12);
-                let cap = t.allowance.value()
-                    + b.market.savings_of(t.id).value()
-                    + t.allowance.value(); // savings already post-update; loose check
+                let cap =
+                    t.allowance.value() + b.market.savings_of(t.id).value() + t.allowance.value(); // savings already post-update; loose check
                 assert!(t.bid.value() <= cap + 1e-6);
             }
         }
@@ -912,5 +1238,89 @@ mod tests {
         assert!(b.market.bid_of(TaskId(0)).is_positive());
         b.market.remove_task(TaskId(0));
         assert_eq!(b.market.bid_of(TaskId(0)), Money::ZERO);
+        // The freed slot is recycled by the next admitted task.
+        let slots_before = b.market.task_agents.len();
+        b.round();
+        assert_eq!(b.market.task_agents.len(), slots_before);
+        assert!(b.market.bid_of(TaskId(0)).is_positive());
+    }
+
+    #[test]
+    fn idle_boot_defers_the_initial_allowance() {
+        // Regression test for the seed bug: `round` cached the initial
+        // allowance with `get_or_insert` even when `obs.tasks` was empty,
+        // anchoring `A = rate · 0 = 0` (then floor-clamped to b_min)
+        // forever. The allowance must stay uninitialised across idle rounds
+        // and be seeded from the first *observed* priority mass.
+        let mut b = table_bench();
+        let mut obs = b.obs();
+        let tasks = std::mem::take(&mut obs.tasks);
+        for _ in 0..5 {
+            let d = b.market.round(&obs);
+            assert_eq!(
+                b.market.allowance(),
+                None,
+                "idle rounds must not anchor the money supply"
+            );
+            assert_eq!(d.allowance, Money::ZERO);
+            assert!(d.tasks.is_empty() && d.shares.is_empty());
+        }
+        // Tasks admitted later: allowance seeds at rate · R = 1.5 · 3.
+        obs.tasks = tasks;
+        let d = b.market.round(&obs);
+        assert!(approx(d.allowance.value(), 4.5, 1e-9));
+        assert!(approx(d.tasks[0].allowance.value(), 3.0, 1e-9));
+        assert!(approx(d.tasks[1].allowance.value(), 1.5, 1e-9));
+    }
+
+    #[test]
+    fn orphaned_task_is_skipped_not_fatal() {
+        // A task mapped to a core absent from the snapshot (observer race)
+        // must not panic the round; it is reported and excluded from the
+        // economy, and the remaining tasks trade normally.
+        let mut b = table_bench();
+        let mut obs = b.obs();
+        obs.tasks[1].core = CoreId(99);
+        let d = b.market.round(&obs);
+        assert_eq!(d.orphans, vec![(TaskId(1), CoreId(99))]);
+        assert_eq!(d.tasks.len(), 1);
+        assert_eq!(d.tasks[0].id, TaskId(0));
+        // Initial allowance comes from the participating mass only (r=2).
+        assert!(approx(d.allowance.value(), 3.0, 1e-9));
+        // The orphan heals: next round it participates again.
+        let d = b.market.round(&b.obs());
+        assert!(d.orphans.is_empty());
+        assert_eq!(d.tasks.len(), 2);
+    }
+
+    #[test]
+    fn round_and_round_into_agree() {
+        // The buffered entry point must be bit-identical to the wrapper,
+        // including when the buffer is reused across rounds.
+        let mut a = table_bench();
+        let mut b = table_bench();
+        let mut buf = MarketDecision::default();
+        for i in 0..40 {
+            let obs = a.obs();
+            let d1 = a.market.round(&obs);
+            b.market.round_into(&obs, &mut buf);
+            assert_eq!(format!("{d1:?}"), format!("{buf:?}"), "round {i}");
+            for (_, step) in &d1.dvfs {
+                match step {
+                    VfStep::Up => {
+                        a.level = (a.level + 1).min(a.ladder.len() - 1);
+                        b.level = a.level;
+                    }
+                    VfStep::Down => {
+                        a.level = a.level.saturating_sub(1);
+                        b.level = a.level;
+                    }
+                }
+            }
+            if i == 20 {
+                a.demands[0] = 300.0;
+                b.demands[0] = 300.0;
+            }
+        }
     }
 }

@@ -268,7 +268,11 @@ pub fn synthetic_chip(v: usize, c: usize) -> Chip {
         // Spread maximum supplies across 350–3000 PU deterministically.
         let max = 350 + ((i * 2650) / v.max(1)) as u32;
         let lo = (max / 3).max(100);
-        b = b.cluster(class, c, linear_table(MegaHertz(lo), MegaHertz(max.max(lo + 100)), 8));
+        b = b.cluster(
+            class,
+            c,
+            linear_table(MegaHertz(lo), MegaHertz(max.max(lo + 100)), 8),
+        );
     }
     b.build()
 }
@@ -300,7 +304,8 @@ mod tests {
     fn supply_tracks_cluster_level() {
         let mut chip = Chip::tc2();
         assert_eq!(chip.core_supply(CoreId(0)), ProcessingUnits(350.0));
-        chip.cluster_mut(ClusterId(0)).set_level_immediate(VfLevel(7));
+        chip.cluster_mut(ClusterId(0))
+            .set_level_immediate(VfLevel(7));
         assert_eq!(chip.core_supply(CoreId(0)), ProcessingUnits(1000.0));
         assert_eq!(chip.core_max_supply(CoreId(0)), ProcessingUnits(1000.0));
         assert_eq!(chip.core_max_supply(CoreId(4)), ProcessingUnits(1200.0));

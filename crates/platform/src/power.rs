@@ -111,7 +111,11 @@ impl PowerModel {
     /// Panics in debug builds when `utils.len()` differs from the cluster's
     /// core count.
     pub fn cluster_power(&self, cluster: &Cluster, utils: &[f64]) -> Watts {
-        debug_assert_eq!(utils.len(), cluster.core_count(), "one utilization per core");
+        debug_assert_eq!(
+            utils.len(),
+            cluster.core_count(),
+            "one utilization per core"
+        );
         if cluster.is_off() {
             return Watts::ZERO;
         }

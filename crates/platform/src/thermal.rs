@@ -228,11 +228,7 @@ mod tests {
 
     #[test]
     fn exceeding_critical_is_accounted() {
-        let mut m = ThermalModel::new(
-            vec![ThermalParams::mobile()],
-            Celsius(35.0),
-            Celsius(60.0),
-        );
+        let mut m = ThermalModel::new(vec![ThermalParams::mobile()], Celsius(35.0), Celsius(60.0));
         for _ in 0..40 {
             m.step(&[Watts(6.0)], SimDuration::from_secs(1));
         }

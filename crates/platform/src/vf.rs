@@ -55,7 +55,10 @@ impl fmt::Display for VfTableError {
         match self {
             VfTableError::Empty => write!(f, "V-F table must not be empty"),
             VfTableError::NotMonotonic(i) => {
-                write!(f, "V-F table frequency not strictly increasing at index {i}")
+                write!(
+                    f,
+                    "V-F table frequency not strictly increasing at index {i}"
+                )
             }
         }
     }

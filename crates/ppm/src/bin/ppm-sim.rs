@@ -21,6 +21,7 @@ use ppm::core::manager::{place_on_little, PpmManager};
 use ppm::platform::chip::Chip;
 use ppm::platform::core::CoreId;
 use ppm::platform::thermal::ThermalModel;
+use ppm::platform::units::ProcessingUnits;
 use ppm::platform::units::{SimDuration, Watts};
 use ppm::sched::{AllocationPolicy, PowerManager, Simulation, System};
 use ppm::workload::benchmarks::BenchmarkSpec;
@@ -28,7 +29,6 @@ use ppm::workload::heartbeat::HeartRateRange;
 use ppm::workload::sets::set_by_name;
 use ppm::workload::task::{Priority, Task, TaskId};
 use ppm::workload::trace::DemandTrace;
-use ppm::platform::units::ProcessingUnits;
 
 #[derive(Debug)]
 struct Args {
@@ -59,9 +59,7 @@ impl Args {
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
-            let mut value = |name: &str| {
-                it.next().ok_or_else(|| format!("{name} needs a value"))
-            };
+            let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
             match flag.as_str() {
                 "--scheme" => args.scheme = value("--scheme")?,
                 "--workload" => args.workload = value("--workload")?,
@@ -72,11 +70,7 @@ impl Args {
                         .map_err(|e| format!("--duration: {e}"))?
                 }
                 "--tdp" => {
-                    args.tdp = Some(
-                        value("--tdp")?
-                            .parse()
-                            .map_err(|e| format!("--tdp: {e}"))?,
-                    )
+                    args.tdp = Some(value("--tdp")?.parse().map_err(|e| format!("--tdp: {e}"))?)
                 }
                 "--task" => args.tasks.push(value("--task")?),
                 "--no-lbt" => args.no_lbt = true,
@@ -126,7 +120,11 @@ fn parse_task(id: usize, spec: &str) -> Result<Task, String> {
         match k.trim() {
             "hr" => hr = Some(v.trim().parse::<f64>().map_err(|e| format!("hr: {e}"))?),
             "demand" => {
-                demand = Some(v.trim().parse::<f64>().map_err(|e| format!("demand: {e}"))?)
+                demand = Some(
+                    v.trim()
+                        .parse::<f64>()
+                        .map_err(|e| format!("demand: {e}"))?,
+                )
             }
             "speedup" => speedup = v.trim().parse().map_err(|e| format!("speedup: {e}"))?,
             "prio" => prio = v.trim().parse().map_err(|e| format!("prio: {e}"))?,
@@ -213,8 +211,14 @@ fn simulate<M: PowerManager>(args: &Args, sys: System, mgr: M) {
 
     let peak_temp = sim.system().thermal().map(|t| t.peak());
     let m = sim.metrics();
-    println!("\n# summary ({} on {}, {} s)", args.scheme, args.chip, args.duration);
-    println!("any-task QoS miss : {:.1}% of time", m.any_miss_fraction() * 100.0);
+    println!(
+        "\n# summary ({} on {}, {} s)",
+        args.scheme, args.chip, args.duration
+    );
+    println!(
+        "any-task QoS miss : {:.1}% of time",
+        m.any_miss_fraction() * 100.0
+    );
     println!("average power     : {}", m.average_power());
     println!("peak power        : {}", m.chip_energy.peak_power());
     println!("energy            : {}", m.chip_energy.energy());

@@ -9,8 +9,8 @@
 
 use ppm_platform::chip::Chip;
 use ppm_platform::cluster::ClusterId;
-use ppm_platform::thermal::{Celsius, ThermalModel};
 use ppm_platform::core::CoreId;
+use ppm_platform::thermal::{Celsius, ThermalModel};
 use ppm_platform::units::{ProcessingUnits, SimDuration, SimTime, Watts};
 use ppm_platform::vf::VfLevel;
 use ppm_workload::task::{Task, TaskId};
@@ -202,6 +202,16 @@ impl System {
             .collect()
     }
 
+    /// Ids of all *active* tasks in ascending order, without allocating
+    /// (the hot-path counterpart of [`System::task_ids`]).
+    pub fn task_iter(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.active)
+            .map(|(i, _)| TaskId(i))
+    }
+
     /// True while the task is admitted and has not exited.
     pub fn is_active(&self, id: TaskId) -> bool {
         self.entries.get(id.0).is_some_and(|e| e.active)
@@ -259,6 +269,14 @@ impl System {
             .filter(|(_, e)| e.active && cores.contains(&e.core))
             .map(|(i, _)| TaskId(i))
             .collect()
+    }
+
+    /// Whether any active task is mapped to a core of `cluster`, without
+    /// materialising the task list (hot-path form of `tasks_on_cluster`).
+    pub fn cluster_has_tasks(&self, cluster: ClusterId) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.active && self.chip.core(e.core).cluster() == cluster)
     }
 
     /// Set a task's explicit PU share (Market policy).
@@ -443,9 +461,8 @@ impl System {
                 // split equally among its resident tasks after the cluster
                 // power is known.
                 let point = self.chip.cluster(cluster_id).point();
-                let watts_per_pu =
-                    self.chip.power_model().params(class).dynamic_coeff
-                        * point.voltage.volts().powi(2);
+                let watts_per_pu = self.chip.power_model().params(class).dynamic_coeff
+                    * point.voltage.volts().powi(2);
                 for (&id, &grant) in ids.iter().zip(grants.iter()) {
                     let e = &mut self.entries[id.0];
                     e.granted = grant;
@@ -712,7 +729,11 @@ mod tests {
     fn simple_system() -> System {
         let mut sys = System::new(Chip::tc2(), AllocationPolicy::FairWeights);
         sys.add_task(
-            Task::new(TaskId(0), spec(Benchmark::Blackscholes, Input::Large), Priority(1)),
+            Task::new(
+                TaskId(0),
+                spec(Benchmark::Blackscholes, Input::Large),
+                Priority(1),
+            ),
             CoreId(0),
         );
         sys
@@ -735,7 +756,11 @@ mod tests {
     fn two_equal_tasks_split_the_core() {
         let mut sys = simple_system();
         sys.add_task(
-            Task::new(TaskId(1), spec(Benchmark::Blackscholes, Input::Large), Priority(1)),
+            Task::new(
+                TaskId(1),
+                spec(Benchmark::Blackscholes, Input::Large),
+                Priority(1),
+            ),
             CoreId(0),
         );
         let mut sim = Simulation::new(sys, NullManager);
@@ -751,7 +776,11 @@ mod tests {
         let mut sys = simple_system();
         sys.set_policy(AllocationPolicy::Market);
         sys.add_task(
-            Task::new(TaskId(1), spec(Benchmark::Blackscholes, Input::Large), Priority(1)),
+            Task::new(
+                TaskId(1),
+                spec(Benchmark::Blackscholes, Input::Large),
+                Priority(1),
+            ),
             CoreId(0),
         );
         sys.set_share(TaskId(0), ProcessingUnits(250.0));
@@ -780,10 +809,7 @@ mod tests {
         // Now running on the big cluster's lowest level: 500 PU.
         assert_eq!(sim.system().granted(TaskId(0)), ProcessingUnits(500.0));
         assert_eq!(sim.metrics().migrations_inter, 1);
-        assert_eq!(
-            sim.system().chip().core(CoreId(3)).class(),
-            CoreClass::Big
-        );
+        assert_eq!(sim.system().chip().core(CoreId(3)).class(), CoreClass::Big);
     }
 
     #[test]
@@ -803,10 +829,7 @@ mod tests {
         sim.system_mut().power_off(ClusterId(1));
         sim.run_for(SimDuration::from_millis(10));
         assert!(sim.system().chip_power() < with_big_idle);
-        assert_eq!(
-            sim.system().cluster_power(ClusterId(1)),
-            Watts::ZERO
-        );
+        assert_eq!(sim.system().cluster_power(ClusterId(1)), Watts::ZERO);
     }
 
     #[test]
@@ -852,7 +875,11 @@ mod tests {
         let _ = Phase::with_utilization(10.0, 1.0, 0.5);
         let mut sys = simple_system();
         sys.add_task(
-            Task::new(TaskId(1), spec(Benchmark::Swaptions, Input::Large), Priority(1)),
+            Task::new(
+                TaskId(1),
+                spec(Benchmark::Swaptions, Input::Large),
+                Priority(1),
+            ),
             CoreId(1),
         );
         let mut sim = Simulation::new(sys, NullManager);
@@ -893,7 +920,10 @@ mod thermal_tests {
         let big = sys.cluster_temperature(ClusterId(1)).expect("attached");
         assert!(little > big, "little {little} vs big {big}");
         assert!(little.value() > 41.0, "busy cluster should heat: {little}");
-        assert!((big.value() - 35.0).abs() < 1.0, "gated cluster cools: {big}");
+        assert!(
+            (big.value() - 35.0).abs() < 1.0,
+            "gated cluster cools: {big}"
+        );
         assert!(!sys.thermal().expect("attached").throttling());
     }
 
@@ -1000,7 +1030,7 @@ mod sensor_noise_tests {
 
     #[test]
     fn noise_perturbs_readings_but_not_energy() {
-        let mut make = |noise: f64| {
+        let make = |noise: f64| {
             let mut sys = System::new(Chip::tc2(), AllocationPolicy::FairWeights);
             sys.set_sensor_noise(noise);
             sys.add_task(

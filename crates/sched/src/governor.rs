@@ -232,7 +232,11 @@ mod tests {
         let level = sim.system().chip().cluster(ClusterId(0)).level();
         assert_eq!(
             level,
-            sim.system().chip().cluster(ClusterId(0)).table().max_level()
+            sim.system()
+                .chip()
+                .cluster(ClusterId(0))
+                .table()
+                .max_level()
         );
     }
 

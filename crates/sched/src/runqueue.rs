@@ -138,10 +138,7 @@ mod tests {
 
     #[test]
     fn market_grants_exact_shares_when_feasible() {
-        let claims = vec![
-            claimant(0, 0, 300.0, 1e9),
-            claimant(1, 0, 100.0, 1e9),
-        ];
+        let claims = vec![claimant(0, 0, 300.0, 1e9), claimant(1, 0, 100.0, 1e9)];
         let g = market_allocate(ProcessingUnits(500.0), &claims);
         assert_eq!(g[0], ProcessingUnits(300.0));
         assert_eq!(g[1], ProcessingUnits(100.0));
@@ -149,10 +146,7 @@ mod tests {
 
     #[test]
     fn market_scales_when_oversubscribed() {
-        let claims = vec![
-            claimant(0, 0, 600.0, 1e9),
-            claimant(1, 0, 600.0, 1e9),
-        ];
+        let claims = vec![claimant(0, 0, 600.0, 1e9), claimant(1, 0, 600.0, 1e9)];
         let g = market_allocate(ProcessingUnits(600.0), &claims);
         assert!((g[0].value() - 300.0).abs() < 1e-9);
         assert!((g[1].value() - 300.0).abs() < 1e-9);

@@ -147,7 +147,11 @@ pub struct UnknownVariantError {
 
 impl fmt::Display for UnknownVariantError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "no input `{}` for benchmark `{}`", self.input, self.benchmark)
+        write!(
+            f,
+            "no input `{}` for benchmark `{}`",
+            self.input, self.benchmark
+        )
     }
 }
 
@@ -264,10 +268,7 @@ impl BenchmarkSpec {
 
     /// Two equal-length phases swinging the cost `±swing` around nominal.
     fn mild_phases(len: f64, swing: f64) -> Vec<Phase> {
-        vec![
-            Phase::new(len, 1.0 - swing),
-            Phase::new(len, 1.0 + swing),
-        ]
+        vec![Phase::new(len, 1.0 - swing), Phase::new(len, 1.0 + swing)]
     }
 
     /// A four-phase wave (trough, nominal, crest, nominal): the cost only

@@ -196,8 +196,8 @@ impl Task {
         let Some(cost) = self.monitor.cost_per_beat() else {
             return profiled;
         };
-        let scale = self.spec.cycles_per_heartbeat(class)
-            / self.spec.cycles_per_heartbeat(measured_on);
+        let scale =
+            self.spec.cycles_per_heartbeat(class) / self.spec.cycles_per_heartbeat(measured_on);
         let d = ProcessingUnits(self.spec.target_range().target() * cost * scale / 1e6);
         d.min(self.max_reasonable_demand(class))
     }
@@ -337,11 +337,7 @@ mod tests {
     fn demand_is_capped_against_spikes() {
         let mut t = task(Benchmark::Blackscholes, Input::Large);
         // Observe an absurdly low rate: one beat over a long stretch.
-        t.execute(
-            Cycles(1.0),
-            CoreClass::Little,
-            SimTime::from_millis(1),
-        );
+        t.execute(Cycles(1.0), CoreClass::Little, SimTime::from_millis(1));
         t.record_idle(SimTime::from_secs(10));
         let d = t.demand(CoreClass::Little, CoreClass::Little);
         let cap = ProcessingUnits(2.0 * 200.0); // 2x worst-phase demand

@@ -40,15 +40,27 @@ fn main() {
     let rows: Vec<(&str, RunMetrics)> = vec![
         (
             "PPM",
-            run(&set, AllocationPolicy::Market, PpmManager::new(PpmConfig::tc2())),
+            run(
+                &set,
+                AllocationPolicy::Market,
+                PpmManager::new(PpmConfig::tc2()),
+            ),
         ),
         (
             "HPM",
-            run(&set, AllocationPolicy::Market, HpmManager::new(HpmConfig::new())),
+            run(
+                &set,
+                AllocationPolicy::Market,
+                HpmManager::new(HpmConfig::new()),
+            ),
         ),
         (
             "HL",
-            run(&set, AllocationPolicy::FairWeights, HlManager::new(HlConfig::new())),
+            run(
+                &set,
+                AllocationPolicy::FairWeights,
+                HlManager::new(HlConfig::new()),
+            ),
         ),
     ];
     for (name, m) in rows {

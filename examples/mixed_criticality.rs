@@ -50,11 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("|---|---|---|");
     for prio in [1, 7] {
         let (swap, body) = run(prio)?;
-        println!(
-            "| {prio}:1 | {:.1}% | {:.1}% |",
-            swap * 100.0,
-            body * 100.0
-        );
+        println!("| {prio}:1 | {:.1}% | {:.1}% |", swap * 100.0, body * 100.0);
     }
     println!(
         "\nWith equal priorities both tasks share the shortfall; boosting \

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full pre-merge gate, in the order fastest-feedback-first.
+# Everything here must pass on a clean checkout with no network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo ">>> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo ">>> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --quiet -- -D warnings
+
+echo ">>> cargo build --release"
+cargo build --release --quiet
+
+echo ">>> cargo test -q"
+cargo test -q
+
+echo ">>> cargo test -q --release"
+cargo test -q --release
+
+echo "ci: all green"

@@ -55,7 +55,12 @@ fn hl(set: &str, tdp: Option<Watts>) -> RunMetrics {
     if let Some(t) = tdp {
         config = config.with_tdp(t);
     }
-    run(set, AllocationPolicy::FairWeights, HlManager::new(config), tdp)
+    run(
+        set,
+        AllocationPolicy::FairWeights,
+        HlManager::new(config),
+        tdp,
+    )
 }
 
 #[test]
@@ -143,9 +148,7 @@ fn hl_migrates_everything_to_big_without_cap() {
     let on_big = s
         .task_ids()
         .iter()
-        .filter(|&&t| {
-            s.chip().core(s.core_of(t)).class() == ppm::platform::core::CoreClass::Big
-        })
+        .filter(|&&t| s.chip().core(s.core_of(t)).class() == ppm::platform::core::CoreClass::Big)
         .count();
     assert_eq!(on_big, 6, "all six tasks should end on the big cluster");
 }

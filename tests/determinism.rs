@@ -1,12 +1,21 @@
 //! Determinism: identical configurations must yield bit-identical runs.
 //! The whole evaluation (EXPERIMENTS.md, docs/results/) depends on it.
+//!
+//! The market engine must also be *hasher-independent*: `std` `HashMap`s
+//! seed their hasher per `RandomState` (and a fresh one per thread local),
+//! so any result that leaks map iteration order differs between threads
+//! and between runs. The arena-based round engine iterates in observation
+//! order only; the cross-thread tests below pin that down.
 
 use ppm::core::config::PpmConfig;
 use ppm::core::manager::tc2_ppm_system;
-use ppm::platform::units::SimDuration;
+use ppm::core::market::{ClusterObs, CoreObs, Market, MarketDecision, MarketObs, TaskObs, VfStep};
+use ppm::platform::cluster::ClusterId;
+use ppm::platform::core::CoreId;
+use ppm::platform::units::{ProcessingUnits, SimDuration, Watts};
 use ppm::sched::Simulation;
 use ppm::workload::sets::set_by_name;
-use ppm::workload::task::Priority;
+use ppm::workload::task::{Priority, TaskId};
 
 fn fingerprint(noise: f64) -> (u64, String, String, u64, u64) {
     let set = set_by_name("m2").expect("m2");
@@ -35,4 +44,126 @@ fn noisy_runs_are_also_deterministic() {
     assert_eq!(fingerprint(0.05), fingerprint(0.05));
     // ...while differing from the clean run.
     assert_ne!(fingerprint(0.05), fingerprint(0.0));
+}
+
+/// A market scenario rich enough to exercise every ordering-sensitive code
+/// path: several clusters and cores, mixed priorities, demand phases that
+/// drive DVFS both ways, task churn, and an orphaned task.
+fn market_trace() -> String {
+    let v = 3usize;
+    let c = 4usize;
+    let t = 3usize;
+    let ladder = [300.0, 400.0, 500.0, 600.0];
+    let mut levels = vec![1usize; v];
+    let mut market = Market::new(PpmConfig::tc2());
+    let mut out = MarketDecision::default();
+    let mut trace = String::new();
+
+    let mut obs = MarketObs {
+        chip_power: Watts(2.0),
+        tasks: Vec::new(),
+        cores: Vec::new(),
+        clusters: Vec::new(),
+    };
+    for cl in 0..v {
+        for co in 0..c {
+            let core = CoreId(cl * c + co);
+            obs.cores.push(CoreObs {
+                id: core,
+                cluster: ClusterId(cl),
+            });
+            for k in 0..t {
+                let id = obs.tasks.len();
+                obs.tasks.push(TaskObs {
+                    id: TaskId(id),
+                    core,
+                    priority: 1 + (id % 8) as u32,
+                    demand: ProcessingUnits(40.0 + ((id * 17 + k * 5) % 120) as f64),
+                });
+            }
+        }
+    }
+
+    for round in 0..120u64 {
+        obs.clusters.clear();
+        obs.clusters.extend((0..v).map(|cl| {
+            let lvl = levels[cl];
+            ClusterObs {
+                id: ClusterId(cl),
+                supply: ProcessingUnits(ladder[lvl]),
+                supply_up: (lvl + 1 < ladder.len()).then(|| ProcessingUnits(ladder[lvl + 1])),
+                supply_down: (lvl > 0).then(|| ProcessingUnits(ladder[lvl - 1])),
+                power: Watts(0.4 + 0.4 * lvl as f64),
+            }
+        }));
+        obs.chip_power = Watts(obs.clusters.iter().map(|cl| cl.power.value()).sum());
+        // Demand phases: ramp up mid-run, collapse late.
+        for (i, task) in obs.tasks.iter_mut().enumerate() {
+            let base = 40.0 + ((i * 17) % 120) as f64;
+            let phase = if (30..70).contains(&round) {
+                2.0
+            } else if round >= 90 {
+                0.3
+            } else {
+                1.0
+            };
+            task.demand = ProcessingUnits(base * phase);
+        }
+        // Churn: drop a task mid-run, orphan another briefly.
+        if round == 50 {
+            let gone = obs.tasks.remove(5);
+            market.remove_task(gone.id);
+        }
+        if round == 60 {
+            obs.tasks[7].core = CoreId(999);
+        }
+        if round == 62 {
+            obs.tasks[7].core = CoreId(7 / t);
+        }
+
+        market.round_into(&obs, &mut out);
+        for (cl, step) in &out.dvfs {
+            match step {
+                VfStep::Up => levels[cl.0] = (levels[cl.0] + 1).min(ladder.len() - 1),
+                VfStep::Down => levels[cl.0] = levels[cl.0].saturating_sub(1),
+            }
+        }
+        // The full decision, bit-exact: {:?} prints f64s losslessly enough
+        // (shortest round-trip representation) to catch any divergence.
+        trace.push_str(&format!("round {round}: {out:?}\n"));
+    }
+    trace
+}
+
+#[test]
+fn decision_sequences_are_byte_identical_across_runs() {
+    assert_eq!(market_trace(), market_trace());
+}
+
+#[test]
+fn decision_sequences_are_hasher_independent() {
+    // Each spawned thread gets fresh `RandomState` seeds for any std
+    // HashMap it creates; if round results leaked map iteration order,
+    // traces would diverge between threads. Run several to make a seed
+    // collision astronomically unlikely.
+    let reference = market_trace();
+    let handles: Vec<_> = (0..4).map(|_| std::thread::spawn(market_trace)).collect();
+    for h in handles {
+        let trace = h.join().expect("trace thread");
+        assert_eq!(
+            reference, trace,
+            "market decisions must not depend on the thread's hasher seeds"
+        );
+    }
+}
+
+#[test]
+fn full_simulation_is_deterministic_across_threads() {
+    let reference = fingerprint(0.0);
+    let handles: Vec<_> = (0..2)
+        .map(|_| std::thread::spawn(move || fingerprint(0.0)))
+        .collect();
+    for h in handles {
+        assert_eq!(reference, h.join().expect("sim thread"));
+    }
 }

@@ -23,10 +23,18 @@ fn light_workload_runs_on_little_at_low_power() {
     let mut sim = Simulation::new(sys, mgr).with_warmup(SimDuration::from_secs(5));
     sim.run_for(SimDuration::from_secs(40));
     let m = sim.metrics();
-    assert!(m.any_miss_fraction() < 0.15, "miss {:.2}", m.any_miss_fraction());
+    assert!(
+        m.any_miss_fraction() < 0.15,
+        "miss {:.2}",
+        m.any_miss_fraction()
+    );
     // A light set fits the LITTLE cluster: the big cluster contributes at
     // most briefly and average power stays far below HL's ~6 W regime.
-    assert!(m.average_power() < Watts(2.5), "power {}", m.average_power());
+    assert!(
+        m.average_power() < Watts(2.5),
+        "power {}",
+        m.average_power()
+    );
 }
 
 #[test]
@@ -41,7 +49,10 @@ fn heavy_workload_spills_to_big_cluster() {
         .iter()
         .filter(|&&t| s.chip().core(s.core_of(t)).class() == CoreClass::Big)
         .count();
-    assert!(on_big >= 2, "heavy set should use the big cluster: {on_big}");
+    assert!(
+        on_big >= 2,
+        "heavy set should use the big cluster: {on_big}"
+    );
     assert!(!s.chip().cluster(ClusterId(1)).is_off());
     assert!(
         sim.metrics().any_miss_fraction() < 0.25,
@@ -54,7 +65,8 @@ fn heavy_workload_spills_to_big_cluster() {
 fn tdp_cap_holds_on_medium_workload() {
     let set = set_by_name("m2").expect("m2");
     let tdp = Watts(4.0);
-    let (mut sys, mgr) = tc2_ppm_system(set.spawn(0, Priority::NORMAL), PpmConfig::tc2_with_tdp(tdp));
+    let (mut sys, mgr) =
+        tc2_ppm_system(set.spawn(0, Priority::NORMAL), PpmConfig::tc2_with_tdp(tdp));
     sys.set_tdp_accounting(tdp);
     let mut sim = Simulation::new(sys, mgr).with_warmup(SimDuration::from_secs(5));
     sim.run_for(SimDuration::from_secs(60));
@@ -63,7 +75,11 @@ fn tdp_cap_holds_on_medium_workload() {
     let above = m.time_above_tdp.as_secs_f64() / m.total_time().as_secs_f64();
     assert!(above < 0.10, "above-TDP {above:.2}");
     // The cap must not wreck a medium workload's QoS (Figure 6 shape).
-    assert!(m.any_miss_fraction() < 0.25, "miss {:.2}", m.any_miss_fraction());
+    assert!(
+        m.any_miss_fraction() < 0.25,
+        "miss {:.2}",
+        m.any_miss_fraction()
+    );
 }
 
 #[test]
@@ -71,8 +87,16 @@ fn steady_state_stops_switching_levels() {
     // §3.2.4: with constant demand the market reaches a stable state — the
     // V-F switching rate must collapse after convergence.
     let tasks = vec![
-        Task::new(TaskId(0), spec(Benchmark::Blackscholes, Input::Native), Priority(1)),
-        Task::new(TaskId(1), spec(Benchmark::Blackscholes, Input::Large), Priority(1)),
+        Task::new(
+            TaskId(0),
+            spec(Benchmark::Blackscholes, Input::Native),
+            Priority(1),
+        ),
+        Task::new(
+            TaskId(1),
+            spec(Benchmark::Blackscholes, Input::Large),
+            Priority(1),
+        ),
     ];
     let (sys, mgr) = tc2_ppm_system(tasks, PpmConfig::tc2());
     let mut sim = Simulation::new(sys, mgr);
@@ -118,11 +142,19 @@ fn priorities_shift_qos_under_contention() {
     let run = |prio: u32| {
         let mut sys = System::new(Chip::tc2(), AllocationPolicy::Market);
         sys.add_task(
-            Task::new(TaskId(0), spec(Benchmark::Swaptions, Input::Native), Priority(prio)),
+            Task::new(
+                TaskId(0),
+                spec(Benchmark::Swaptions, Input::Native),
+                Priority(prio),
+            ),
             CoreId(0),
         );
         sys.add_task(
-            Task::new(TaskId(1), spec(Benchmark::Bodytrack, Input::Native), Priority(1)),
+            Task::new(
+                TaskId(1),
+                spec(Benchmark::Bodytrack, Input::Native),
+                Priority(1),
+            ),
             CoreId(0),
         );
         let mgr = PpmManager::new(PpmConfig::tc2().without_lbt());
@@ -168,7 +200,11 @@ fn savings_are_banked_and_spent() {
     // liquidates it when its active phase begins.
     let mut sys = System::new(Chip::tc2(), AllocationPolicy::Market);
     sys.add_task(
-        Task::new(TaskId(0), spec(Benchmark::Swaptions, Input::Native), Priority(1)),
+        Task::new(
+            TaskId(0),
+            spec(Benchmark::Swaptions, Input::Native),
+            Priority(1),
+        ),
         CoreId(0),
     );
     sys.add_task(

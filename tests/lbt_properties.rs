@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 
 use ppm::core::lbt::{
-    decide_load_balance, decide_migration, estimate_cluster, ClusterPowerProfile,
-    ClusterSnapshot, CoreSnapshot, SystemSnapshot, TaskSnapshot,
+    decide_load_balance, decide_migration, estimate_cluster, ClusterPowerProfile, ClusterSnapshot,
+    CoreSnapshot, SystemSnapshot, TaskSnapshot,
 };
 use ppm::platform::cluster::ClusterId;
 use ppm::platform::core::{CoreClass, CoreId};

@@ -64,8 +64,8 @@ fn ppm_drives_an_eight_cluster_chip() {
         let task = random_task(i, &mut seed);
         sys.add_task(task, CoreId(i % n_cores));
     }
-    let mut sim = Simulation::new(sys, PpmManager::new(config))
-        .with_warmup(SimDuration::from_secs(5));
+    let mut sim =
+        Simulation::new(sys, PpmManager::new(config)).with_warmup(SimDuration::from_secs(5));
     sim.run_for(SimDuration::from_secs(30));
     let m = sim.metrics();
     // 48 modest tasks across 32 cores: the market must serve the large
@@ -100,8 +100,8 @@ fn ppm_works_on_per_core_dvfs_chips() {
     for i in 0..6 {
         sys.add_task(random_task(i, &mut seed), CoreId(i % 4));
     }
-    let mut sim = Simulation::new(sys, PpmManager::new(config))
-        .with_warmup(SimDuration::from_secs(5));
+    let mut sim =
+        Simulation::new(sys, PpmManager::new(config)).with_warmup(SimDuration::from_secs(5));
     sim.run_for(SimDuration::from_secs(30));
     assert!(
         sim.metrics().any_miss_fraction() < 0.4,
@@ -119,8 +119,8 @@ fn ppm_works_on_the_tegra_preset() {
     for i in 0..5 {
         sys.add_task(random_task(i, &mut seed), CoreId(0));
     }
-    let mut sim = Simulation::new(sys, PpmManager::new(config))
-        .with_warmup(SimDuration::from_secs(5));
+    let mut sim =
+        Simulation::new(sys, PpmManager::new(config)).with_warmup(SimDuration::from_secs(5));
     sim.run_for(SimDuration::from_secs(30));
     assert!(
         sim.metrics().any_miss_fraction() < 0.4,

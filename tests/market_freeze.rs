@@ -47,8 +47,7 @@ impl World {
                 id: ClusterId(0),
                 supply: ProcessingUnits(self.ladder[self.level]),
                 supply_up: self.ladder.get(self.level + 1).map(|&s| ProcessingUnits(s)),
-                supply_down: (self.level > 0)
-                    .then(|| ProcessingUnits(self.ladder[self.level - 1])),
+                supply_down: (self.level > 0).then(|| ProcessingUnits(self.ladder[self.level - 1])),
                 power: Watts(0.8),
             }],
         }

@@ -3,10 +3,13 @@
 
 use ppm::core::config::PpmConfig;
 use ppm::core::manager::tc2_ppm_system;
-use ppm::platform::units::{SimDuration, Watts};
+use ppm::core::market::{ClusterObs, CoreObs, Market, MarketObs, TaskObs};
+use ppm::platform::cluster::ClusterId;
+use ppm::platform::core::CoreId;
+use ppm::platform::units::{ProcessingUnits, SimDuration, Watts};
 use ppm::sched::Simulation;
 use ppm::workload::sets::set_by_name;
-use ppm::workload::task::Priority;
+use ppm::workload::task::{Priority, TaskId};
 
 fn run_with_noise(noise: f64, tdp: Option<Watts>) -> (f64, f64, u64) {
     let set = set_by_name("m2").expect("m2");
@@ -45,6 +48,67 @@ fn five_percent_sensor_noise_is_tolerated() {
         vf_noisy < vf_clean * 4 + 40,
         "noise caused V-F thrash: {vf_noisy} vs {vf_clean}"
     );
+}
+
+/// A malformed snapshot — a task pinned to a core the observation layer
+/// never reported — must degrade gracefully: the task is skipped for the
+/// round (and surfaced in `decision.orphans`), everyone else trades as
+/// usual, and the market recovers the moment the observation heals.
+#[test]
+fn tasks_on_unobserved_cores_degrade_gracefully() {
+    let mut market = Market::new(PpmConfig::tc2());
+    let mut obs = MarketObs {
+        chip_power: Watts(2.0),
+        tasks: (0..6)
+            .map(|i| TaskObs {
+                id: TaskId(i),
+                core: CoreId(i % 2),
+                priority: 2,
+                demand: ProcessingUnits(100.0),
+            })
+            .collect(),
+        cores: vec![
+            CoreObs {
+                id: CoreId(0),
+                cluster: ClusterId(0),
+            },
+            CoreObs {
+                id: CoreId(1),
+                cluster: ClusterId(0),
+            },
+        ],
+        clusters: vec![ClusterObs {
+            id: ClusterId(0),
+            supply: ProcessingUnits(600.0),
+            supply_up: None,
+            supply_down: None,
+            power: Watts(1.0),
+        }],
+    };
+
+    // Healthy rounds first, then break one task's core reference.
+    for _ in 0..5 {
+        let d = market.round(&obs);
+        assert!(d.orphans.is_empty());
+        assert_eq!(d.tasks.len(), 6);
+    }
+    obs.tasks[3].core = CoreId(42);
+    for _ in 0..3 {
+        let d = market.round(&obs);
+        assert_eq!(d.orphans, vec![(TaskId(3), CoreId(42))]);
+        assert_eq!(d.tasks.len(), 5, "the others must keep trading");
+        assert!(d.tasks.iter().all(|r| r.id != TaskId(3)));
+        assert!(
+            d.shares.iter().all(|(id, _)| *id != TaskId(3)),
+            "an orphan must not be granted supply"
+        );
+    }
+    // Heal the observation: the task rejoins with its agent state intact.
+    obs.tasks[3].core = CoreId(1);
+    let d = market.round(&obs);
+    assert!(d.orphans.is_empty());
+    assert_eq!(d.tasks.len(), 6);
+    assert!(d.tasks.iter().any(|r| r.id == TaskId(3)));
 }
 
 #[test]

@@ -19,8 +19,16 @@ fn spec(b: Benchmark, i: Input) -> BenchmarkSpec {
 #[test]
 fn departing_task_frees_supply_for_the_rest() {
     let tasks = vec![
-        Task::new(TaskId(0), spec(Benchmark::Tracking, Input::FullHd), Priority(1)),
-        Task::new(TaskId(1), spec(Benchmark::Multicnt, Input::FullHd), Priority(1)),
+        Task::new(
+            TaskId(0),
+            spec(Benchmark::Tracking, Input::FullHd),
+            Priority(1),
+        ),
+        Task::new(
+            TaskId(1),
+            spec(Benchmark::Multicnt, Input::FullHd),
+            Priority(1),
+        ),
     ];
     let mut sys = System::new(Chip::tc2(), AllocationPolicy::Market);
     // Both on one LITTLE core: 1550 PU of demand vs 1000 max — contention.
@@ -30,9 +38,15 @@ fn departing_task_frees_supply_for_the_rest() {
     let mgr = PpmManager::new(PpmConfig::tc2().without_lbt());
     let mut sim = Simulation::new(sys, mgr).with_warmup(SimDuration::from_secs(2));
     sim.run_for(SimDuration::from_secs(20));
-    let starved = sim.system().task(TaskId(0)).normalized_heart_rate()
+    let starved = sim
+        .system()
+        .task(TaskId(0))
+        .normalized_heart_rate()
         .min(sim.system().task(TaskId(1)).normalized_heart_rate());
-    assert!(starved < 0.95, "contention expected before the exit: {starved}");
+    assert!(
+        starved < 0.95,
+        "contention expected before the exit: {starved}"
+    );
 
     // Task 1 exits; task 0 should recover to its goal.
     sim.system_mut().remove_task(TaskId(1));
@@ -50,7 +64,11 @@ fn departed_agent_leaves_the_market() {
     let (sys, mgr) = tc2_ppm_system(
         vec![
             Task::new(TaskId(0), spec(Benchmark::Texture, Input::Vga), Priority(1)),
-            Task::new(TaskId(1), spec(Benchmark::Tracking, Input::Vga), Priority(1)),
+            Task::new(
+                TaskId(1),
+                spec(Benchmark::Tracking, Input::Vga),
+                Priority(1),
+            ),
         ],
         PpmConfig::tc2(),
     );
@@ -96,9 +114,21 @@ fn late_arrival_is_admitted_and_served() {
 #[test]
 fn cluster_gates_when_its_last_task_departs() {
     let tasks = vec![
-        Task::new(TaskId(0), spec(Benchmark::Tracking, Input::FullHd), Priority(1)),
-        Task::new(TaskId(1), spec(Benchmark::Texture, Input::FullHd), Priority(1)),
-        Task::new(TaskId(2), spec(Benchmark::Multicnt, Input::FullHd), Priority(1)),
+        Task::new(
+            TaskId(0),
+            spec(Benchmark::Tracking, Input::FullHd),
+            Priority(1),
+        ),
+        Task::new(
+            TaskId(1),
+            spec(Benchmark::Texture, Input::FullHd),
+            Priority(1),
+        ),
+        Task::new(
+            TaskId(2),
+            spec(Benchmark::Multicnt, Input::FullHd),
+            Priority(1),
+        ),
         Task::new(TaskId(3), spec(Benchmark::X264, Input::Native), Priority(1)),
     ];
     let (sys, mgr) = tc2_ppm_system(tasks, PpmConfig::tc2());

@@ -39,12 +39,14 @@ fn run(config: PpmConfig) -> (f64, f64) {
 fn thermal_limit_caps_the_junction_temperature() {
     // Unconstrained: the heavy set drives the big cluster far past 80 C.
     let (peak_free, _) = run(PpmConfig::tc2());
-    assert!(peak_free > 85.0, "workload should run hot: {peak_free:.1} C");
+    assert!(
+        peak_free > 85.0,
+        "workload should run hot: {peak_free:.1} C"
+    );
 
     // With an (75, 82) C limit the market throttles: noticeably cooler.
-    let (peak_limited, miss) = run(
-        PpmConfig::tc2().with_thermal_limit(Celsius(75.0), Celsius(82.0)),
-    );
+    let (peak_limited, miss) =
+        run(PpmConfig::tc2().with_thermal_limit(Celsius(75.0), Celsius(82.0)));
     assert!(
         peak_limited < peak_free - 3.0,
         "limit should cool the chip: {peak_limited:.1} vs {peak_free:.1} C"
@@ -56,7 +58,10 @@ fn thermal_limit_caps_the_junction_temperature() {
     // Throttling a heavy set this hard costs most of its QoS (the budget
     // shrinks to roughly half the chip), but the market must keep
     // operating — some heartbeats keep landing in range.
-    assert!(miss < 1.0, "thermal throttling deadlocked the market: {miss:.2}");
+    assert!(
+        miss < 1.0,
+        "thermal throttling deadlocked the market: {miss:.2}"
+    );
 }
 
 #[test]

@@ -1,0 +1,150 @@
+//! Proof of the hot-path invariant: a steady-state `Market::round_into`
+//! performs **zero heap allocation**.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! phase (which is allowed to grow the slot arenas, scratch buffers and the
+//! decision buffer), a block of further rounds must not touch the allocator
+//! at all. The test binary is dedicated to this check so the global
+//! allocator override cannot interfere with other integration tests, and
+//! everything runs in one `#[test]` so no concurrent test thread can
+//! pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ppm::core::config::PpmConfig;
+use ppm::core::market::{ClusterObs, CoreObs, Market, MarketDecision, MarketObs, TaskObs};
+use ppm::platform::cluster::ClusterId;
+use ppm::platform::core::CoreId;
+use ppm::platform::units::{ProcessingUnits, Watts};
+use ppm::workload::task::TaskId;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates every operation to the system allocator unchanged; the
+// counter is a side effect only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// A (v clusters × c cores × t tasks/core) snapshot with varied demands.
+fn obs(v: usize, c: usize, t: usize) -> MarketObs {
+    let mut tasks = Vec::new();
+    let mut cores = Vec::new();
+    for cl in 0..v {
+        for co in 0..c {
+            let core = CoreId(cl * c + co);
+            cores.push(CoreObs {
+                id: core,
+                cluster: ClusterId(cl),
+            });
+            for k in 0..t {
+                tasks.push(TaskObs {
+                    id: TaskId(tasks.len()),
+                    core,
+                    priority: 1 + (tasks.len() % 8) as u32,
+                    demand: ProcessingUnits(10.0 + ((tasks.len() * 7 + k) % 41) as f64),
+                });
+            }
+        }
+    }
+    MarketObs {
+        chip_power: Watts(2.0),
+        tasks,
+        cores,
+        clusters: (0..v)
+            .map(|cl| ClusterObs {
+                id: ClusterId(cl),
+                supply: ProcessingUnits(600.0),
+                supply_up: Some(ProcessingUnits(700.0)),
+                supply_down: Some(ProcessingUnits(500.0)),
+                power: Watts(2.0 / v as f64),
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn steady_state_market_round_does_not_allocate() {
+    let snapshot = obs(4, 4, 8);
+    let mut market = Market::new(PpmConfig::tc2());
+    let mut out = MarketDecision::default();
+
+    // Warm-up: arena growth, scratch sizing, output-buffer capacity, and
+    // enough rounds for bids/prices/DVFS dynamics to reach regime.
+    for _ in 0..50 {
+        market.round_into(&snapshot, &mut out);
+    }
+
+    let before = allocations();
+    for _ in 0..100 {
+        market.round_into(&snapshot, &mut out);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state rounds must not touch the allocator"
+    );
+    // Sanity: the rounds actually ran an economy.
+    assert_eq!(out.tasks.len(), snapshot.tasks.len());
+    assert!(out.allowance.value() > 0.0);
+
+    // Also steady under demand drift (same populations, different numbers):
+    // only values change, so capacities hold and no allocation happens.
+    let mut drifting = snapshot.clone();
+    let before = allocations();
+    for round in 0..100 {
+        for (i, t) in drifting.tasks.iter_mut().enumerate() {
+            t.demand = ProcessingUnits(10.0 + ((i * 13 + round * 5) % 41) as f64);
+        }
+        market.round_into(&drifting, &mut out);
+    }
+    let after = allocations();
+    assert_eq!(after - before, 0, "demand drift must stay allocation-free");
+
+    // Shrinking the task set must also be free (buffers only ever shrink
+    // logically); idle rounds included.
+    let mut shrunk = snapshot.clone();
+    shrunk.tasks.truncate(8);
+    let before = allocations();
+    for _ in 0..50 {
+        market.round_into(&shrunk, &mut out);
+    }
+    shrunk.tasks.clear();
+    for _ in 0..50 {
+        market.round_into(&shrunk, &mut out);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "shrinking and idle rounds must stay allocation-free"
+    );
+}

@@ -1,0 +1,260 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal benchmark harness exposing criterion's common API:
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], [`Throughput`],
+//! `criterion_group!`/`criterion_main!`, and a [`Bencher`] whose `iter`
+//! auto-calibrates the iteration count. Results are printed as
+//! `name ... time: <mean> (<throughput>)` lines; there is no statistical
+//! analysis, plotting, or baseline comparison.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimiser value sink, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, e.g. `from_parameter(format!("{n}tasks"))`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter rendering.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives one benchmark's timing loop.
+pub struct Bencher {
+    mean_ns: f64,
+    measure: Duration,
+}
+
+impl Bencher {
+    /// Measure `f`, auto-calibrating the iteration count to fill the
+    /// measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: find an iteration count that takes a
+        // meaningful fraction of the window.
+        let mut n: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= self.measure / 5 || n >= 1 << 30 {
+                break;
+            }
+            n = if elapsed.is_zero() {
+                n * 16
+            } else {
+                let scale = self.measure.as_secs_f64() / 5.0 / elapsed.as_secs_f64();
+                (n as f64 * scale.clamp(1.5, 16.0)) as u64
+            };
+        }
+        // Measurement: best-of-3 batches to damp scheduler noise.
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let per_iter = t.elapsed().as_secs_f64() * 1e9 / n as f64;
+            if per_iter < best {
+                best = per_iter;
+            }
+        }
+        self.mean_ns = best;
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Override the per-benchmark measurement window (accepted for API
+    /// compatibility).
+    pub fn measurement_time(&mut self, window: Duration) {
+        self.criterion.measure = window;
+    }
+
+    /// Accepted for API compatibility; sampling is automatic here.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            measure: self.criterion.measure,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), b.mean_ns);
+    }
+
+    /// Run one benchmark with an input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            measure: self.criterion.measure,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), b.mean_ns);
+    }
+
+    /// Finish the group (prints nothing extra; provided for parity).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, mean_ns: f64) {
+        let throughput = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.2} Melem/s)", n as f64 / mean_ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  ({:.2} MiB/s)",
+                    n as f64 / mean_ns * 1e9 / (1024.0 * 1024.0)
+                )
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{:<28} time: {:>12}{}",
+            self.name,
+            id,
+            fmt_ns(mean_ns),
+            throughput
+        );
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Keep the default window small: these stand-in benches are run in
+        // CI sanity loops, not for statistics. PPM_BENCH_MS overrides.
+        let ms = std::env::var("PPM_BENCH_MS")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(300);
+        Criterion {
+            measure: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            measure: self.measure,
+        };
+        f(&mut b);
+        println!("{:<36} time: {:>12}", id, fmt_ns(b.mean_ns));
+        self
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the benchmark `main`, mirroring criterion's macro.
+///
+/// `cargo test` executes `harness = false` bench targets with `--test`
+/// style arguments; treat any argument list as "run everything" except a
+/// bare `--list`, which must print nothing and exit for test enumeration.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let args: Vec<String> = std::env::args().skip(1).collect();
+            if args.iter().any(|a| a == "--list") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

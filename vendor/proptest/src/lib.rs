@@ -1,0 +1,460 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a miniature property-testing harness exposing the subset of
+//! proptest's API its test suites use: the [`proptest!`] macro,
+//! `prop_assert*` macros, [`Strategy`] with `prop_map`/`prop_flat_map`,
+//! range and tuple strategies, `collection::vec`, `bool::ANY`,
+//! `option::of`, and [`ProptestConfig::with_cases`].
+//!
+//! Differences from upstream, deliberately accepted:
+//! * **No shrinking.** A failing case reports its case index and the
+//!   values' `Debug` rendering when available, but is not minimised.
+//! * **Fixed deterministic seed** per test function (derived from the
+//!   test's name), so failures reproduce exactly across runs and machines.
+//!   Set `PROPTEST_SEED` to explore a different stream.
+
+use rand::{RngCore, SeedableRng, StdRng};
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Test-runner plumbing used by the macros.
+pub mod test_runner {
+    use super::*;
+
+    /// A failed property with its rendered message.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// The RNG driving value generation.
+    pub type TestRng = StdRng;
+
+    /// A seed that is stable per test but overridable via `PROPTEST_SEED`.
+    pub fn rng_for(test_name: &str) -> TestRng {
+        let mut seed: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = s.parse::<u64>() {
+                seed ^= v;
+            }
+        }
+        StdRng::seed_from_u64(seed)
+    }
+}
+
+/// Value-generation strategies (a non-shrinking subset of proptest's).
+pub mod strategy {
+    use super::*;
+
+    /// Generates random values of an output type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, then generate from the strategy `f` builds
+        /// out of it.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Keep only values satisfying `pred` (rejection sampling, bounded).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: &'static str,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                reason,
+                pred,
+            }
+        }
+    }
+
+    /// Strategy yielding a constant value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn new_value(&self, rng: &mut StdRng) -> T::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) reason: &'static str,
+        pub(crate) pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.new_value(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 candidates: {}", self.reason);
+        }
+    }
+
+    macro_rules! numeric_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+
+    numeric_range_strategy!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// A length specification: exact, or sampled from a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.size.lo + 1 >= self.size.hi_exclusive {
+                self.size.lo
+            } else {
+                rand::Rng::gen_range(rng, self.size.lo..self.size.hi_exclusive)
+            };
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// A uniformly random `bool`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = core::primitive::bool;
+        fn new_value(&self, rng: &mut StdRng) -> core::primitive::bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Strategy producing `None` about a quarter of the time.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `Some` from `inner` three quarters of the time, else `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.next_u64() & 3 == 0 {
+                None
+            } else {
+                Some(self.0.new_value(rng))
+            }
+        }
+    }
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Fail the current property case with a formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{} ({:?} vs {:?})", format!($($fmt)*), a, b);
+    }};
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "{} ({:?} vs {:?})", format!($($fmt)*), a, b);
+    }};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> = (|| {
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest {}: case {}/{} failed: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs_work(
+            x in 1u32..=8,
+            f in 0.5f64..2.0,
+            v in crate::collection::vec(0usize..10, 2..5),
+            o in crate::option::of(1.0f64..2.0),
+            b in crate::bool::ANY,
+        ) {
+            prop_assert!((1..=8).contains(&x));
+            prop_assert!((0.5..2.0).contains(&f));
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&e| e < 10));
+            if let Some(inner) = o {
+                prop_assert!((1.0..2.0).contains(&inner));
+            }
+            let _ = b;
+        }
+
+        #[test]
+        fn maps_and_flat_maps_compose(
+            w in (1usize..=3, 2usize..=4).prop_flat_map(|(a, b)| {
+                (Just(a), crate::collection::vec(0.0f64..1.0, b))
+            }).prop_map(|(a, v)| (a, v.len())),
+        ) {
+            prop_assert!(w.0 >= 1 && w.0 <= 3);
+            prop_assert!(w.1 >= 2 && w.1 <= 4);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = crate::test_runner::rng_for("x");
+        let mut b = crate::test_runner::rng_for("x");
+        use rand::RngCore;
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

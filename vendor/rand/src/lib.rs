@@ -1,0 +1,202 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the tiny slice of `rand`'s API it actually uses: seedable
+//! deterministic generators (`StdRng`, `SmallRng`) and uniform range
+//! sampling via [`Rng::gen_range`]. The generator is xoshiro256++ seeded
+//! through SplitMix64 — statistically solid for workload synthesis, and
+//! fully reproducible per seed, which is all the scalability experiments
+//! need. The streams differ from upstream `rand` (which uses ChaCha12 for
+//! `StdRng`), so regenerated tables may shift relative to runs made with
+//! the real crate; every consumer in this repo only relies on determinism
+//! and value ranges, not on a specific stream.
+
+/// Seedable random generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// Deterministic xoshiro256++ generator (stand-in for `rand`'s ChaCha12
+    /// `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    /// Same engine as [`StdRng`]; provided because callers may ask for the
+    /// `small_rng` feature.
+    pub type SmallRng = StdRng;
+}
+
+pub use rngs::StdRng;
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from seeds, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        let mut sm = seed;
+        StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ (Blackman & Vigna, public domain reference).
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A type with a uniform sampler over its range expressions.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+fn uniform_f64(rng: &mut impl RngCore) -> f64 {
+    // 53 random mantissa bits in [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample(self, rng: &mut impl RngCore) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + uniform_f64(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample(self, rng: &mut impl RngCore) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + uniform_f64(rng) * (hi - lo)
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample(self, rng: &mut impl RngCore) -> f32 {
+        (self.start as f64..self.end as f64).sample(rng) as f32
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut impl RngCore) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut impl RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draw one value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// A uniformly random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        uniform_f64(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f = rng.gen_range(0.25..=0.75);
+            assert!((0.25..=0.75).contains(&f));
+            let i = rng.gen_range(1u32..=8);
+            assert!((1..=8).contains(&i));
+            let u = rng.gen_range(0usize..6);
+            assert!(u < 6);
+        }
+    }
+
+    #[test]
+    fn float_sampling_covers_the_span() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0.0..1.0);
+            lo_seen |= v < 0.1;
+            hi_seen |= v > 0.9;
+        }
+        assert!(lo_seen && hi_seen, "sampler is not spreading");
+    }
+}
