@@ -17,6 +17,8 @@ use ppm_platform::core::{CoreClass, CoreId};
 use ppm_platform::units::{SimDuration, SimTime, Watts};
 use ppm_sched::executor::{AllocationPolicy, PowerManager, System};
 use ppm_sched::governor::{FrequencyGovernor, Ondemand};
+use ppm_sched::plan::ActuationPlan;
+use ppm_sched::snapshot::SystemSnapshot;
 use ppm_workload::task::TaskId;
 
 /// Configuration of the HL baseline.
@@ -89,69 +91,70 @@ impl HlManager {
         self.big_disabled
     }
 
-    fn cores_of_class(sys: &System, class: CoreClass) -> Vec<CoreId> {
-        sys.chip()
-            .cores()
+    fn cores_of_class(snap: &SystemSnapshot, class: CoreClass) -> Vec<CoreId> {
+        snap.cores
             .iter()
-            .filter(|c| c.class() == class)
-            .map(|c| c.id())
+            .filter(|c| c.class == class)
+            .map(|c| c.id)
             .collect()
     }
 
     /// The core of `class` with the fewest tasks (ties to the lowest id),
-    /// mirroring wake-up balancing.
-    fn least_loaded(sys: &System, class: CoreClass, exclude_off: bool) -> Option<CoreId> {
-        Self::cores_of_class(sys, class)
+    /// mirroring wake-up balancing. Counts go through the plan overlay so
+    /// moves queued earlier in the tick shift subsequent choices, exactly as
+    /// they did when this actuated inline.
+    fn least_loaded(
+        snap: &SystemSnapshot,
+        plan: &ActuationPlan,
+        class: CoreClass,
+        exclude_off: bool,
+    ) -> Option<CoreId> {
+        Self::cores_of_class(snap, class)
             .into_iter()
-            .filter(|&c| !exclude_off || !sys.chip().cluster_of(c).is_off())
-            .min_by_key(|&c| (sys.tasks_on(c).len(), c.0))
+            .filter(|&c| !exclude_off || !plan.cluster_off(snap, snap.core(c).cluster))
+            .min_by_key(|&c| (plan.tasks_on_count(snap, c), c.0))
     }
 
     /// Move every task off the big cluster and gate it (TDP cutoff).
-    fn disable_big(&mut self, sys: &mut System) {
+    fn disable_big(&mut self, snap: &SystemSnapshot, plan: &mut ActuationPlan) {
         self.big_disabled = true;
-        let big_tasks: Vec<TaskId> = sys
-            .task_ids()
-            .into_iter()
-            .filter(|&t| sys.chip().core(sys.core_of(t)).class() == CoreClass::Big)
+        let big_tasks: Vec<TaskId> = snap
+            .tasks
+            .iter()
+            .filter(|t| snap.core(plan.core_of(snap, t.id)).class == CoreClass::Big)
+            .map(|t| t.id)
             .collect();
         for t in big_tasks {
-            if let Some(target) = Self::least_loaded(sys, CoreClass::Little, true) {
-                sys.migrate(t, target);
+            if let Some(target) = Self::least_loaded(snap, plan, CoreClass::Little, true) {
+                plan.migrate(t, target);
             }
         }
-        let big_clusters: Vec<ClusterId> = sys
-            .chip()
-            .clusters()
-            .iter()
-            .filter(|c| c.class() == CoreClass::Big)
-            .map(|c| c.id())
-            .collect();
-        for c in big_clusters {
-            sys.power_off(c);
+        for cl in &snap.clusters {
+            if cl.class == CoreClass::Big {
+                plan.power_off(cl.id);
+            }
         }
     }
 
     /// HMP-style migration pass: promote busy tasks, demote idle ones, and
     /// spread tasks within each cluster (CFS periodic load balance).
-    fn migration_pass(&mut self, sys: &mut System) {
-        let ids = sys.task_ids();
-        for id in ids {
-            if sys.is_stalled(id) {
+    fn migration_pass(&mut self, snap: &SystemSnapshot, plan: &mut ActuationPlan) {
+        for t in &snap.tasks {
+            if t.stalled {
                 continue;
             }
-            let core = sys.core_of(id);
-            let class = sys.chip().core(core).class();
-            let load = sys.pelt_load(id);
+            let core = plan.core_of(snap, t.id);
+            let class = snap.core(core).class;
+            let load = t.pelt_load;
             match class {
                 CoreClass::Little if !self.big_disabled && load >= self.config.up_threshold => {
-                    if let Some(target) = Self::least_loaded(sys, CoreClass::Big, true) {
-                        sys.migrate(id, target);
+                    if let Some(target) = Self::least_loaded(snap, plan, CoreClass::Big, true) {
+                        plan.migrate(t.id, target);
                     }
                 }
                 CoreClass::Big if load <= self.config.down_threshold => {
-                    if let Some(target) = Self::least_loaded(sys, CoreClass::Little, true) {
-                        sys.migrate(id, target);
+                    if let Some(target) = Self::least_loaded(snap, plan, CoreClass::Little, true) {
+                        plan.migrate(t.id, target);
                     }
                 }
                 _ => {}
@@ -159,31 +162,32 @@ impl HlManager {
         }
         // Intra-cluster balance: move one task from the most- to the
         // least-populated core of each cluster when they differ by ≥ 2.
-        let clusters: Vec<ClusterId> = sys.chip().clusters().iter().map(|c| c.id()).collect();
-        for cl in clusters {
-            if sys.chip().cluster(cl).is_off() {
+        for cl in &snap.clusters {
+            if plan.cluster_off(snap, cl.id) {
                 continue;
             }
-            let cores = sys.chip().cores_of(cl).to_vec();
-            let (busiest, n_max) = match cores
+            let (busiest, n_max) = match cl
+                .cores
                 .iter()
-                .map(|&c| (c, sys.tasks_on(c).len()))
+                .map(|&c| (c, plan.tasks_on_count(snap, c)))
                 .max_by_key(|&(c, n)| (n, c.0))
             {
                 Some(x) => x,
                 None => continue,
             };
-            let (idlest, n_min) = match cores
+            let (idlest, n_min) = match cl
+                .cores
                 .iter()
-                .map(|&c| (c, sys.tasks_on(c).len()))
+                .map(|&c| (c, plan.tasks_on_count(snap, c)))
                 .min_by_key(|&(c, n)| (n, c.0))
             {
                 Some(x) => x,
                 None => continue,
             };
             if n_max >= n_min + 2 {
-                if let Some(&victim) = sys.tasks_on(busiest).first() {
-                    sys.migrate(victim, idlest);
+                let victim = plan.tasks_on(snap, busiest).next().map(|t| t.id);
+                if let Some(victim) = victim {
+                    plan.migrate(victim, idlest);
                 }
             }
         }
@@ -202,26 +206,28 @@ impl PowerManager for HlManager {
         }
     }
 
-    fn tick(&mut self, sys: &mut System, dt: SimDuration) {
+    fn plan(&mut self, snap: &SystemSnapshot, dt: SimDuration, plan: &mut ActuationPlan) {
         // Governors run every tick (each has its own sampling period).
-        let clusters: Vec<ClusterId> = sys.chip().clusters().iter().map(|c| c.id()).collect();
-        while self.governors.len() < clusters.len() {
+        while self.governors.len() < snap.clusters.len() {
             self.governors.push(Ondemand::new());
         }
-        for cl in clusters {
-            self.governors[cl.0].govern(sys, cl, dt);
+        for ci in 0..snap.clusters.len() {
+            let cl = ClusterId(ci);
+            if let Some(level) = self.governors[ci].govern(snap, cl, dt) {
+                plan.request_level(cl, level);
+            }
         }
         // TDP cutoff.
         if let Some(tdp) = self.config.tdp {
-            if !self.big_disabled && sys.chip_power() > tdp {
-                self.disable_big(sys);
+            if !self.big_disabled && snap.chip_power > tdp {
+                self.disable_big(snap, plan);
             }
         }
-        if sys.now() < self.next_decision {
+        if snap.now < self.next_decision {
             return;
         }
-        self.next_decision = sys.now() + self.config.period;
-        self.migration_pass(sys);
+        self.next_decision = snap.now + self.config.period;
+        self.migration_pass(snap, plan);
     }
 }
 

@@ -21,11 +21,12 @@
 //! threshold-triggered migration that picks the destination by task count
 //! alone (no speculation about demand, price, or power on the target).
 
-use ppm_platform::cluster::ClusterId;
 use ppm_platform::core::{CoreClass, CoreId};
 use ppm_platform::units::{ProcessingUnits, SimDuration, SimTime, Watts};
 use ppm_platform::vf::VfLevel;
 use ppm_sched::executor::{AllocationPolicy, PowerManager, System};
+use ppm_sched::plan::ActuationPlan;
+use ppm_sched::snapshot::SystemSnapshot;
 use ppm_workload::task::TaskId;
 
 use crate::pid::{Pid, PidConfig};
@@ -114,17 +115,17 @@ impl HpmManager {
     /// Hold-down after a migration before the task may move again.
     const MIGRATION_COOLDOWN: SimDuration = SimDuration(2_000_000);
 
-    fn may_move(&self, sys: &System, id: TaskId) -> bool {
+    fn may_move(&self, now: SimTime, id: TaskId) -> bool {
         self.migrated_at.get(id.0).is_none_or(|&t| {
-            sys.now().since(SimTime::ZERO) >= t.since(SimTime::ZERO) + Self::MIGRATION_COOLDOWN
+            now.since(SimTime::ZERO) >= t.since(SimTime::ZERO) + Self::MIGRATION_COOLDOWN
         })
     }
 
-    fn note_move(&mut self, sys: &System, id: TaskId) {
+    fn note_move(&mut self, now: SimTime, id: TaskId) {
         if self.migrated_at.len() <= id.0 {
             self.migrated_at.resize(id.0 + 1, SimTime::ZERO);
         }
-        self.migrated_at[id.0] = sys.now();
+        self.migrated_at[id.0] = now;
     }
 
     /// The configuration in force.
@@ -133,40 +134,37 @@ impl HpmManager {
     }
 
     /// Performance loops: one PID per task on normalized heart-rate error.
-    fn run_task_loops(&mut self, sys: &mut System, dt: SimDuration) {
-        let ids = sys.task_ids();
-        let max_id = ids.iter().map(|i| i.0 + 1).max().unwrap_or(0);
+    fn run_task_loops(&mut self, snap: &SystemSnapshot, plan: &mut ActuationPlan, dt: SimDuration) {
+        let max_id = snap.tasks.iter().map(|t| t.id.0 + 1).max().unwrap_or(0);
         while self.task_pids.len() < max_id {
             // Output is a share adjustment in PU per update.
             self.task_pids
                 .push(Pid::new(PidConfig::pi(80.0, 40.0, (-150.0, 150.0))));
         }
-        for id in ids {
-            let hr = sys.task(id).heart_rate();
-            let target = sys.task(id).spec().target_range().target();
+        for t in &snap.tasks {
+            let hr = t.heart_rate;
+            let target = t.target_rate;
             // No telemetry (admission or a fresh migration): seed the
             // share from the profile once, then let the window refill
             // without disturbing the controller.
             if hr <= 0.0 {
-                if !sys.share_of(id).is_positive() {
-                    let class = sys.chip().core(sys.core_of(id)).class();
-                    let seed = sys.task(id).spec().profiled_demand(class);
-                    sys.set_share(id, seed);
+                if !t.share.is_positive() {
+                    let class = snap.core(t.core).class;
+                    plan.set_share(t.id, t.profiled_demand(class));
                 }
                 continue;
             }
             let err = (target - hr) / target;
-            let adjust = self.task_pids[id.0].update(err, dt);
-            let supply = sys.chip().core_supply(sys.core_of(id));
-            let share = ProcessingUnits(
-                (sys.share_of(id).value() + adjust).clamp(10.0, supply.value().max(10.0)),
-            );
-            sys.set_share(id, share);
+            let adjust = self.task_pids[t.id.0].update(err, dt);
+            let supply = snap.core(t.core).supply;
+            let share =
+                ProcessingUnits((t.share.value() + adjust).clamp(10.0, supply.value().max(10.0)));
+            plan.set_share(t.id, share);
         }
     }
 
     /// Chip power loop: integrate the TDP error into a level cap.
-    fn run_power_loop(&mut self, sys: &mut System, dt: SimDuration) {
+    fn run_power_loop(&mut self, snap: &SystemSnapshot, dt: SimDuration) {
         let Some(tdp) = self.config.tdp else {
             self.level_cap = 0.0;
             return;
@@ -174,84 +172,86 @@ impl HpmManager {
         // Negative when above the cap; positive headroom is clipped hard so
         // the integral releases the frequency cap only slowly after a
         // violation (asymmetric anti-windup).
-        let err = (tdp - sys.chip_power()).value();
+        let err = (tdp - snap.chip_power).value();
         self.level_cap = self.power_pid.update(err.min(0.05), dt);
     }
 
     /// DVFS loop: per cluster, the busiest core's allocated shares set the
-    /// level, clamped by the power cap.
-    fn run_dvfs(&mut self, sys: &mut System) {
-        let clusters: Vec<ClusterId> = sys.chip().clusters().iter().map(|c| c.id()).collect();
-        for cl in clusters {
-            if sys.chip().cluster(cl).is_off() {
+    /// level, clamped by the power cap. Shares come through the plan overlay
+    /// so this sees what the task loops just queued.
+    fn run_dvfs(&mut self, snap: &SystemSnapshot, plan: &mut ActuationPlan) {
+        for cl in &snap.clusters {
+            if cl.off {
                 continue;
             }
-            let cores = sys.chip().cores_of(cl).to_vec();
-            let busiest: f64 = cores
+            let busiest: f64 = cl
+                .cores
                 .iter()
                 .map(|&c| {
-                    sys.tasks_on(c)
-                        .iter()
-                        .map(|&t| sys.share_of(t).value())
+                    snap.tasks_on(c)
+                        .map(|t| plan.share_of(snap, t.id).value())
                         .sum::<f64>()
                 })
                 .fold(0.0, f64::max);
-            let table = sys.chip().cluster(cl).table().clone();
             let wanted =
-                table.level_for_demand(ProcessingUnits(busiest / self.config.target_utilization));
+                cl.level_for_demand(ProcessingUnits(busiest / self.config.target_utilization));
             let cap_offset = self.level_cap.round() as i64; // ≤ 0
-            let capped =
-                (wanted.0 as i64 + cap_offset).clamp(0, table.max_level().0 as i64) as usize;
-            let target = VfLevel(capped);
-            if sys.chip().cluster(cl).effective_target() != target {
-                sys.request_level(cl, target);
+            let capped = (wanted as i64 + cap_offset).clamp(0, cl.max_level() as i64) as usize;
+            if cl.effective_target != capped {
+                plan.request_level(cl.id, VfLevel(capped));
             }
         }
     }
 
     /// Naive LBT: utilization-threshold balancing and migration, oblivious
-    /// to conditions on the destination cluster.
-    fn run_lbt(&mut self, sys: &mut System) {
+    /// to conditions on the destination cluster. Reads go through the plan
+    /// overlay so moves queued earlier in the pass are visible to later
+    /// decisions, like they were when this actuated inline.
+    fn run_lbt(&mut self, snap: &SystemSnapshot, plan: &mut ActuationPlan) {
+        let now = snap.now;
+        fn alloc(plan: &ActuationPlan, snap: &SystemSnapshot, c: CoreId) -> f64 {
+            plan.tasks_on(snap, c)
+                .map(|t| plan.share_of(snap, t.id).value())
+                .sum()
+        }
         // Intra-cluster: move one task from the most-allocated core to the
         // least-allocated one when the gap exceeds 25 % of the supply.
-        let clusters: Vec<ClusterId> = sys.chip().clusters().iter().map(|c| c.id()).collect();
-        for cl in &clusters {
-            if sys.chip().cluster(*cl).is_off() {
+        for cl in &snap.clusters {
+            if cl.off {
                 continue;
             }
-            let supply = sys.chip().cluster(*cl).supply_per_core().value();
+            let supply = cl.supply_per_core.value();
             if supply <= 0.0 {
                 continue;
             }
-            let cores = sys.chip().cores_of(*cl).to_vec();
-            let alloc = |sys: &System, c: CoreId| -> f64 {
-                sys.tasks_on(c)
-                    .iter()
-                    .map(|&t| sys.share_of(t).value())
-                    .sum()
-            };
-            let Some(&busiest) = cores
+            let Some(&busiest) = cl
+                .cores
                 .iter()
-                .max_by(|&&a, &&b| alloc(sys, a).total_cmp(&alloc(sys, b)))
+                .max_by(|&&a, &&b| alloc(plan, snap, a).total_cmp(&alloc(plan, snap, b)))
             else {
                 continue;
             };
-            let Some(&idlest) = cores
+            let Some(&idlest) = cl
+                .cores
                 .iter()
-                .min_by(|&&a, &&b| alloc(sys, a).total_cmp(&alloc(sys, b)))
+                .min_by(|&&a, &&b| alloc(plan, snap, a).total_cmp(&alloc(plan, snap, b)))
             else {
                 continue;
             };
-            if alloc(sys, busiest) - alloc(sys, idlest) > 0.40 * supply {
+            if alloc(plan, snap, busiest) - alloc(plan, snap, idlest) > 0.40 * supply {
                 // Move the smallest movable task (cheapest to relocate).
-                if let Some(&victim) = sys
-                    .tasks_on(busiest)
-                    .iter()
-                    .filter(|&&t| self.may_move(sys, t))
-                    .min_by(|&&a, &&b| sys.share_of(a).value().total_cmp(&sys.share_of(b).value()))
-                {
-                    sys.migrate(victim, idlest);
-                    self.note_move(sys, victim);
+                let victim = plan
+                    .tasks_on(snap, busiest)
+                    .filter(|t| self.may_move(now, t.id))
+                    .min_by(|a, b| {
+                        plan.share_of(snap, a.id)
+                            .value()
+                            .total_cmp(&plan.share_of(snap, b.id).value())
+                    })
+                    .map(|t| t.id);
+                if let Some(victim) = victim {
+                    plan.migrate(victim, idlest);
+                    self.note_move(now, victim);
                 }
             }
         }
@@ -260,80 +260,78 @@ impl HpmManager {
         // task to the big cluster (destination = fewest tasks, no
         // speculation). If a big-cluster task has become small, pull it
         // back to LITTLE.
-        let little_cores: Vec<CoreId> = sys
-            .chip()
-            .cores()
+        let little_cores: Vec<CoreId> = snap
+            .cores
             .iter()
-            .filter(|c| c.class() == CoreClass::Little)
-            .map(|c| c.id())
+            .filter(|c| c.class == CoreClass::Little)
+            .map(|c| c.id)
             .collect();
-        let big_cores: Vec<CoreId> = sys
-            .chip()
-            .cores()
+        let big_cores: Vec<CoreId> = snap
+            .cores
             .iter()
-            .filter(|c| c.class() == CoreClass::Big)
-            .map(|c| c.id())
+            .filter(|c| c.class == CoreClass::Big)
+            .map(|c| c.id)
             .collect();
         for &c in &little_cores {
-            let max_supply = sys.chip().core_max_supply(c).value();
-            let committed: f64 = sys
-                .tasks_on(c)
-                .iter()
-                .map(|&t| sys.share_of(t).value())
-                .sum();
+            let max_supply = snap.core(c).max_supply.value();
+            let committed: f64 = alloc(plan, snap, c);
             if committed > 0.95 * max_supply {
-                let victim = sys
-                    .tasks_on(c)
-                    .iter()
-                    .filter(|&&t| self.may_move(sys, t))
-                    .max_by(|&&a, &&b| sys.share_of(a).value().total_cmp(&sys.share_of(b).value()))
-                    .copied();
+                let victim = plan
+                    .tasks_on(snap, c)
+                    .filter(|t| self.may_move(now, t.id))
+                    .max_by(|a, b| {
+                        plan.share_of(snap, a.id)
+                            .value()
+                            .total_cmp(&plan.share_of(snap, b.id).value())
+                    })
+                    .map(|t| t.id);
                 let target = big_cores
                     .iter()
-                    .filter(|&&bc| !sys.chip().cluster_of(bc).is_off())
-                    .min_by_key(|&&bc| (sys.tasks_on(bc).len(), bc.0))
+                    .filter(|&&bc| !plan.cluster_off(snap, snap.core(bc).cluster))
+                    .min_by_key(|&&bc| (plan.tasks_on_count(snap, bc), bc.0))
                     .copied();
                 if let (Some(v), Some(t)) = (victim, target) {
-                    if sys.chip().cluster_of(t).is_off() {
+                    if plan.cluster_off(snap, snap.core(t).cluster) {
                         continue;
                     }
-                    sys.migrate(v, t);
-                    self.note_move(sys, v);
+                    plan.migrate(v, t);
+                    self.note_move(now, v);
                     return; // one inter-cluster move per pass
                 }
             }
         }
         for &c in &big_cores {
-            for t in sys.tasks_on(c) {
-                if !self.may_move(sys, t) {
+            let on_core: Vec<TaskId> = plan.tasks_on(snap, c).map(|t| t.id).collect();
+            for t in on_core {
+                if !self.may_move(now, t) {
                     continue;
                 }
                 // A task whose share would comfortably fit a LITTLE core
                 // (scaled by a generic 2x heterogeneity factor, no
                 // per-task speculation) goes back.
-                let share = sys.share_of(t).value();
+                let share = plan.share_of(snap, t).value();
                 let little_max = 1000.0;
                 if share * 2.0 < 0.5 * little_max {
                     if let Some(target) = little_cores
                         .iter()
-                        .min_by_key(|&&lc| (sys.tasks_on(lc).len(), lc.0))
+                        .min_by_key(|&&lc| (plan.tasks_on_count(snap, lc), lc.0))
                         .copied()
                     {
-                        sys.migrate(t, target);
-                        self.note_move(sys, t);
+                        plan.migrate(t, target);
+                        self.note_move(now, t);
                         return;
                     }
                 }
             }
         }
         // Gate clusters with nothing to run; wake them when targeted again.
-        for cl in clusters {
-            let has_tasks = !sys.tasks_on_cluster(cl).is_empty();
-            let off = sys.chip().cluster(cl).is_off();
+        for cl in &snap.clusters {
+            let has_tasks = plan.cluster_has_tasks(snap, cl.id);
+            let off = plan.cluster_off(snap, cl.id);
             if has_tasks && off {
-                sys.power_on(cl);
+                plan.power_on(cl.id);
             } else if !has_tasks && !off {
-                sys.power_off(cl);
+                plan.power_off(cl.id);
             }
         }
     }
@@ -357,20 +355,20 @@ impl PowerManager for HpmManager {
         }
     }
 
-    fn tick(&mut self, sys: &mut System, _dt: SimDuration) {
-        let now = sys.now();
+    fn plan(&mut self, snap: &SystemSnapshot, _dt: SimDuration, plan: &mut ActuationPlan) {
+        let now = snap.now;
         if now >= self.next_task {
             self.next_task = now + self.config.task_period;
-            self.run_task_loops(sys, self.config.task_period);
-            self.run_dvfs(sys);
+            self.run_task_loops(snap, plan, self.config.task_period);
+            self.run_dvfs(snap, plan);
         }
         if now >= self.next_power {
             self.next_power = now + self.config.power_period;
-            self.run_power_loop(sys, self.config.power_period);
+            self.run_power_loop(snap, self.config.power_period);
         }
         if now >= self.next_lbt {
             self.next_lbt = now + self.config.lbt_period;
-            self.run_lbt(sys);
+            self.run_lbt(snap, plan);
         }
     }
 }

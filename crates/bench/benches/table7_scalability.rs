@@ -78,14 +78,14 @@ mod full_decide {
     use criterion::Criterion;
     use ppm_core::lbt::{
         decide_load_balance, decide_migration, ClusterPowerProfile, ClusterSnapshot, CoreSnapshot,
-        SystemSnapshot,
+        LbtSnapshot,
     };
     use ppm_platform::cluster::ClusterId;
     use ppm_platform::core::CoreId;
     use ppm_platform::units::Watts;
 
     /// A TC2-shaped full snapshot (what the live manager evaluates).
-    pub fn tc2_snapshot() -> SystemSnapshot {
+    pub fn tc2_snapshot() -> LbtSnapshot {
         let mut gen = ScalabilityWorkload::new(3);
         let mk_tasks = |gen: &mut ScalabilityWorkload, n: usize, base: usize| {
             gen.tasks(n)
@@ -108,7 +108,7 @@ mod full_decide {
                 .map(|l| dyn_c * (0.9_f64 + 0.05 * l as f64).powi(2))
                 .collect(),
         };
-        SystemSnapshot {
+        LbtSnapshot {
             clusters: vec![
                 ClusterSnapshot {
                     id: ClusterId(0),

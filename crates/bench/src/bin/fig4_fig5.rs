@@ -12,8 +12,8 @@
 //! * HL's average power (~6 W on the board) dwarfs HPM's (~3.4 W) and
 //!   PPM's (~3.0 W).
 
-use ppm_bench::{print_matrix, run_workload, RunSummary, Scheme, DEFAULT_DURATION};
-use ppm_workload::sets::table6_sets;
+use ppm_bench::sweep::{comparative_grid, default_threads, grid_rows, sweep_parallel};
+use ppm_bench::{print_matrix, RunSummary, Scheme, DEFAULT_DURATION};
 
 fn main() {
     println!("# Figures 4 & 5 — comparative study, no TDP constraint");
@@ -21,15 +21,14 @@ fn main() {
         "(simulated {}s per run per scheme)",
         DEFAULT_DURATION.as_secs_f64()
     );
-    let mut rows: Vec<Vec<RunSummary>> = Vec::new();
-    for set in table6_sets() {
-        let mut row = Vec::new();
-        for scheme in Scheme::ALL {
-            eprintln!("running {} under {}...", set.name(), scheme.name());
-            row.push(run_workload(&set, scheme, None, DEFAULT_DURATION));
-        }
-        rows.push(row);
-    }
+    let jobs = comparative_grid(None, DEFAULT_DURATION);
+    let threads = default_threads();
+    eprintln!(
+        "running {} jobs across {} thread(s)...",
+        jobs.len(),
+        threads
+    );
+    let rows: Vec<Vec<RunSummary>> = grid_rows(sweep_parallel(&jobs, threads));
 
     print_matrix(
         "Figure 4 — % time reference heart rate missed",

@@ -9,22 +9,21 @@
 //! Paper shape: tasks meet their reference rate most often under PPM —
 //! improvements of 34 % over HPM and 44 % over HL on average.
 
-use ppm_bench::{print_matrix, run_workload, RunSummary, Scheme, DEFAULT_DURATION};
+use ppm_bench::sweep::{comparative_grid, default_threads, grid_rows, sweep_parallel};
+use ppm_bench::{print_matrix, RunSummary, Scheme, DEFAULT_DURATION};
 use ppm_platform::units::Watts;
-use ppm_workload::sets::table6_sets;
 
 fn main() {
     const TDP: Watts = Watts(4.0);
     println!("# Figure 6 — comparative study under a {TDP} TDP");
-    let mut rows: Vec<Vec<RunSummary>> = Vec::new();
-    for set in table6_sets() {
-        let mut row = Vec::new();
-        for scheme in Scheme::ALL {
-            eprintln!("running {} under {}...", set.name(), scheme.name());
-            row.push(run_workload(&set, scheme, Some(TDP), DEFAULT_DURATION));
-        }
-        rows.push(row);
-    }
+    let jobs = comparative_grid(Some(TDP), DEFAULT_DURATION);
+    let threads = default_threads();
+    eprintln!(
+        "running {} jobs across {} thread(s)...",
+        jobs.len(),
+        threads
+    );
+    let rows: Vec<Vec<RunSummary>> = grid_rows(sweep_parallel(&jobs, threads));
 
     print_matrix(
         "Figure 6 — % time reference heart rate missed (4 W TDP)",

@@ -19,6 +19,8 @@
 
 #![warn(missing_docs)]
 
+pub mod sweep;
+
 use ppm_baselines::hl::{HlConfig, HlManager};
 use ppm_baselines::hpm::{HpmConfig, HpmManager};
 use ppm_core::config::PpmConfig;
@@ -57,7 +59,7 @@ impl Scheme {
 }
 
 /// Outcome of one workload-set run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSummary {
     /// The scheme that ran.
     pub scheme: Scheme,
@@ -91,6 +93,29 @@ pub fn run_workload(
     tdp: Option<Watts>,
     duration: SimDuration,
 ) -> RunSummary {
+    run_workload_impl(set, scheme, tdp, duration, false).0
+}
+
+/// Like [`run_workload`], but with the actuation tape enabled: also returns
+/// the rendered tape (one `(snapshot digest, plan)` line per actuating
+/// quantum). Two runs are behaviourally identical iff both the summary and
+/// the tape bytes match — the determinism tests lean on this.
+pub fn run_workload_taped(
+    set: &WorkloadSet,
+    scheme: Scheme,
+    tdp: Option<Watts>,
+    duration: SimDuration,
+) -> (RunSummary, String) {
+    run_workload_impl(set, scheme, tdp, duration, true)
+}
+
+fn run_workload_impl(
+    set: &WorkloadSet,
+    scheme: Scheme,
+    tdp: Option<Watts>,
+    duration: SimDuration,
+    taped: bool,
+) -> (RunSummary, String) {
     let policy = match scheme {
         Scheme::Hl => AllocationPolicy::FairWeights,
         _ => AllocationPolicy::Market,
@@ -106,31 +131,31 @@ pub fn run_workload(
         sys.set_tdp_accounting(t);
     }
 
-    let metrics = match scheme {
+    let (metrics, tape) = match scheme {
         Scheme::Ppm => {
             let config = match tdp {
                 Some(t) => PpmConfig::tc2_with_tdp(t),
                 None => PpmConfig::tc2(),
             };
-            run(sys, PpmManager::new(config), duration)
+            run(sys, PpmManager::new(config), duration, taped)
         }
         Scheme::Hpm => {
             let mut config = HpmConfig::new();
             if let Some(t) = tdp {
                 config = config.with_tdp(t);
             }
-            run(sys, HpmManager::new(config), duration)
+            run(sys, HpmManager::new(config), duration, taped)
         }
         Scheme::Hl => {
             let mut config = HlConfig::new();
             if let Some(t) = tdp {
                 config = config.with_tdp(t);
             }
-            run(sys, HlManager::new(config), duration)
+            run(sys, HlManager::new(config), duration, taped)
         }
     };
 
-    RunSummary {
+    let summary = RunSummary {
         scheme,
         workload: set.name().to_string(),
         any_miss: metrics.any_miss_fraction(),
@@ -142,13 +167,26 @@ pub fn run_workload(
             metrics.time_above_tdp.as_secs_f64() / metrics.total_time().as_secs_f64()
         },
         migrations: (metrics.migrations_intra, metrics.migrations_inter),
-    }
+    };
+    (summary, tape)
 }
 
-fn run<M: PowerManager>(sys: System, manager: M, duration: SimDuration) -> RunMetrics {
+fn run<M: PowerManager>(
+    sys: System,
+    manager: M,
+    duration: SimDuration,
+    taped: bool,
+) -> (RunMetrics, String) {
     let mut sim = Simulation::new(sys, manager).with_warmup(DEFAULT_WARMUP);
+    if taped {
+        sim = sim.with_tape();
+    }
     sim.run_for(duration);
-    sim.into_system().into_metrics()
+    let tape = sim
+        .tape()
+        .map(ppm_sched::plan::Tape::render)
+        .unwrap_or_default();
+    (sim.into_system().into_metrics(), tape)
 }
 
 /// Print a markdown table: rows = workload sets, columns = schemes.

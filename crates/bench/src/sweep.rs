@@ -1,0 +1,132 @@
+//! Parallel sweep runner for the comparative grid.
+//!
+//! Each [`SweepJob`] is a self-contained `run_workload` invocation (one
+//! workload set under one scheme); the grid fans out across OS threads with
+//! `std::thread::scope` — no external thread-pool dependency — while keeping
+//! **deterministic result ordering**: results land in per-job slots, so the
+//! output order matches the job order no matter which thread finishes first.
+//! Simulations share no mutable state, so parallel results are bit-identical
+//! to serial ones (asserted by `bench_sweep` and the determinism tests).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use ppm_platform::units::{SimDuration, Watts};
+use ppm_workload::sets::{table6_sets, WorkloadSet};
+
+use crate::{run_workload, RunSummary, Scheme};
+
+/// One cell of a comparative sweep: a workload set run under a scheme.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// The workload set to spawn.
+    pub set: WorkloadSet,
+    /// The power-management scheme to run it under.
+    pub scheme: Scheme,
+    /// Optional TDP cap.
+    pub tdp: Option<Watts>,
+    /// Simulated duration of the run.
+    pub duration: SimDuration,
+}
+
+impl SweepJob {
+    /// Execute the job.
+    pub fn run(&self) -> RunSummary {
+        run_workload(&self.set, self.scheme, self.tdp, self.duration)
+    }
+}
+
+/// The paper's 9 × 3 comparative grid (Table 6 sets × all schemes), in
+/// figure order: sets outer, schemes inner.
+pub fn comparative_grid(tdp: Option<Watts>, duration: SimDuration) -> Vec<SweepJob> {
+    let mut jobs = Vec::new();
+    for set in table6_sets() {
+        for scheme in Scheme::ALL {
+            jobs.push(SweepJob {
+                set: set.clone(),
+                scheme,
+                tdp,
+                duration,
+            });
+        }
+    }
+    jobs
+}
+
+/// Run `jobs` one after another on the calling thread, in job order.
+pub fn sweep_serial(jobs: &[SweepJob]) -> Vec<RunSummary> {
+    jobs.iter().map(SweepJob::run).collect()
+}
+
+/// Run `jobs` across up to `threads` scoped OS threads.
+///
+/// Work is handed out through an atomic job index; each worker writes its
+/// result into the slot for that job, so the returned vector is in job
+/// order regardless of scheduling. With `threads <= 1` this degenerates to
+/// [`sweep_serial`].
+pub fn sweep_parallel(jobs: &[SweepJob], threads: usize) -> Vec<RunSummary> {
+    if threads <= 1 || jobs.len() <= 1 {
+        return sweep_serial(jobs);
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunSummary>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let summary = jobs[i].run();
+                *slots[i].lock().expect("sweep slot poisoned") = Some(summary);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("sweep slot poisoned")
+                .unwrap_or_else(|| panic!("sweep job {i} produced no result"))
+        })
+        .collect()
+}
+
+/// Number of worker threads to use by default: the host's available
+/// parallelism (1 if it cannot be queried).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Regroup a flat grid result into per-set rows of `Scheme::ALL.len()`
+/// summaries each, matching the nesting of [`comparative_grid`].
+pub fn grid_rows(results: Vec<RunSummary>) -> Vec<Vec<RunSummary>> {
+    results
+        .chunks(Scheme::ALL.len())
+        .map(|chunk| chunk.to_vec())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_serial_and_preserves_order() {
+        let jobs: Vec<SweepJob> = comparative_grid(None, SimDuration::from_secs(1))
+            .into_iter()
+            .take(4)
+            .collect();
+        let serial = sweep_serial(&jobs);
+        let parallel = sweep_parallel(&jobs, 4);
+        assert_eq!(serial.len(), jobs.len());
+        for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(s.workload, jobs[i].set.name());
+            assert_eq!(s.scheme, jobs[i].scheme);
+            assert_eq!(s, p, "job {i} diverged between serial and parallel");
+        }
+    }
+}

@@ -14,7 +14,7 @@
 //! Steady-state prices at other V-F levels are extrapolated with the Eq. 2
 //! recursion `P_{Z+1} = P_Z · (1+δ)`.
 //!
-//! The module operates on plain [`SystemSnapshot`]s — exactly the
+//! The module operates on plain [`LbtSnapshot`]s — exactly the
 //! information that is "hierarchically disseminated from the cluster agents
 //! to the chip agents and subsequently to the task agents" — so the
 //! scalability study (Table 7) can drive it directly with synthetic
@@ -161,8 +161,12 @@ impl ClusterSnapshot {
 }
 
 /// Full steady-state snapshot consumed by the LBT decision procedures.
+///
+/// Not to be confused with the executor's `ppm_sched::SystemSnapshot` (the
+/// raw observable state): an `LbtSnapshot` is the *market-level* view the
+/// PPM manager derives from it for migration speculation.
 #[derive(Debug, Clone, PartialEq)]
-pub struct SystemSnapshot {
+pub struct LbtSnapshot {
     /// All clusters.
     pub clusters: Vec<ClusterSnapshot>,
     /// Tolerance factor δ used in the Eq. 2 price extrapolation.
@@ -205,7 +209,7 @@ const EPS: f64 = 1e-6;
 /// tasks proportionally to priority but capped at demand; the steady-state
 /// bid of a task is `price × supply`.
 pub fn estimate_cluster(
-    snapshot: &SystemSnapshot,
+    snapshot: &LbtSnapshot,
     cluster: &ClusterSnapshot,
     assignment: &[Vec<&TaskSnapshot>],
 ) -> ClusterEstimate {
@@ -386,7 +390,7 @@ struct Candidate {
 }
 
 fn evaluate_move(
-    snapshot: &SystemSnapshot,
+    snapshot: &LbtSnapshot,
     src_ci: usize,
     src_core: usize,
     dst_ci: usize,
@@ -443,7 +447,7 @@ fn evaluate_move(
 /// without hurting performance (all demands met) or raise the ratio of the
 /// highest-priority unsatisfied task. `targets` yields
 /// `(dst_cluster_index, dst_core_index)` pairs per source cluster.
-fn decide<F>(snapshot: &SystemSnapshot, mut targets_for: F) -> Option<Move>
+fn decide<F>(snapshot: &LbtSnapshot, mut targets_for: F) -> Option<Move>
 where
     F: FnMut(usize) -> Vec<(usize, usize)>,
 {
@@ -560,7 +564,7 @@ where
 /// constrained core, moving one task to the most over-supplied
 /// unconstrained core of each *other* cluster. At most one move is approved
 /// per invocation.
-pub fn decide_migration(snapshot: &SystemSnapshot) -> Option<Move> {
+pub fn decide_migration(snapshot: &LbtSnapshot) -> Option<Move> {
     let targets: Vec<(usize, usize)> = snapshot
         .clusters
         .iter()
@@ -578,7 +582,7 @@ pub fn decide_migration(snapshot: &SystemSnapshot) -> Option<Move> {
 
 /// Intra-cluster load balancing (§3.3): move one task from the constrained
 /// core to the most over-supplied unconstrained core of the *same* cluster.
-pub fn decide_load_balance(snapshot: &SystemSnapshot) -> Option<Move> {
+pub fn decide_load_balance(snapshot: &LbtSnapshot) -> Option<Move> {
     decide(snapshot, |src_ci| {
         let cl = &snapshot.clusters[src_ci];
         if cl.cores.len() < 2 {
@@ -617,7 +621,7 @@ mod tests {
 
     /// TC2-shaped snapshot: 3 LITTLE cores (350..1000), 2 big (500..1200),
     /// with power profiles derived from the TC2 power-model coefficients.
-    fn tc2_snapshot(little: Vec<Vec<TaskSnapshot>>, big: Vec<Vec<TaskSnapshot>>) -> SystemSnapshot {
+    fn tc2_snapshot(little: Vec<Vec<TaskSnapshot>>, big: Vec<Vec<TaskSnapshot>>) -> LbtSnapshot {
         let ladder_l: Vec<ProcessingUnits> = [350, 400, 500, 600, 700, 800, 900, 1000]
             .iter()
             .map(|&f| ProcessingUnits(f as f64))
@@ -638,7 +642,7 @@ mod tests {
                 .collect(),
             watts_per_pu: (0..8).map(|l| 0.0015 * volts(l, 8).powi(2)).collect(),
         };
-        SystemSnapshot {
+        LbtSnapshot {
             clusters: vec![
                 ClusterSnapshot {
                     id: ClusterId(0),
@@ -824,7 +828,7 @@ mod tests {
     #[test]
     fn load_balance_ignores_single_core_clusters() {
         let ladder: Vec<ProcessingUnits> = vec![ProcessingUnits(300.0), ProcessingUnits(600.0)];
-        let s = SystemSnapshot {
+        let s = LbtSnapshot {
             clusters: vec![ClusterSnapshot {
                 id: ClusterId(0),
                 class: CoreClass::Little,

@@ -52,7 +52,7 @@ pub mod state;
 
 pub use crate::config::{ConfigError, PpmConfig};
 pub use crate::events::{Event, EventLog, LoggedEvent};
-pub use crate::lbt::{decide_load_balance, decide_migration, Move, MoveGoal, SystemSnapshot};
+pub use crate::lbt::{decide_load_balance, decide_migration, LbtSnapshot, Move, MoveGoal};
 pub use crate::manager::{place_on_little, tc2_ppm_system, PpmManager};
 pub use crate::market::{Market, MarketDecision, MarketObs, VfStep};
 pub use crate::state::PowerState;

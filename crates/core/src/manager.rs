@@ -1,19 +1,23 @@
 //! The PPM power manager: the paper's kernel-module agents plugged into the
 //! simulation executor.
 //!
-//! Every bidding period (31.7 ms by default) the manager snapshots the
-//! system into a [`MarketObs`], runs one [`Market`] round, and applies the
-//! decision: task shares (`s_t = b_t / P_c`, realised through nice values on
-//! real hardware, directly as shares here), cluster DVFS steps, and cluster
-//! power gating. Every few rounds the LBT module proposes at most one task
-//! movement (§3.4: load balancing every 3 bid rounds, migration every 2
-//! load-balance invocations; both disabled in the emergency state).
+//! Every bidding period (31.7 ms by default) the manager reads the
+//! executor's [`SystemSnapshot`], distils it into a [`MarketObs`], runs one
+//! [`Market`] round, and queues the decision on an [`ActuationPlan`]: task
+//! shares (`s_t = b_t / P_c`, realised through nice values on real hardware,
+//! directly as shares here), cluster DVFS steps, and cluster power gating.
+//! Every few rounds the LBT module proposes at most one task movement (§3.4:
+//! load balancing every 3 bid rounds, migration every 2 load-balance
+//! invocations; both disabled in the emergency state).
 
 use ppm_platform::cluster::ClusterId;
 use ppm_platform::core::CoreId;
 use ppm_platform::units::{Price, ProcessingUnits, SimDuration, SimTime, Watts};
+use ppm_platform::vf::VfLevel;
 use ppm_sched::executor::{AllocationPolicy, PowerManager, System};
 use ppm_sched::nice::Nice;
+use ppm_sched::plan::ActuationPlan;
+use ppm_sched::snapshot::{SystemSnapshot, TaskSnap};
 use ppm_workload::task::TaskId;
 
 use ppm_predict::OnlineEstimator;
@@ -22,7 +26,7 @@ use crate::config::PpmConfig;
 use crate::events::{Event, EventLog};
 use crate::lbt::{
     decide_load_balance, decide_migration, ClusterPowerProfile, ClusterSnapshot, CoreSnapshot,
-    Move, SystemSnapshot, TaskSnapshot,
+    LbtSnapshot, Move, TaskSnapshot,
 };
 use crate::market::{ClusterObs, CoreObs, Market, MarketDecision, MarketObs, TaskObs, VfStep};
 use crate::state::PowerState;
@@ -48,6 +52,9 @@ pub struct PpmManager {
     current_tasks: Vec<TaskId>,
     /// Scratch for grouping shares by core in nice actuation.
     nice_scratch: Vec<(CoreId, TaskId, f64)>,
+    /// Per-cluster profiled power behaviour for LBT speculation, cached at
+    /// `init` (the power model is static).
+    lbt_profiles: Vec<ClusterPowerProfile>,
     /// Online demand estimator (when `config.online_estimation` is set).
     estimator: OnlineEstimator,
     /// Structured decision log.
@@ -75,6 +82,7 @@ impl PpmManager {
             known_tasks: Vec::new(),
             current_tasks: Vec::new(),
             nice_scratch: Vec::new(),
+            lbt_profiles: Vec::new(),
             estimator: OnlineEstimator::new(),
             events: EventLog::new(),
             last_state: PowerState::Normal,
@@ -118,58 +126,46 @@ impl PpmManager {
     }
 
     /// Feed the estimator with this round's observations.
-    fn observe_costs(&mut self, sys: &System) {
-        for id in sys.task_iter() {
-            let task = sys.task(id);
-            if let Some(cost) = task.measured_cost_per_beat() {
-                let class = sys.chip().core(sys.core_of(id)).class();
-                self.estimator
-                    .observe(id, class, task.spec().target_range().target(), cost);
+    fn observe_costs(&mut self, snap: &SystemSnapshot) {
+        for t in &snap.tasks {
+            if let Some(cost) = t.cost_per_beat {
+                let class = snap.core(t.core).class;
+                self.estimator.observe(t.id, class, t.target_rate, cost);
             }
         }
     }
 
-    /// Snapshot the live system into `self.obs_buf` (capacity is reused).
-    fn observe_into(&mut self, sys: &System) {
-        let chip = sys.chip();
+    /// Distil the executor snapshot into `self.obs_buf` (capacity is
+    /// reused).
+    fn observe_into(&mut self, snap: &SystemSnapshot) {
         let obs = &mut self.obs_buf;
         obs.tasks.clear();
-        obs.tasks.extend(sys.task_iter().map(|id| {
-            let core = sys.core_of(id);
-            let class = chip.core(core).class();
-            let demand = sys.task(id).demand(class, class);
-            TaskObs {
-                id,
-                core,
-                priority: sys.task(id).priority().value(),
-                demand,
-            }
+        obs.tasks.extend(snap.tasks.iter().map(|t| TaskObs {
+            id: t.id,
+            core: t.core,
+            priority: t.priority,
+            demand: t.demand,
         }));
         obs.cores.clear();
-        obs.cores.extend(chip.cores().iter().map(|d| CoreObs {
-            id: d.id(),
-            cluster: d.cluster(),
+        obs.cores.extend(snap.cores.iter().map(|c| CoreObs {
+            id: c.id,
+            cluster: c.cluster,
         }));
         obs.clusters.clear();
-        obs.clusters.extend(chip.clusters().iter().map(|cl| {
-            let level = cl.level();
-            let table = cl.table();
-            ClusterObs {
-                id: cl.id(),
-                supply: cl.supply_per_core(),
-                supply_up: (level < table.max_level())
-                    .then(|| table.point(table.step_up(level)).supply()),
-                supply_down: (level.0 > 0).then(|| table.point(table.step_down(level)).supply()),
-                power: sys.cluster_power(cl.id()),
-            }
-        }));
+        obs.clusters
+            .extend(snap.clusters.iter().map(|cl| ClusterObs {
+                id: cl.id,
+                supply: cl.supply_per_core,
+                supply_up: cl.supply_up(),
+                supply_down: cl.supply_down(),
+                power: cl.power,
+            }));
         // Thermal pressure (extension): translate junction-temperature
         // headroom into the equivalent power signal so the chip agent's
         // state machine — and hence the money supply — reacts to heat
         // exactly as it reacts to a TDP excursion.
-        let mut chip_power = sys.chip_power();
-        if let (Some((th, crit)), Some(thermal)) = (self.config.thermal_limit, sys.thermal()) {
-            let hottest = thermal.hottest();
+        let mut chip_power = snap.chip_power;
+        if let (Some((th, crit)), Some(hottest)) = (self.config.thermal_limit, snap.hottest) {
             if hottest > crit {
                 chip_power = chip_power.max(self.config.tdp * 1.05);
             } else if hottest > th {
@@ -179,22 +175,27 @@ impl PpmManager {
         obs.chip_power = chip_power;
     }
 
-    /// Apply one market decision to the system.
-    fn apply(&mut self, sys: &mut System, decision: &MarketDecision) {
+    /// Queue one market decision on the plan.
+    fn apply(
+        &mut self,
+        snap: &SystemSnapshot,
+        plan: &mut ActuationPlan,
+        decision: &MarketDecision,
+    ) {
         if self.config.actuate_via_nice {
-            self.apply_via_nice(sys, decision);
+            self.apply_via_nice(snap, plan, decision);
         } else {
             for &(task, share) in &decision.shares {
-                sys.set_share(task, share);
+                plan.set_share(task, share);
             }
         }
         for &(cluster, step) in &decision.dvfs {
-            let cl = sys.chip().cluster(cluster);
+            let cl = snap.cluster(cluster);
             let level = match step {
-                VfStep::Up => cl.table().step_up(cl.level()),
-                VfStep::Down => cl.table().step_down(cl.level()),
+                VfStep::Up => cl.step_up(),
+                VfStep::Down => cl.step_down(),
             };
-            sys.request_level(cluster, level);
+            plan.request_level(cluster, VfLevel(level));
         }
     }
 
@@ -202,16 +203,22 @@ impl PpmManager {
     /// each core's market shares into nice values ("lower nice value
     /// manifests as higher priority and more resource consumption") and let
     /// CFS weighted fair sharing approximate the ratios.
-    fn apply_via_nice(&mut self, sys: &mut System, decision: &MarketDecision) {
+    fn apply_via_nice(
+        &mut self,
+        snap: &SystemSnapshot,
+        plan: &mut ActuationPlan,
+        decision: &MarketDecision,
+    ) {
         // Group by core via a sorted scratch vector instead of a HashMap:
-        // deterministic actuation order and no per-round allocation.
+        // deterministic actuation order and no per-round allocation. No
+        // migration is queued before shares, so the snapshot placement is
+        // the effective one.
         self.nice_scratch.clear();
-        self.nice_scratch.extend(
-            decision
-                .shares
-                .iter()
-                .map(|&(task, share)| (sys.core_of(task), task, share.value())),
-        );
+        self.nice_scratch
+            .extend(decision.shares.iter().map(|&(task, share)| {
+                let core = snap.task(task).expect("share for active task").core;
+                (core, task, share.value())
+            }));
         self.nice_scratch
             .sort_unstable_by_key(|&(core, task, _)| (core, task));
         let mut start = 0;
@@ -230,7 +237,7 @@ impl PpmManager {
                 let n = group.len() as f64;
                 for &(_, task, share) in group {
                     let target = Nice::DEFAULT.weight() as f64 * n * share / total;
-                    sys.set_nice(task, Nice::for_weight(target));
+                    plan.set_nice(task, Nice::for_weight(target));
                 }
             }
             start = end;
@@ -238,7 +245,27 @@ impl PpmManager {
     }
 
     /// Gate clusters with no tasks; ungate clusters that host tasks again.
-    fn manage_gating(&self, sys: &mut System) {
+    /// Runs through the plan overlays so migrations queued earlier in this
+    /// same invocation count toward residency.
+    fn manage_gating(&self, snap: &SystemSnapshot, plan: &mut ActuationPlan) {
+        if !self.config.power_down_idle_clusters {
+            return;
+        }
+        for ci in 0..snap.clusters.len() {
+            let id = ClusterId(ci);
+            let has_tasks = plan.cluster_has_tasks(snap, id);
+            let off = plan.cluster_off(snap, id);
+            if has_tasks && off {
+                plan.power_on(id);
+            } else if !has_tasks && !off {
+                plan.power_off(id);
+            }
+        }
+    }
+
+    /// [`PpmManager::manage_gating`] against the live system, for `init`
+    /// (the one hook with mutable system access).
+    fn manage_gating_now(&self, sys: &mut System) {
         if !self.config.power_down_idle_clusters {
             return;
         }
@@ -254,59 +281,67 @@ impl PpmManager {
         }
     }
 
-    /// Build the LBT snapshot from the live system and market state.
-    fn lbt_snapshot(&self, sys: &System) -> SystemSnapshot {
+    /// Cache each cluster's profiled power behaviour (static: derived from
+    /// the chip's power model and V-F tables).
+    fn cache_lbt_profiles(&mut self, sys: &System) {
         let chip = sys.chip();
         let model = chip.power_model();
-        let clusters = chip
+        self.lbt_profiles = chip
             .clusters()
             .iter()
             .map(|cl| {
-                let class = cl.class();
-                let table = cl.table();
-                let ladder: Vec<ProcessingUnits> = table.iter().map(|(_, p)| p.supply()).collect();
-                let params = model.params(class);
+                let params = model.params(cl.class());
                 let n = cl.core_count() as f64;
-                let idle = table
+                let idle = cl
+                    .table()
                     .iter()
                     .map(|(_, p)| {
-                        model.uncore(class) + Watts(params.leakage_coeff * p.voltage.volts() * n)
+                        model.uncore(cl.class())
+                            + Watts(params.leakage_coeff * p.voltage.volts() * n)
                     })
                     .collect();
-                let watts_per_pu = table
+                let watts_per_pu = cl
+                    .table()
                     .iter()
                     .map(|(_, p)| {
                         let v = p.voltage.volts();
                         params.dynamic_coeff * v * v
                     })
                     .collect();
+                ClusterPowerProfile { idle, watts_per_pu }
+            })
+            .collect();
+    }
+
+    /// Build the LBT snapshot from the executor snapshot and market state.
+    fn lbt_snapshot(&self, snap: &SystemSnapshot) -> LbtSnapshot {
+        let clusters = snap
+            .clusters
+            .iter()
+            .map(|cl| {
                 // Constrained-core price from the last round; fall back to a
                 // minimum-bid-implied price.
-                let price = self.cluster_price(sys, cl.id());
+                let price = self.cluster_price(snap, cl.id);
                 let cores = cl
-                    .cores()
+                    .cores
                     .iter()
                     .map(|&core| CoreSnapshot {
                         id: core,
-                        tasks: sys
-                            .tasks_on(core)
-                            .into_iter()
-                            .map(|id| self.task_snapshot(sys, id))
-                            .collect(),
+                        tasks: snap.tasks_on(core).map(|t| self.task_snapshot(t)).collect(),
                     })
                     .collect();
                 ClusterSnapshot {
-                    id: cl.id(),
-                    class,
-                    ladder,
-                    level: cl.level().0,
+                    id: cl.id,
+                    class: cl.class,
+                    ladder: cl.ladder.clone(),
+                    level: cl.level,
                     price,
-                    power: ClusterPowerProfile { idle, watts_per_pu },
+                    power: self.lbt_profiles[cl.id.0].clone(),
                     cores,
                 }
             })
             .collect();
-        SystemSnapshot {
+        LbtSnapshot {
             clusters,
             tolerance: self.config.tolerance,
             min_bid: self.config.min_bid,
@@ -314,32 +349,26 @@ impl PpmManager {
         }
     }
 
-    fn task_snapshot(&self, sys: &System, id: TaskId) -> TaskSnapshot {
-        let task = sys.task(id);
+    fn task_snapshot(&self, t: &TaskSnap) -> TaskSnapshot {
         // Off-line profile by default; the online estimator (the paper's
         // stated future work) replaces it when enabled and warmed up.
-        let mut demand = ppm_workload::perclass::PerClass::new(
-            task.spec()
-                .profiled_demand(ppm_platform::core::CoreClass::Little),
-            task.spec()
-                .profiled_demand(ppm_platform::core::CoreClass::Big),
-        );
+        let mut demand = ppm_workload::perclass::PerClass::new(t.demand_little, t.demand_big);
         if self.config.online_estimation {
-            if let Some(est) = self.estimator.demand_per_class(id) {
+            if let Some(est) = self.estimator.demand_per_class(t.id) {
                 demand = est;
             }
         }
         TaskSnapshot {
-            id,
-            priority: task.priority().value(),
+            id: t.id,
+            priority: t.priority,
             demand,
-            supply: sys.granted(id),
-            bid: self.market.bid_of(id),
+            supply: t.granted,
+            bid: self.market.bid_of(t.id),
         }
     }
 
     /// Price of the constrained core of `cluster` from the last decision.
-    fn cluster_price(&self, sys: &System, cluster: ClusterId) -> Price {
+    fn cluster_price(&self, snap: &SystemSnapshot, cluster: ClusterId) -> Price {
         let Some(decision) = &self.last_decision else {
             return Price::ZERO;
         };
@@ -347,14 +376,13 @@ impl PpmManager {
         // `decision.tasks` and `decision.prices` are sorted by id, so the
         // lookups are binary searches.
         let mut best: Option<(ProcessingUnits, CoreId)> = None;
-        for &core in sys.chip().cores_of(cluster) {
-            let d: ProcessingUnits = sys
+        for &core in &snap.cluster(cluster).cores {
+            let d: ProcessingUnits = snap
                 .tasks_on(core)
-                .iter()
-                .map(|&t| {
+                .map(|t| {
                     decision
                         .tasks
-                        .binary_search_by_key(&t, |r| r.id)
+                        .binary_search_by_key(&t.id, |r| r.id)
                         .map_or(ProcessingUnits::ZERO, |i| decision.tasks[i].demand)
                 })
                 .sum();
@@ -372,9 +400,9 @@ impl PpmManager {
         .unwrap_or(Price::ZERO)
     }
 
-    /// Run the LBT module and apply at most one move.
-    fn run_lbt(&mut self, sys: &mut System, migrate: bool) {
-        let snapshot = self.lbt_snapshot(sys);
+    /// Run the LBT module and queue at most one move.
+    fn run_lbt(&mut self, snap: &SystemSnapshot, plan: &mut ActuationPlan, migrate: bool) {
+        let snapshot = self.lbt_snapshot(snap);
         let decision = if migrate {
             decide_migration(&snapshot).or_else(|| decide_load_balance(&snapshot))
         } else {
@@ -382,15 +410,21 @@ impl PpmManager {
         };
         if let Some(m) = decision {
             // Moving to a gated cluster requires powering it up first.
-            let from_cluster = sys.chip().core(sys.core_of(m.task)).cluster();
-            let target_cluster = sys.chip().core(m.to_core).cluster();
-            if sys.chip().cluster(target_cluster).is_off() {
-                sys.power_on(target_cluster);
+            let from_cluster = snap
+                .core(snap.task(m.task).expect("mover is active").core)
+                .cluster;
+            let target_cluster = snap.core(m.to_core).cluster;
+            if plan.cluster_off(snap, target_cluster) {
+                plan.power_on(target_cluster);
             }
-            if sys.migrate(m.task, m.to_core).is_some() {
-                self.moves.push((sys.now(), m));
+            // LBT never proposes a same-core move (movers sit on the
+            // constrained core, targets never do) and PPM sets no affinity
+            // masks, so the queued migration is real; log it.
+            if plan.core_of(snap, m.task) != m.to_core {
+                plan.migrate(m.task, m.to_core);
+                self.moves.push((snap.now, m));
                 self.events.push(
-                    sys.now(),
+                    snap.now,
                     Event::Migration {
                         task: m.task,
                         to: m.to_core,
@@ -423,19 +457,20 @@ impl PowerManager for PpmManager {
             let n = sys.tasks_on(core).len().max(1) as f64;
             sys.set_share(id, supply / n);
         }
-        self.manage_gating(sys);
+        self.cache_lbt_profiles(sys);
+        self.manage_gating_now(sys);
     }
 
-    fn tick(&mut self, sys: &mut System, _dt: SimDuration) {
-        if sys.now() < self.next_round {
+    fn plan(&mut self, snap: &SystemSnapshot, _dt: SimDuration, plan: &mut ActuationPlan) {
+        if snap.now < self.next_round {
             return;
         }
-        self.next_round = sys.now() + self.config.bid_period;
+        self.next_round = snap.now + self.config.bid_period;
 
         if self.config.online_estimation {
-            self.observe_costs(sys);
+            self.observe_costs(snap);
         }
-        self.observe_into(sys);
+        self.observe_into(snap);
         // Task churn: retire the market agents of departed tasks (their
         // savings leave the economy with them) and log admissions. The
         // sorted merge-diff replaces HashSet differences, so churn events
@@ -444,7 +479,7 @@ impl PowerManager for PpmManager {
         self.current_tasks
             .extend(self.obs_buf.tasks.iter().map(|t| t.id));
         self.current_tasks.sort_unstable();
-        let now = sys.now();
+        let now = snap.now;
         let (mut i, mut j) = (0, 0);
         while i < self.known_tasks.len() || j < self.current_tasks.len() {
             let old = self.known_tasks.get(i).copied();
@@ -506,7 +541,7 @@ impl PowerManager for PpmManager {
         for &(cluster, step) in &decision.dvfs {
             self.events.push(now, Event::Dvfs { cluster, step });
         }
-        self.apply(sys, &decision);
+        self.apply(snap, plan, &decision);
         let state = decision.state;
         self.last_decision = Some(decision);
 
@@ -522,9 +557,9 @@ impl PowerManager for PpmManager {
             if migrate {
                 self.lbs_since_migration = 0;
             }
-            self.run_lbt(sys, migrate);
+            self.run_lbt(snap, plan, migrate);
         }
-        self.manage_gating(sys);
+        self.manage_gating(snap, plan);
     }
 }
 

@@ -19,7 +19,9 @@ use crate::affinity::CpuMask;
 use crate::metrics::{RunMetrics, TraceSample};
 use crate::nice::Nice;
 use crate::pelt::PeltTracker;
-use crate::runqueue::{fair_allocate, market_allocate, Claimant};
+use crate::plan::{Action, ActuationPlan, Tape};
+use crate::runqueue::{fair_allocate_into, market_allocate_into, AllocScratch, Claimant};
+use crate::snapshot::SystemSnapshot;
 
 /// How a core's supply is divided among its tasks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +47,26 @@ struct TaskEntry {
     active: bool,
 }
 
+/// Reused buffers for [`System::step`]: once capacities have warmed up, a
+/// steady-state quantum performs no heap allocation.
+#[derive(Debug, Default)]
+struct StepScratch {
+    /// Per-cluster true (noise-free) power for the quantum.
+    power: Vec<Watts>,
+    /// Runnable task ids on the core being processed.
+    ids: Vec<TaskId>,
+    /// Their allocation claims, index-aligned with `ids`.
+    claims: Vec<Claimant>,
+    /// Their grants, index-aligned with `ids`.
+    grants: Vec<ProcessingUnits>,
+    /// Per-core utilizations of the cluster being processed.
+    utils: Vec<f64>,
+    /// Tasks resident on the cluster being processed (static-power split).
+    cluster_tasks: Vec<TaskId>,
+    /// Water-filling scratch for [`fair_allocate_into`].
+    alloc: AllocScratch,
+}
+
 /// The simulated system: chip + tasks + sensors, with the actuator surface a
 /// power manager uses.
 #[derive(Debug)]
@@ -66,6 +88,7 @@ pub struct System {
     sensor_noise: f64,
     /// Deterministic xorshift state for the sensor noise.
     noise_state: u64,
+    scratch: StepScratch,
 }
 
 impl System {
@@ -86,6 +109,7 @@ impl System {
             thermal: None,
             sensor_noise: 0.0,
             noise_state: 0x9E3779B97F4A7C15,
+            scratch: StepScratch::default(),
         }
     }
 
@@ -170,6 +194,15 @@ impl System {
             granted: ProcessingUnits::ZERO,
             active: true,
         });
+        // Pre-size metric storage so steady-state recording never grows it.
+        let levels = self
+            .chip
+            .clusters()
+            .iter()
+            .map(|c| c.table().len())
+            .max()
+            .unwrap_or(0);
+        self.metrics.reserve(self.entries.len(), levels);
     }
 
     /// Current simulated time.
@@ -421,27 +454,33 @@ impl System {
             }
         }
 
-        // 2. Allocate and execute per core.
+        // 2. Allocate and execute per core. All working sets live in
+        // `self.scratch` — the steady state allocates nothing.
+        let now = self.now;
         let n_clusters = self.chip.clusters().len();
-        let mut cluster_power = vec![Watts::ZERO; n_clusters];
-        #[allow(clippy::needless_range_loop)] // `ci` also builds ClusterId
+        self.scratch.power.clear();
+        self.scratch.power.resize(n_clusters, Watts::ZERO);
         for ci in 0..n_clusters {
             let cluster_id = ClusterId(ci);
             let class = self.chip.cluster(cluster_id).class();
-            let cores = self.chip.cores_of(cluster_id).to_vec();
             let supply = self.chip.cluster(cluster_id).supply_per_core();
-            let mut utils = Vec::with_capacity(cores.len());
+            self.scratch.utils.clear();
             let mut cluster_dynamic = 0.0_f64;
-            let mut cluster_tasks: Vec<TaskId> = Vec::new();
-            for core in cores {
-                let ids: Vec<TaskId> = self
-                    .tasks_on(core)
-                    .into_iter()
-                    .filter(|&id| self.entries[id.0].stalled_until <= self.now)
-                    .collect();
-                let claims: Vec<Claimant> = ids
-                    .iter()
-                    .map(|&id| {
+            self.scratch.cluster_tasks.clear();
+            let cores = self.chip.cores_of(cluster_id);
+            for &core in cores {
+                self.scratch.ids.clear();
+                self.scratch.ids.extend(
+                    self.entries
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| e.core == core && e.active && e.stalled_until <= now)
+                        .map(|(i, _)| TaskId(i)),
+                );
+                self.scratch.claims.clear();
+                self.scratch
+                    .claims
+                    .extend(self.scratch.ids.iter().map(|&id| {
                         let e = &self.entries[id.0];
                         Claimant {
                             task: id,
@@ -449,12 +488,18 @@ impl System {
                             share: e.share,
                             cap: e.task.consumption_cap(class, supply),
                         }
-                    })
-                    .collect();
-                let grants = match self.policy {
-                    AllocationPolicy::Market => market_allocate(supply, &claims),
-                    AllocationPolicy::FairWeights => fair_allocate(supply, &claims),
-                };
+                    }));
+                match self.policy {
+                    AllocationPolicy::Market => {
+                        market_allocate_into(supply, &self.scratch.claims, &mut self.scratch.grants)
+                    }
+                    AllocationPolicy::FairWeights => fair_allocate_into(
+                        supply,
+                        &self.scratch.claims,
+                        &mut self.scratch.alloc,
+                        &mut self.scratch.grants,
+                    ),
+                }
                 let mut used = ProcessingUnits::ZERO;
                 // Energy attribution: dynamic watts follow consumption
                 // (C_dyn·V² per PU consumed); the cluster's static power is
@@ -463,7 +508,9 @@ impl System {
                 let point = self.chip.cluster(cluster_id).point();
                 let watts_per_pu = self.chip.power_model().params(class).dynamic_coeff
                     * point.voltage.volts().powi(2);
-                for (&id, &grant) in ids.iter().zip(grants.iter()) {
+                for k in 0..self.scratch.ids.len() {
+                    let id = self.scratch.ids[k];
+                    let grant = self.scratch.grants[k];
                     let e = &mut self.entries[id.0];
                     e.granted = grant;
                     e.task.execute(grant.cycles_over(dt), class, end);
@@ -475,10 +522,11 @@ impl System {
                             dt,
                         );
                         cluster_dynamic += watts_per_pu * grant.value();
-                        cluster_tasks.push(id);
+                        self.scratch.cluster_tasks.push(id);
                     }
                     // PELT: a task that could consume more than it was
                     // granted stays runnable the whole quantum.
+                    let e = &mut self.entries[id.0];
                     let runnable = if grant.is_positive() {
                         1.0_f64.min(e.task.utilization_cap())
                     } else {
@@ -492,50 +540,53 @@ impl System {
                     0.0
                 };
                 self.core_utilization[core.0] = util;
-                utils.push(util);
-            }
-            // Stalled tasks make no progress but time passes for them.
-            for e in self.entries.iter_mut() {
-                if e.active && e.stalled_until > self.now {
-                    let home = self.chip.core(e.core).cluster();
-                    if home == cluster_id {
-                        e.granted = ProcessingUnits::ZERO;
-                        e.task.record_idle(end);
-                        e.pelt.update(dt, 1.0); // still runnable, just not running
-                    }
-                }
+                self.scratch.utils.push(util);
             }
             let power = self
                 .chip
                 .power_model()
-                .cluster_power(self.chip.cluster(cluster_id), &utils);
+                .cluster_power(self.chip.cluster(cluster_id), &self.scratch.utils);
             // Static remainder (uncore + leakage) split equally among the
             // cluster's resident tasks.
-            if record && !cluster_tasks.is_empty() {
-                let static_share =
-                    (power.value() - cluster_dynamic).max(0.0) / cluster_tasks.len() as f64;
-                for id in cluster_tasks {
+            if record && !self.scratch.cluster_tasks.is_empty() {
+                let static_share = (power.value() - cluster_dynamic).max(0.0)
+                    / self.scratch.cluster_tasks.len() as f64;
+                for k in 0..self.scratch.cluster_tasks.len() {
+                    let id = self.scratch.cluster_tasks[k];
                     self.metrics.record_task_energy(id, Watts(static_share), dt);
                 }
             }
-            cluster_power[ci] = power;
+            self.scratch.power[ci] = power;
+        }
+        // Stalled tasks make no progress but time passes for them. One pass
+        // over the entries: the per-entry effects touch only that entry, so
+        // they are independent of cluster processing order.
+        for e in self.entries.iter_mut() {
+            if e.active && e.stalled_until > now {
+                e.granted = ProcessingUnits::ZERO;
+                e.task.record_idle(end);
+                e.pelt.update(dt, 1.0); // still runnable, just not running
+            }
         }
 
         // 3. Power sensors, meters, and the thermal model.
-        let chip_power: Watts = cluster_power.iter().copied().sum();
+        let chip_power: Watts = self.scratch.power.iter().copied().sum();
         // Managers read (possibly noisy) sensors; physics stays exact.
-        self.last_chip_power = chip_power * self.noise_factor();
+        let nf = self.noise_factor();
+        self.last_chip_power = chip_power * nf;
         if let Some(thermal) = &mut self.thermal {
-            thermal.step(&cluster_power, dt);
+            thermal.step(&self.scratch.power, dt);
         }
-        self.last_cluster_power = cluster_power
-            .iter()
-            .map(|&p| p * self.noise_factor())
-            .collect();
+        for ci in 0..n_clusters {
+            let p = self.scratch.power[ci];
+            let nf = self.noise_factor();
+            self.last_cluster_power[ci] = p * nf;
+        }
         if record {
             self.metrics.chip_energy.record(chip_power, dt);
-            for (ci, p) in cluster_power.iter().enumerate() {
-                self.metrics.cluster_energy[ci].record(*p, dt);
+            for ci in 0..n_clusters {
+                let p = self.scratch.power[ci];
+                self.metrics.cluster_energy[ci].record(p, dt);
             }
 
             // 4. QoS accounting.
@@ -557,6 +608,33 @@ impl System {
         }
 
         self.now = end;
+    }
+
+    /// Validate and apply a manager's plan, action by action, in plan order.
+    /// This is the only place manager decisions reach the system; each action
+    /// keeps the exact semantics of the corresponding `System` method
+    /// (migrations pay their latency or no-op on affinity, DVFS requests go
+    /// through the regulator, shares clamp at zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics when an action names a task, core, or cluster that was never
+    /// admitted / does not exist — a manager bug, surfaced loudly.
+    pub fn apply_plan(&mut self, plan: &ActuationPlan) {
+        for &op in plan.ops() {
+            match op {
+                Action::SetShare(task, share) => self.set_share(task, share),
+                Action::SetNice(task, nice) => self.set_nice(task, nice),
+                Action::RequestLevel(cluster, level) => {
+                    self.request_level(cluster, level);
+                }
+                Action::Migrate(task, core) => {
+                    self.migrate(task, core);
+                }
+                Action::PowerOn(cluster) => self.power_on(cluster),
+                Action::PowerOff(cluster) => self.power_off(cluster),
+            }
+        }
     }
 
     /// Capture a trace sample of the current state.
@@ -581,19 +659,25 @@ impl System {
 
 /// A power-management policy plugged into the executor.
 ///
-/// The executor calls [`PowerManager::tick`] once per quantum *before*
-/// executing the quantum, so the policy acts on the sensors' last readings —
-/// the same position the paper's kernel-module agents occupy relative to the
-/// scheduler tick.
+/// The boundary is *snapshot-in / plan-out*: once per quantum, *before* the
+/// quantum executes, the policy reads an immutable [`SystemSnapshot`] (the
+/// sensors' last readings — the same position the paper's kernel-module
+/// agents occupy relative to the scheduler tick) and appends [`Action`]s to
+/// an [`ActuationPlan`]. The executor validates and applies the plan in one
+/// place ([`System::apply_plan`]), and can tape `(snapshot digest, plan)`
+/// pairs for replay and golden-diffing.
 pub trait PowerManager {
     /// Short policy name (used in experiment output).
     fn name(&self) -> &'static str;
 
-    /// One-time setup: choose the allocation policy, set initial affinities.
+    /// One-time setup: choose the allocation policy, set initial shares /
+    /// affinities. This is the only hook with mutable system access.
     fn init(&mut self, _sys: &mut System) {}
 
-    /// Observe and actuate. Called every quantum with its length.
-    fn tick(&mut self, sys: &mut System, dt: SimDuration);
+    /// Observe the snapshot and queue actuations for this quantum. To read
+    /// your own queued-but-unapplied decisions (e.g. a share set earlier in
+    /// this same invocation), use the plan's overlay queries.
+    fn plan(&mut self, snap: &SystemSnapshot, dt: SimDuration, plan: &mut ActuationPlan);
 }
 
 /// A no-op manager: fixed mapping, fixed (initial) frequencies, fair
@@ -606,7 +690,7 @@ impl PowerManager for NullManager {
         "none"
     }
 
-    fn tick(&mut self, _sys: &mut System, _dt: SimDuration) {}
+    fn plan(&mut self, _snap: &SystemSnapshot, _dt: SimDuration, _plan: &mut ActuationPlan) {}
 }
 
 /// Simulation driver: owns the [`System`] and a manager, advances time in
@@ -619,6 +703,12 @@ pub struct Simulation<M> {
     trace_period: Option<SimDuration>,
     next_trace: SimTime,
     initialized: bool,
+    /// Reused snapshot handed to the manager each quantum.
+    snap: SystemSnapshot,
+    /// Reused plan the manager fills each quantum.
+    plan: ActuationPlan,
+    /// Optional actuation tape (see [`Simulation::with_tape`]).
+    tape: Option<Tape>,
 }
 
 impl<M: PowerManager> Simulation<M> {
@@ -636,6 +726,9 @@ impl<M: PowerManager> Simulation<M> {
             trace_period: None,
             next_trace: SimTime::ZERO,
             initialized: false,
+            snap: SystemSnapshot::new(),
+            plan: ActuationPlan::new(),
+            tape: None,
         }
     }
 
@@ -661,6 +754,19 @@ impl<M: PowerManager> Simulation<M> {
     pub fn with_trace(mut self, period: SimDuration) -> Simulation<M> {
         self.trace_period = Some(period);
         self
+    }
+
+    /// Record an actuation tape: one `(snapshot digest, plan)` record per
+    /// quantum in which the manager queued at least one action. Two runs are
+    /// behaviourally identical iff their tapes render to the same bytes.
+    pub fn with_tape(mut self) -> Simulation<M> {
+        self.tape = Some(Tape::new());
+        self
+    }
+
+    /// The actuation tape recorded so far, when enabled.
+    pub fn tape(&self) -> Option<&Tape> {
+        self.tape.as_ref()
     }
 
     /// The system under simulation.
@@ -692,7 +798,16 @@ impl<M: PowerManager> Simulation<M> {
         let end = self.system.now() + duration;
         while self.system.now() < end {
             let dt = self.quantum.min(end.since(self.system.now()));
-            self.manager.tick(&mut self.system, dt);
+            // Snapshot in, plan out, apply in one place.
+            self.snap.capture(&self.system);
+            self.plan.clear();
+            self.manager.plan(&self.snap, dt, &mut self.plan);
+            if let Some(tape) = &mut self.tape {
+                if !self.plan.is_empty() {
+                    tape.record(self.snap.now, self.snap.digest(), self.plan.ops());
+                }
+            }
+            self.system.apply_plan(&self.plan);
             let record = self.system.now().as_micros() >= self.warmup.as_micros();
             self.system.step(dt, record);
             if let Some(p) = self.trace_period {
@@ -1071,9 +1186,9 @@ mod sensor_noise_tests {
         sim.system_mut().request_level(ClusterId(0), VfLevel(5));
         sim.run_for(SimDuration::from_secs(2));
         let res = sim.metrics().level_residency(0);
-        let total: u64 = res.values().map(|d| d.as_micros()).sum();
+        let total: u64 = res.iter().map(|d| d.as_micros()).sum();
         assert_eq!(total, SimDuration::from_secs(5).as_micros());
-        assert!(res[&0] >= SimDuration::from_secs(3));
-        assert!(res[&5] >= SimDuration::from_millis(1900));
+        assert!(res[0] >= SimDuration::from_secs(3));
+        assert!(res[5] >= SimDuration::from_millis(1900));
     }
 }

@@ -4,20 +4,30 @@
 //! *ondemand* governor ("changes the frequency value based on processor
 //! utilization", §5.3). Performance and powersave governors are provided for
 //! experimental controls.
+//!
+//! Governors follow the snapshot-in / plan-out boundary: they read a
+//! [`SystemSnapshot`] and *return* the level they want, which the caller
+//! queues as a [`RequestLevel`](crate::plan::Action::RequestLevel) action.
 
 use ppm_platform::cluster::ClusterId;
 use ppm_platform::units::{SimDuration, SimTime};
 use ppm_platform::vf::VfLevel;
 
-use crate::executor::System;
+use crate::snapshot::SystemSnapshot;
 
 /// A per-cluster frequency policy.
 pub trait FrequencyGovernor {
     /// Governor name (`ondemand`, `performance`, …).
     fn name(&self) -> &'static str;
 
-    /// Observe `sys` and, if warranted, request a new level for `cluster`.
-    fn govern(&mut self, sys: &mut System, cluster: ClusterId, dt: SimDuration);
+    /// Observe the snapshot and, if warranted, return a new level to request
+    /// for `cluster`.
+    fn govern(
+        &mut self,
+        snap: &SystemSnapshot,
+        cluster: ClusterId,
+        dt: SimDuration,
+    ) -> Option<VfLevel>;
 }
 
 /// Linux *ondemand*: jump to the highest frequency when utilization exceeds
@@ -57,36 +67,38 @@ impl FrequencyGovernor for Ondemand {
         "ondemand"
     }
 
-    fn govern(&mut self, sys: &mut System, cluster: ClusterId, _dt: SimDuration) {
-        if sys.now() < self.next_sample {
-            return;
+    fn govern(
+        &mut self,
+        snap: &SystemSnapshot,
+        cluster: ClusterId,
+        _dt: SimDuration,
+    ) -> Option<VfLevel> {
+        if snap.now < self.next_sample {
+            return None;
         }
-        self.next_sample = sys.now() + self.sampling_period;
-        let cl = sys.chip().cluster(cluster);
-        if cl.is_off() {
-            return;
+        self.next_sample = snap.now + self.sampling_period;
+        let cl = snap.cluster(cluster);
+        if cl.off {
+            return None;
         }
         // Busiest core governs the cluster (shared regulator).
         let util = cl
-            .cores()
+            .cores
             .iter()
-            .map(|&c| sys.core_utilization(c))
+            .map(|&c| snap.core(c).utilization)
             .fold(0.0_f64, f64::max);
-        let table = cl.table().clone();
-        let current = cl.level();
+        let current = cl.level;
         let target = if util >= self.up_threshold {
-            table.max_level()
+            cl.max_level()
         } else {
             // Lowest level that would serve the current busy cycles at the
             // target utilization.
-            let busy_pu = util * cl.supply_per_core().value();
-            table.level_for_demand(ppm_platform::units::ProcessingUnits(
+            let busy_pu = util * cl.supply_per_core.value();
+            cl.level_for_demand(ppm_platform::units::ProcessingUnits(
                 busy_pu / self.target_utilization,
             ))
         };
-        if target != current {
-            sys.request_level(cluster, target);
-        }
+        (target != current).then_some(VfLevel(target))
     }
 }
 
@@ -126,32 +138,34 @@ impl FrequencyGovernor for Conservative {
         "conservative"
     }
 
-    fn govern(&mut self, sys: &mut System, cluster: ClusterId, _dt: SimDuration) {
-        if sys.now() < self.next_sample {
-            return;
+    fn govern(
+        &mut self,
+        snap: &SystemSnapshot,
+        cluster: ClusterId,
+        _dt: SimDuration,
+    ) -> Option<VfLevel> {
+        if snap.now < self.next_sample {
+            return None;
         }
-        self.next_sample = sys.now() + self.sampling_period;
-        let cl = sys.chip().cluster(cluster);
-        if cl.is_off() {
-            return;
+        self.next_sample = snap.now + self.sampling_period;
+        let cl = snap.cluster(cluster);
+        if cl.off {
+            return None;
         }
         let util = cl
-            .cores()
+            .cores
             .iter()
-            .map(|&c| sys.core_utilization(c))
+            .map(|&c| snap.core(c).utilization)
             .fold(0.0_f64, f64::max);
-        let level = cl.level();
-        let table = cl.table();
+        let level = cl.level;
         let target = if util >= self.up_threshold {
-            table.step_up(level)
+            cl.step_up()
         } else if util <= self.down_threshold {
-            table.step_down(level)
+            cl.step_down()
         } else {
             level
         };
-        if target != level {
-            sys.request_level(cluster, target);
-        }
+        (target != level).then_some(VfLevel(target))
     }
 }
 
@@ -164,11 +178,15 @@ impl FrequencyGovernor for Performance {
         "performance"
     }
 
-    fn govern(&mut self, sys: &mut System, cluster: ClusterId, _dt: SimDuration) {
-        let top = sys.chip().cluster(cluster).table().max_level();
-        if sys.chip().cluster(cluster).effective_target() != top {
-            sys.request_level(cluster, top);
-        }
+    fn govern(
+        &mut self,
+        snap: &SystemSnapshot,
+        cluster: ClusterId,
+        _dt: SimDuration,
+    ) -> Option<VfLevel> {
+        let cl = snap.cluster(cluster);
+        let top = cl.max_level();
+        (cl.effective_target != top).then_some(VfLevel(top))
     }
 }
 
@@ -181,10 +199,13 @@ impl FrequencyGovernor for Powersave {
         "powersave"
     }
 
-    fn govern(&mut self, sys: &mut System, cluster: ClusterId, _dt: SimDuration) {
-        if sys.chip().cluster(cluster).effective_target() != VfLevel(0) {
-            sys.request_level(cluster, VfLevel(0));
-        }
+    fn govern(
+        &mut self,
+        snap: &SystemSnapshot,
+        cluster: ClusterId,
+        _dt: SimDuration,
+    ) -> Option<VfLevel> {
+        (snap.cluster(cluster).effective_target != 0).then_some(VfLevel(0))
     }
 }
 
@@ -192,6 +213,7 @@ impl FrequencyGovernor for Powersave {
 mod tests {
     use super::*;
     use crate::executor::{AllocationPolicy, PowerManager, Simulation, System};
+    use crate::plan::ActuationPlan;
     use ppm_platform::chip::Chip;
     use ppm_platform::core::CoreId;
     use ppm_workload::benchmarks::{Benchmark, BenchmarkSpec, Input};
@@ -204,9 +226,11 @@ mod tests {
         fn name(&self) -> &'static str {
             "governor-test"
         }
-        fn tick(&mut self, sys: &mut System, dt: SimDuration) {
-            for ci in 0..sys.chip().clusters().len() {
-                self.0.govern(sys, ClusterId(ci), dt);
+        fn plan(&mut self, snap: &SystemSnapshot, dt: SimDuration, plan: &mut ActuationPlan) {
+            for ci in 0..snap.clusters.len() {
+                if let Some(level) = self.0.govern(snap, ClusterId(ci), dt) {
+                    plan.request_level(ClusterId(ci), level);
+                }
             }
         }
     }

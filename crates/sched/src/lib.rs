@@ -34,7 +34,9 @@ pub mod governor;
 pub mod metrics;
 pub mod nice;
 pub mod pelt;
+pub mod plan;
 pub mod runqueue;
+pub mod snapshot;
 
 pub use crate::affinity::CpuMask;
 pub use crate::executor::{AllocationPolicy, NullManager, PowerManager, Simulation, System};
@@ -42,3 +44,5 @@ pub use crate::governor::{Conservative, FrequencyGovernor, Ondemand, Performance
 pub use crate::metrics::{RunMetrics, TaskMetrics, TraceSample};
 pub use crate::nice::Nice;
 pub use crate::pelt::PeltTracker;
+pub use crate::plan::{Action, ActuationPlan, Tape, TapeRecord};
+pub use crate::snapshot::{ClusterSnap, CoreSnap, SystemSnapshot, TaskSnap};

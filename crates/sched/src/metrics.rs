@@ -5,8 +5,6 @@
 //! workload is not met" (Figures 4 and 6), average power (Figure 5), and the
 //! normalized heart-rate traces (Figures 7 and 8).
 
-use std::collections::HashMap;
-
 use ppm_platform::power::EnergyMeter;
 use ppm_platform::units::{Joules, SimDuration, SimTime, Watts};
 use ppm_platform::vf::VfLevel;
@@ -62,9 +60,16 @@ pub struct TraceSample {
 }
 
 /// Aggregated metrics for one simulation run.
+///
+/// All storage is dense and index-ordered (no `HashMap`s): iteration never
+/// depends on hasher seeds, so printouts and traces are bit-identical
+/// across runs, threads, and platforms.
 #[derive(Debug, Default)]
 pub struct RunMetrics {
-    per_task: HashMap<TaskId, TaskMetrics>,
+    /// Dense per-task slots, indexed by task id (ids are admitted densely).
+    per_task: Vec<TaskMetrics>,
+    /// Whether the task at that index was ever observed.
+    seen: Vec<bool>,
     /// Time during which at least one task was below its range.
     any_miss: SimDuration,
     /// Total accounted time.
@@ -81,8 +86,9 @@ pub struct RunMetrics {
     pub vf_transitions: u64,
     /// Time spent above the TDP (for cap-enforcement checks).
     pub time_above_tdp: SimDuration,
-    /// Per-cluster time spent at each V-F level (thermal-cycling analysis).
-    level_residency: Vec<HashMap<usize, SimDuration>>,
+    /// Per-cluster time spent at each V-F level, indexed by level
+    /// (thermal-cycling analysis).
+    level_residency: Vec<Vec<SimDuration>>,
     trace: Vec<TraceSample>,
 }
 
@@ -91,26 +97,54 @@ impl RunMetrics {
     pub fn new(clusters: usize) -> RunMetrics {
         RunMetrics {
             cluster_energy: (0..clusters).map(|_| EnergyMeter::new()).collect(),
-            level_residency: (0..clusters).map(|_| HashMap::new()).collect(),
+            level_residency: (0..clusters).map(|_| Vec::new()).collect(),
             ..RunMetrics::default()
         }
     }
 
-    /// Account one quantum of residency at `level` for `cluster`.
-    pub fn record_residency(&mut self, cluster: usize, level: usize, dt: SimDuration) {
-        if let Some(map) = self.level_residency.get_mut(cluster) {
-            *map.entry(level).or_insert(SimDuration::ZERO) += dt;
+    /// Pre-size the dense per-task and residency storage so steady-state
+    /// recording never reallocates (the executor calls this on admission).
+    pub fn reserve(&mut self, tasks: usize, levels_per_cluster: usize) {
+        if self.per_task.len() < tasks {
+            self.per_task.resize_with(tasks, TaskMetrics::default);
+            self.seen.resize(tasks, false);
+        }
+        for res in &mut self.level_residency {
+            if res.len() < levels_per_cluster {
+                res.resize(levels_per_cluster, SimDuration::ZERO);
+            }
         }
     }
 
-    /// Time `cluster` spent at each level, keyed by level index.
-    pub fn level_residency(&self, cluster: usize) -> &HashMap<usize, SimDuration> {
+    /// Dense slot for `task`, growing storage on first sight.
+    fn slot(&mut self, task: TaskId) -> &mut TaskMetrics {
+        if self.per_task.len() <= task.0 {
+            self.per_task.resize_with(task.0 + 1, TaskMetrics::default);
+            self.seen.resize(task.0 + 1, false);
+        }
+        self.seen[task.0] = true;
+        &mut self.per_task[task.0]
+    }
+
+    /// Account one quantum of residency at `level` for `cluster`.
+    pub fn record_residency(&mut self, cluster: usize, level: usize, dt: SimDuration) {
+        if let Some(res) = self.level_residency.get_mut(cluster) {
+            if res.len() <= level {
+                res.resize(level + 1, SimDuration::ZERO);
+            }
+            res[level] += dt;
+        }
+    }
+
+    /// Time `cluster` spent at each level, indexed by level (levels the
+    /// cluster never visited read as zero).
+    pub fn level_residency(&self, cluster: usize) -> &[SimDuration] {
         &self.level_residency[cluster]
     }
 
     /// Account one quantum for one task.
     pub fn record_task(&mut self, task: TaskId, dt: SimDuration, below: bool, outside: bool) {
-        let m = self.per_task.entry(task).or_default();
+        let m = self.slot(task);
         m.observed += dt;
         if below {
             m.time_below_range += dt;
@@ -122,7 +156,7 @@ impl RunMetrics {
 
     /// Attribute energy consumed during one quantum to a task.
     pub fn record_task_energy(&mut self, task: TaskId, power: Watts, dt: SimDuration) {
-        self.per_task.entry(task).or_default().energy += power.energy_over(dt);
+        self.slot(task).energy += power.energy_over(dt);
     }
 
     /// Account one quantum at the system level.
@@ -138,7 +172,11 @@ impl RunMetrics {
 
     /// Per-task metrics, if the task was ever observed.
     pub fn task(&self, task: TaskId) -> Option<&TaskMetrics> {
-        self.per_task.get(&task)
+        self.seen
+            .get(task.0)
+            .copied()
+            .unwrap_or(false)
+            .then(|| &self.per_task[task.0])
     }
 
     /// The Figure 4/6 metric: fraction of time *any* task missed its range.
@@ -172,9 +210,12 @@ impl RunMetrics {
 
     /// All tasks seen, sorted by id.
     pub fn tasks(&self) -> Vec<TaskId> {
-        let mut v: Vec<TaskId> = self.per_task.keys().copied().collect();
-        v.sort();
-        v
+        self.seen
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s)
+            .map(|(i, _)| TaskId(i))
+            .collect()
     }
 }
 

@@ -27,18 +27,49 @@ pub struct Claimant {
     pub cap: ProcessingUnits,
 }
 
+/// Reusable scratch for [`fair_allocate_into`], so the executor's steady
+/// state allocates nothing per quantum.
+#[derive(Debug, Default)]
+pub struct AllocScratch {
+    active: Vec<usize>,
+    saturated: Vec<usize>,
+}
+
+impl AllocScratch {
+    /// Fresh (empty) scratch.
+    pub fn new() -> AllocScratch {
+        AllocScratch::default()
+    }
+}
+
 /// Weighted-fair water-filling of `supply` across `claims`.
 ///
 /// Returns one grant per claimant, in order. Entities that cannot use their
 /// full proportional share (cap-limited) release the residue to the others,
 /// as CFS does when a task sleeps.
 pub fn fair_allocate(supply: ProcessingUnits, claims: &[Claimant]) -> Vec<ProcessingUnits> {
-    let mut grants = vec![ProcessingUnits::ZERO; claims.len()];
+    let mut grants = Vec::new();
+    fair_allocate_into(supply, claims, &mut AllocScratch::new(), &mut grants);
+    grants
+}
+
+/// [`fair_allocate`] into caller-provided buffers (the hot-path form).
+/// `grants` is cleared and refilled with one grant per claimant, in order.
+pub fn fair_allocate_into(
+    supply: ProcessingUnits,
+    claims: &[Claimant],
+    scratch: &mut AllocScratch,
+    grants: &mut Vec<ProcessingUnits>,
+) {
+    grants.clear();
+    grants.resize(claims.len(), ProcessingUnits::ZERO);
     if claims.is_empty() || !supply.is_positive() {
-        return grants;
+        return;
     }
     let mut remaining = supply;
-    let mut active: Vec<usize> = (0..claims.len()).collect();
+    let active = &mut scratch.active;
+    active.clear();
+    active.extend(0..claims.len());
     // Each round either exhausts the supply or saturates at least one
     // claimant, so this terminates in ≤ claims.len() rounds.
     while !active.is_empty() && remaining.is_positive() {
@@ -46,9 +77,10 @@ pub fn fair_allocate(supply: ProcessingUnits, claims: &[Claimant]) -> Vec<Proces
         if total_w <= 0.0 {
             break;
         }
-        let mut saturated = Vec::new();
+        let saturated = &mut scratch.saturated;
+        saturated.clear();
         let mut consumed = ProcessingUnits::ZERO;
-        for &i in &active {
+        for &i in active.iter() {
             let proportional = remaining * (claims[i].weight as f64 / total_w);
             let headroom = claims[i].cap - grants[i];
             if proportional >= headroom {
@@ -69,21 +101,31 @@ pub fn fair_allocate(supply: ProcessingUnits, claims: &[Claimant]) -> Vec<Proces
             break;
         }
     }
-    grants
 }
 
 /// Grant explicit market shares, scaling proportionally when the claims
 /// exceed `supply` and capping each grant at its consumability.
 pub fn market_allocate(supply: ProcessingUnits, claims: &[Claimant]) -> Vec<ProcessingUnits> {
+    let mut grants = Vec::new();
+    market_allocate_into(supply, claims, &mut grants);
+    grants
+}
+
+/// [`market_allocate`] into a caller-provided buffer (the hot-path form).
+/// `grants` is cleared and refilled with one grant per claimant, in order.
+pub fn market_allocate_into(
+    supply: ProcessingUnits,
+    claims: &[Claimant],
+    grants: &mut Vec<ProcessingUnits>,
+) {
+    grants.clear();
     if claims.is_empty() || !supply.is_positive() {
-        return vec![ProcessingUnits::ZERO; claims.len()];
+        grants.resize(claims.len(), ProcessingUnits::ZERO);
+        return;
     }
     let total: ProcessingUnits = claims.iter().map(|c| c.share).sum();
     let scale = if total > supply { supply / total } else { 1.0 };
-    claims
-        .iter()
-        .map(|c| (c.share * scale).min(c.cap))
-        .collect()
+    grants.extend(claims.iter().map(|c| (c.share * scale).min(c.cap)));
 }
 
 #[cfg(test)]

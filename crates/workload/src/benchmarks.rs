@@ -338,7 +338,7 @@ impl BenchmarkSpec {
     /// Off-line-profiled average demand on `class` at the target heart rate
     /// (the profile the paper's LBT module uses for speculation).
     pub fn profiled_demand(&self, class: CoreClass) -> ProcessingUnits {
-        let avg_scale = PhaseSequence::new(self.phases.clone()).average_cost_scale();
+        let avg_scale = PhaseSequence::average_cost_scale_of(&self.phases);
         ProcessingUnits(self.target.target() * self.cpb[class] * avg_scale / 1e6)
     }
 

@@ -141,19 +141,19 @@ impl PhaseSequence {
     /// Length-weighted average cost scale over one cycle — the "average
     /// demand" an off-line profile would observe.
     pub fn average_cost_scale(&self) -> f64 {
-        let finite: Vec<&Phase> = self
-            .phases
-            .iter()
-            .filter(|p| p.heartbeats.is_finite())
-            .collect();
-        if finite.is_empty() {
-            return self.phases[0].cost_scale;
+        Self::average_cost_scale_of(&self.phases)
+    }
+
+    /// [`Self::average_cost_scale`] over a phase slice, without building a
+    /// sequence. Allocation-free: the snapshot capture path computes this
+    /// per task per quantum (via `BenchmarkSpec::profiled_demand`).
+    pub fn average_cost_scale_of(phases: &[Phase]) -> f64 {
+        let finite = || phases.iter().filter(|p| p.heartbeats.is_finite());
+        let total: f64 = finite().map(|p| p.heartbeats).sum();
+        if finite().next().is_none() {
+            return phases[0].cost_scale;
         }
-        let total: f64 = finite.iter().map(|p| p.heartbeats).sum();
-        finite
-            .iter()
-            .map(|p| p.cost_scale * p.heartbeats / total)
-            .sum()
+        finite().map(|p| p.cost_scale * p.heartbeats / total).sum()
     }
 
     /// Reset the cursor to the first phase.

@@ -10,13 +10,17 @@ cargo fmt --all -- --check
 echo ">>> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --quiet -- -D warnings
 
-echo ">>> cargo build --release"
+echo ">>> cargo build --release (workspace + examples)"
 cargo build --release --quiet
+cargo build --release --quiet --examples
 
 echo ">>> cargo test -q"
 cargo test -q
 
 echo ">>> cargo test -q --release"
 cargo test -q --release
+
+echo ">>> bench_sweep --check (parallel sweep == serial, bit-for-bit)"
+cargo run --release --quiet -p ppm-bench --bin bench_sweep -- --check
 
 echo "ci: all green"

@@ -167,3 +167,39 @@ fn full_simulation_is_deterministic_across_threads() {
         assert_eq!(reference, h.join().expect("sim thread"));
     }
 }
+
+/// One comparative cell with the actuation tape on: the full e2e pipeline
+/// (snapshot capture → manager plan → plan application → quantum execution)
+/// reduced to bytes. `{:?}` on the summary and the rendered tape both print
+/// floats in shortest round-trip form, so any divergence shows.
+fn e2e_tape(scheme: ppm_bench::Scheme) -> (String, String) {
+    let set = set_by_name("m2").expect("m2");
+    let (summary, tape) =
+        ppm_bench::run_workload_taped(&set, scheme, None, SimDuration::from_secs(10));
+    (format!("{summary:?}"), tape)
+}
+
+#[test]
+fn e2e_actuation_tapes_are_identical_across_threads() {
+    // Spawned threads get fresh hasher seeds (`RandomState` is per thread);
+    // byte-identical tapes prove no scheme leaks hasher or thread state into
+    // its decisions — a much stronger check than the metric fingerprints
+    // above, since the tape holds every actuation of every quantum plus a
+    // digest of every snapshot the decisions were computed from.
+    for scheme in ppm_bench::Scheme::ALL {
+        let reference = e2e_tape(scheme);
+        let handles: Vec<_> = (0..2)
+            .map(|_| std::thread::spawn(move || e2e_tape(scheme)))
+            .collect();
+        for h in handles {
+            let got = h.join().expect("e2e thread");
+            assert_eq!(reference.0, got.0, "{} summary diverged", scheme.name());
+            assert_eq!(reference.1, got.1, "{} tape diverged", scheme.name());
+        }
+        assert!(
+            !reference.1.is_empty(),
+            "{} recorded no actuations in 10 s",
+            scheme.name()
+        );
+    }
+}

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 use ppm::core::lbt::{
     decide_load_balance, decide_migration, estimate_cluster, ClusterPowerProfile, ClusterSnapshot,
-    CoreSnapshot, SystemSnapshot, TaskSnapshot,
+    CoreSnapshot, LbtSnapshot, TaskSnapshot,
 };
 use ppm::platform::cluster::ClusterId;
 use ppm::platform::core::{CoreClass, CoreId};
@@ -14,7 +14,7 @@ use ppm::platform::units::{Money, Price, ProcessingUnits, Watts};
 use ppm::workload::perclass::PerClass;
 use ppm::workload::task::TaskId;
 
-fn snapshot_strategy() -> impl Strategy<Value = SystemSnapshot> {
+fn snapshot_strategy() -> impl Strategy<Value = LbtSnapshot> {
     // 1-4 clusters of 1-4 cores, 0-3 tasks per core.
     (1usize..=4, 1usize..=4, 0u64..1000).prop_map(|(n_clusters, n_cores, seed)| {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
@@ -79,7 +79,7 @@ fn snapshot_strategy() -> impl Strategy<Value = SystemSnapshot> {
                 }
             })
             .collect();
-        SystemSnapshot {
+        LbtSnapshot {
             clusters,
             tolerance: 0.2,
             min_bid: Money(0.01),

@@ -1,13 +1,14 @@
-//! Proof of the hot-path invariant: a steady-state `Market::round_into`
-//! performs **zero heap allocation**.
+//! Proof of the hot-path invariants: a steady-state `Market::round_into`
+//! AND a steady-state executor quantum (snapshot capture → manager plan →
+//! plan application → `System::step`) perform **zero heap allocation**.
 //!
 //! A counting global allocator wraps the system allocator; after a warm-up
-//! phase (which is allowed to grow the slot arenas, scratch buffers and the
-//! decision buffer), a block of further rounds must not touch the allocator
-//! at all. The test binary is dedicated to this check so the global
-//! allocator override cannot interfere with other integration tests, and
-//! everything runs in one `#[test]` so no concurrent test thread can
-//! pollute the counter.
+//! phase (which is allowed to grow the slot arenas, scratch buffers, the
+//! decision buffer, the snapshot and the plan), a block of further
+//! rounds/quanta must not touch the allocator at all. The test binary is
+//! dedicated to this check so the global allocator override cannot interfere
+//! with other integration tests, and each check runs in one `#[test]` with
+//! the counter sampled around a single-threaded region.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -16,7 +17,7 @@ use ppm::core::config::PpmConfig;
 use ppm::core::market::{ClusterObs, CoreObs, Market, MarketDecision, MarketObs, TaskObs};
 use ppm::platform::cluster::ClusterId;
 use ppm::platform::core::CoreId;
-use ppm::platform::units::{ProcessingUnits, Watts};
+use ppm::platform::units::{ProcessingUnits, SimDuration, Watts};
 use ppm::workload::task::TaskId;
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
@@ -52,6 +53,11 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 fn allocations() -> u64 {
     ALLOC_CALLS.load(Ordering::Relaxed)
 }
+
+/// The two `#[test]`s below share the one global counter, and the libtest
+/// harness runs tests on concurrent threads: serialise them so neither
+/// measures the other's allocations.
+static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 /// A (v clusters × c cores × t tasks/core) snapshot with varied demands.
 fn obs(v: usize, c: usize, t: usize) -> MarketObs {
@@ -92,6 +98,7 @@ fn obs(v: usize, c: usize, t: usize) -> MarketObs {
 
 #[test]
 fn steady_state_market_round_does_not_allocate() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
     let snapshot = obs(4, 4, 8);
     let mut market = Market::new(PpmConfig::tc2());
     let mut out = MarketDecision::default();
@@ -147,4 +154,84 @@ fn steady_state_market_round_does_not_allocate() {
         0,
         "shrinking and idle rounds must stay allocation-free"
     );
+}
+
+/// A manager that plans every quantum — shares cycle between two values and
+/// the LITTLE cluster's level toggles — so the proof covers snapshot
+/// capture, planning, plan application (shares + DVFS) and `System::step`,
+/// not just an idle executor.
+struct TogglingManager {
+    flip: bool,
+}
+
+impl ppm::sched::PowerManager for TogglingManager {
+    fn name(&self) -> &'static str {
+        "toggling"
+    }
+
+    fn plan(
+        &mut self,
+        snap: &ppm::sched::SystemSnapshot,
+        _dt: SimDuration,
+        plan: &mut ppm::sched::ActuationPlan,
+    ) {
+        for t in &snap.tasks {
+            plan.set_share(t.id, ProcessingUnits(if self.flip { 140.0 } else { 220.0 }));
+        }
+        let cl = snap.cluster(ClusterId(0));
+        let level = if self.flip {
+            cl.step_down()
+        } else {
+            cl.step_up()
+        };
+        plan.request_level(ClusterId(0), ppm::platform::vf::VfLevel(level));
+        self.flip = !self.flip;
+    }
+}
+
+#[test]
+fn steady_state_executor_quantum_does_not_allocate() {
+    use ppm::platform::chip::Chip;
+    use ppm::sched::{AllocationPolicy, Simulation, System as SimSystem};
+    use ppm::workload::benchmarks::{Benchmark, BenchmarkSpec, Input};
+    use ppm::workload::task::{Priority, Task};
+
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let mut sys = SimSystem::new(Chip::tc2(), AllocationPolicy::Market);
+    let benches = [
+        (Benchmark::Blackscholes, Input::Large),
+        (Benchmark::Swaptions, Input::Large),
+        (Benchmark::Texture, Input::Vga),
+        (Benchmark::X264, Input::Native),
+        (Benchmark::Bodytrack, Input::Native),
+        (Benchmark::Tracking, Input::Vga),
+    ];
+    for (i, (b, input)) in benches.into_iter().enumerate() {
+        sys.add_task(
+            Task::new(
+                TaskId(i),
+                BenchmarkSpec::of(b, input).expect("variant"),
+                Priority(1 + (i % 3) as u32),
+            ),
+            CoreId(i % 5),
+        );
+    }
+    let mut sim = Simulation::new(sys, TogglingManager { flip: false });
+
+    // Warm-up: snapshot/plan/scratch buffers size themselves, heartbeat
+    // windows fill to their steady length, PELT and DVFS reach regime.
+    sim.run_for(SimDuration::from_secs(2));
+
+    // 1000 further quanta (1 s simulated) must not touch the allocator.
+    let before = allocations();
+    sim.run_for(SimDuration::from_secs(1));
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state executor quanta must not touch the allocator"
+    );
+    // Sanity: the quanta actually executed work and actuated the plan.
+    assert!(sim.metrics().average_power().value() > 0.0);
+    assert!(sim.metrics().vf_transitions > 0);
 }
