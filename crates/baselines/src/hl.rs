@@ -33,6 +33,9 @@ pub struct HlConfig {
     /// Power cap; when exceeded the big cluster is switched off for the
     /// remainder of the run (the paper's Figure 6 setup). `None` = uncapped.
     pub tdp: Option<Watts>,
+    /// Readings above this are rejected as sensor glitches rather than
+    /// physics; the TC2 chip cannot draw anywhere near this much.
+    pub max_plausible: Watts,
 }
 
 impl HlConfig {
@@ -43,6 +46,7 @@ impl HlConfig {
             down_threshold: 0.30,
             period: SimDuration::from_millis(100),
             tdp: None,
+            max_plausible: Watts(20.0),
         }
     }
 
@@ -68,6 +72,9 @@ pub struct HlManager {
     next_decision: SimTime,
     /// Latched once the TDP cutoff has fired.
     big_disabled: bool,
+    /// Last chip-power reading that passed the plausibility filter, backing
+    /// the TDP cutoff against dropped or glitched sensor reads.
+    last_good_power: Option<(SimTime, Watts)>,
 }
 
 impl HlManager {
@@ -78,6 +85,51 @@ impl HlManager {
             governors: Vec::new(),
             next_decision: SimTime::ZERO,
             big_disabled: false,
+            last_good_power: None,
+        }
+    }
+
+    /// How long a stale reading may stand in for a rejected one.
+    const POWER_STALENESS: SimDuration = SimDuration(800_000);
+
+    /// Chip power with a plausibility filter: a zero reading while tasks run
+    /// (dropped sensor read) or a reading beyond anything the chip can draw
+    /// (glitch) is replaced by the last good reading while that is fresh.
+    /// The TDP cutoff is irreversible, so it must not fire on a glitch.
+    /// Clean traces never take the fallback: the first snapshot has no
+    /// last-good reading and every later clean reading with tasks is
+    /// positive and far below the plausibility ceiling.
+    fn plausible_power(&mut self, snap: &SystemSnapshot) -> Watts {
+        let w = snap.chip_power;
+        let implausible =
+            (w.value() <= 0.0 && !snap.tasks.is_empty()) || w > self.config.max_plausible;
+        if implausible {
+            if let Some((at, good)) = self.last_good_power {
+                if snap.now.since(at) <= Self::POWER_STALENESS {
+                    return good;
+                }
+            }
+            return Watts(w.value().min(self.config.max_plausible.value()));
+        }
+        if w.value() > 0.0 {
+            self.last_good_power = Some((snap.now, w));
+        }
+        w
+    }
+
+    /// Rescue a task stranded on a gated cluster: a migration the hardware
+    /// lost after the TDP cutoff leaves the task unschedulable, so it is
+    /// re-issued toward the LITTLE cluster. Clean traces never strand a
+    /// task — [`Self::disable_big`] queues the moves and the gating in one
+    /// plan and clean migrations land within the quantum.
+    fn rescue_stranded(&self, snap: &SystemSnapshot, plan: &mut ActuationPlan) {
+        for t in &snap.tasks {
+            let core = plan.core_of(snap, t.id);
+            if plan.cluster_off(snap, snap.core(core).cluster) {
+                if let Some(target) = Self::least_loaded(snap, plan, CoreClass::Little, true) {
+                    plan.migrate(t.id, target);
+                }
+            }
         }
     }
 
@@ -219,9 +271,12 @@ impl PowerManager for HlManager {
         }
         // TDP cutoff.
         if let Some(tdp) = self.config.tdp {
-            if !self.big_disabled && snap.chip_power > tdp {
+            if !self.big_disabled && self.plausible_power(snap) > tdp {
                 self.disable_big(snap, plan);
             }
+        }
+        if self.big_disabled {
+            self.rescue_stranded(snap, plan);
         }
         if snap.now < self.next_decision {
             return;

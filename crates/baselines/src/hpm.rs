@@ -88,6 +88,9 @@ pub struct HpmManager {
     /// Per-task migration cooldown (suppresses thrash: every move resets
     /// the heart-rate telemetry the PID loops feed on).
     migrated_at: Vec<SimTime>,
+    /// Last chip-power reading that looked sane, for the dropped-sensor
+    /// fallback in the power loop.
+    last_good_power: Option<(SimTime, Watts)>,
 }
 
 impl HpmManager {
@@ -109,7 +112,39 @@ impl HpmManager {
             next_power: SimTime::ZERO,
             next_lbt: SimTime::ZERO,
             migrated_at: Vec::new(),
+            last_good_power: None,
         }
+    }
+
+    /// How long a stale power reading may stand in for a dropped one, in
+    /// power-loop periods.
+    const POWER_STALENESS_PERIODS: u64 = 8;
+
+    /// Chip power with a last-good fallback: a zero reading while tasks are
+    /// running is a dropped sensor read, not physics, so the last good
+    /// reading substitutes while it is fresh. Clean traces never take the
+    /// fallback — the first snapshot has no last-good reading yet and every
+    /// later clean reading with running tasks is positive.
+    fn plausible_power(&mut self, snap: &SystemSnapshot) -> Watts {
+        let w = snap.chip_power;
+        if w.value() <= 0.0 && !snap.tasks.is_empty() {
+            if let Some((at, good)) = self.last_good_power {
+                let staleness = SimDuration(
+                    self.config
+                        .power_period
+                        .0
+                        .saturating_mul(Self::POWER_STALENESS_PERIODS),
+                );
+                if snap.now.since(at) <= staleness {
+                    return good;
+                }
+            }
+            return w;
+        }
+        if w.value() > 0.0 {
+            self.last_good_power = Some((snap.now, w));
+        }
+        w
     }
 
     /// Hold-down after a migration before the task may move again.
@@ -172,7 +207,7 @@ impl HpmManager {
         // Negative when above the cap; positive headroom is clipped hard so
         // the integral releases the frequency cap only slowly after a
         // violation (asymmetric anti-windup).
-        let err = (tdp - snap.chip_power).value();
+        let err = (tdp - self.plausible_power(snap)).value();
         self.level_cap = self.power_pid.update(err.min(0.05), dt);
     }
 

@@ -27,13 +27,16 @@ use ppm_core::config::PpmConfig;
 use ppm_core::manager::{place_on_little, PpmManager};
 use ppm_platform::chip::Chip;
 use ppm_platform::core::CoreId;
+use ppm_platform::faults::{FaultConfig, FaultPlan, FaultStats};
 use ppm_platform::units::{SimDuration, Watts};
-use ppm_sched::executor::{AllocationPolicy, PowerManager, Simulation, System};
+use ppm_sched::audit::Violation;
+use ppm_sched::executor::{AllocationPolicy, NullManager, PowerManager, Simulation, System};
 use ppm_sched::metrics::RunMetrics;
 use ppm_workload::sets::WorkloadSet;
 use ppm_workload::task::{Priority, TaskId};
 
-/// The three power-management schemes of the comparative study (§5.3).
+/// The power-management schemes the harness can run: the three of the
+/// comparative study (§5.3) plus a do-nothing control.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// The paper's price-theory manager.
@@ -42,10 +45,15 @@ pub enum Scheme {
     Hpm,
     /// The heterogeneity-aware Linux scheduler + ondemand.
     Hl,
+    /// No management at all (fixed frequencies, no migration): the control
+    /// the fault/audit suites run to separate substrate invariants from
+    /// policy behaviour. Not part of the paper's figures.
+    Null,
 }
 
 impl Scheme {
-    /// All schemes, in the paper's plotting order.
+    /// The paper's schemes, in its plotting order (excludes [`Scheme::Null`],
+    /// which appears in no figure).
     pub const ALL: [Scheme; 3] = [Scheme::Ppm, Scheme::Hpm, Scheme::Hl];
 
     /// Display name used in the paper's figures.
@@ -54,6 +62,7 @@ impl Scheme {
             Scheme::Ppm => "PPM",
             Scheme::Hpm => "HPM",
             Scheme::Hl => "HL",
+            Scheme::Null => "Null",
         }
     }
 }
@@ -93,7 +102,7 @@ pub fn run_workload(
     tdp: Option<Watts>,
     duration: SimDuration,
 ) -> RunSummary {
-    run_workload_impl(set, scheme, tdp, duration, false).0
+    run_workload_hardened(set, scheme, tdp, duration, Harness::default()).summary
 }
 
 /// Like [`run_workload`], but with the actuation tape enabled: also returns
@@ -106,18 +115,70 @@ pub fn run_workload_taped(
     tdp: Option<Watts>,
     duration: SimDuration,
 ) -> (RunSummary, String) {
-    run_workload_impl(set, scheme, tdp, duration, true)
+    let h = run_workload_hardened(
+        set,
+        scheme,
+        tdp,
+        duration,
+        Harness {
+            tape: true,
+            ..Harness::default()
+        },
+    );
+    (h.summary, h.tape)
 }
 
-fn run_workload_impl(
+/// Optional hardening attached to a run: fault injection, the
+/// every-quantum auditor, and/or the actuation tape.
+#[derive(Debug, Clone, Default)]
+pub struct Harness {
+    /// Inject deterministic faults from this configuration.
+    pub faults: Option<FaultConfig>,
+    /// Attach the every-quantum invariant [`Auditor`](ppm_sched::Auditor).
+    pub audit: bool,
+    /// Record the actuation tape.
+    pub tape: bool,
+}
+
+impl Harness {
+    /// Faults from `seed` (default magnitudes) plus the auditor.
+    pub fn faulted_and_audited(seed: u64) -> Harness {
+        Harness {
+            faults: Some(FaultConfig::with_seed(seed)),
+            audit: true,
+            tape: false,
+        }
+    }
+}
+
+/// Everything a hardened run produced.
+#[derive(Debug, Clone)]
+pub struct HardenedRun {
+    /// The figure metrics.
+    pub summary: RunSummary,
+    /// Rendered actuation tape (empty unless [`Harness::tape`]).
+    pub tape: String,
+    /// Auditor findings (empty unless [`Harness::audit`]; an empty list
+    /// with `audit: true` means the run was invariant-clean).
+    pub violations: Vec<Violation>,
+    /// Rendered auditor report (empty unless [`Harness::audit`]).
+    pub audit_report: String,
+    /// Fault counters (zeroes unless [`Harness::faults`]).
+    pub fault_stats: FaultStats,
+}
+
+/// Execute `set` under `scheme` with the given [`Harness`] attachments.
+/// This is the driver behind [`run_workload`]/[`run_workload_taped`] and
+/// the fault-injection suites.
+pub fn run_workload_hardened(
     set: &WorkloadSet,
     scheme: Scheme,
     tdp: Option<Watts>,
     duration: SimDuration,
-    taped: bool,
-) -> (RunSummary, String) {
+    harness: Harness,
+) -> HardenedRun {
     let policy = match scheme {
-        Scheme::Hl => AllocationPolicy::FairWeights,
+        Scheme::Hl | Scheme::Null => AllocationPolicy::FairWeights,
         _ => AllocationPolicy::Market,
     };
     let mut sys = System::new(Chip::tc2(), policy);
@@ -131,28 +192,29 @@ fn run_workload_impl(
         sys.set_tdp_accounting(t);
     }
 
-    let (metrics, tape) = match scheme {
+    let (metrics, tape, violations, audit_report, fault_stats) = match scheme {
         Scheme::Ppm => {
             let config = match tdp {
                 Some(t) => PpmConfig::tc2_with_tdp(t),
                 None => PpmConfig::tc2(),
             };
-            run(sys, PpmManager::new(config), duration, taped)
+            run(sys, PpmManager::new(config), duration, &harness)
         }
         Scheme::Hpm => {
             let mut config = HpmConfig::new();
             if let Some(t) = tdp {
                 config = config.with_tdp(t);
             }
-            run(sys, HpmManager::new(config), duration, taped)
+            run(sys, HpmManager::new(config), duration, &harness)
         }
         Scheme::Hl => {
             let mut config = HlConfig::new();
             if let Some(t) = tdp {
                 config = config.with_tdp(t);
             }
-            run(sys, HlManager::new(config), duration, taped)
+            run(sys, HlManager::new(config), duration, &harness)
         }
+        Scheme::Null => run(sys, NullManager, duration, &harness),
     };
 
     let summary = RunSummary {
@@ -168,25 +230,49 @@ fn run_workload_impl(
         },
         migrations: (metrics.migrations_intra, metrics.migrations_inter),
     };
-    (summary, tape)
+    HardenedRun {
+        summary,
+        tape,
+        violations,
+        audit_report,
+        fault_stats,
+    }
 }
 
+#[allow(clippy::type_complexity)]
 fn run<M: PowerManager>(
     sys: System,
     manager: M,
     duration: SimDuration,
-    taped: bool,
-) -> (RunMetrics, String) {
+    harness: &Harness,
+) -> (RunMetrics, String, Vec<Violation>, String, FaultStats) {
     let mut sim = Simulation::new(sys, manager).with_warmup(DEFAULT_WARMUP);
-    if taped {
+    if harness.tape {
         sim = sim.with_tape();
+    }
+    if harness.audit {
+        sim = sim.with_auditor();
+    }
+    if let Some(fc) = harness.faults.clone() {
+        sim = sim.with_faults(FaultPlan::new(fc));
     }
     sim.run_for(duration);
     let tape = sim
         .tape()
         .map(ppm_sched::plan::Tape::render)
         .unwrap_or_default();
-    (sim.into_system().into_metrics(), tape)
+    let (violations, audit_report) = sim
+        .auditor()
+        .map(|a| (a.violations().to_vec(), a.render()))
+        .unwrap_or_default();
+    let fault_stats = sim.faults().map(|f| f.stats()).unwrap_or_default();
+    (
+        sim.into_system().into_metrics(),
+        tape,
+        violations,
+        audit_report,
+        fault_stats,
+    )
 }
 
 /// Print a markdown table: rows = workload sets, columns = schemes.

@@ -11,6 +11,7 @@ use std::fmt;
 use ppm_platform::cluster::ClusterId;
 use ppm_platform::core::CoreId;
 use ppm_platform::units::{Money, SimTime, Watts};
+use ppm_platform::vf::VfLevel;
 use ppm_workload::task::TaskId;
 
 use crate::market::VfStep;
@@ -71,6 +72,32 @@ pub enum Event {
         /// The unobserved core it claimed to run on.
         core: CoreId,
     },
+    /// A power reading was rejected as implausible (dropped sensor read)
+    /// and the last good reading was used instead.
+    SensorFallback {
+        /// The reading as observed.
+        observed: Watts,
+        /// The last good value substituted for it.
+        used: Watts,
+    },
+    /// A DVFS request that did not reach the regulator was re-issued.
+    DvfsRetry {
+        /// The cluster.
+        cluster: ClusterId,
+        /// The level being re-requested.
+        level: VfLevel,
+        /// Retry attempt (1-based, bounded).
+        attempt: u8,
+    },
+    /// A migration that did not land was re-issued.
+    MigrationRetry {
+        /// The task.
+        task: TaskId,
+        /// Destination core.
+        to: CoreId,
+        /// Retry attempt (1-based, bounded).
+        attempt: u8,
+    },
 }
 
 impl fmt::Display for Event {
@@ -104,6 +131,17 @@ impl fmt::Display for Event {
             Event::TaskExited { task } => write!(f, "{task} exited"),
             Event::TaskOrphaned { task, core } => {
                 write!(f, "{task} orphaned on unobserved {core}")
+            }
+            Event::SensorFallback { observed, used } => {
+                write!(f, "sensor fallback: observed {observed}, using {used}")
+            }
+            Event::DvfsRetry {
+                cluster,
+                level,
+                attempt,
+            } => write!(f, "{cluster} retry level {} (attempt {attempt})", level.0),
+            Event::MigrationRetry { task, to, attempt } => {
+                write!(f, "{task} retry -> {to} (attempt {attempt})")
             }
         }
     }

@@ -12,8 +12,10 @@
 
 use ppm_platform::cluster::ClusterId;
 use ppm_platform::core::CoreId;
-use ppm_platform::units::{Price, ProcessingUnits, SimDuration, SimTime, Watts};
+use ppm_platform::thermal::Celsius;
+use ppm_platform::units::{Money, Price, ProcessingUnits, SimDuration, SimTime, Watts};
 use ppm_platform::vf::VfLevel;
+use ppm_sched::audit::Auditor;
 use ppm_sched::executor::{AllocationPolicy, PowerManager, System};
 use ppm_sched::nice::Nice;
 use ppm_sched::plan::ActuationPlan;
@@ -30,6 +32,29 @@ use crate::lbt::{
 };
 use crate::market::{ClusterObs, CoreObs, Market, MarketDecision, MarketObs, TaskObs, VfStep};
 use crate::state::PowerState;
+
+/// An outstanding DVFS request being tracked until the regulator confirms
+/// it (graceful degradation: real cpufreq transitions occasionally vanish).
+#[derive(Debug, Clone, Copy)]
+struct DvfsWatch {
+    /// Level index we asked for.
+    target: usize,
+    /// Re-issues so far (bounded).
+    attempts: u8,
+}
+
+/// An outstanding migration being tracked until the task shows up on its
+/// destination core.
+#[derive(Debug, Clone, Copy)]
+struct MigrationWatch {
+    task: TaskId,
+    to: CoreId,
+    /// Re-issues so far (bounded).
+    attempts: u8,
+    /// Bid round (manager-local count) before which we hold off retrying —
+    /// exponential backoff, so a congested regulator is not hammered.
+    next_retry: u64,
+}
 
 /// Price-theory power manager (PPM).
 #[derive(Debug)]
@@ -60,6 +85,25 @@ pub struct PpmManager {
     /// Structured decision log.
     events: EventLog,
     last_state: PowerState,
+    /// Bid rounds this manager has run (cadence base for retry backoff).
+    bid_rounds: u64,
+    /// Last plausible chip-power reading and when it was taken, for the
+    /// dropped-sensor fallback (staleness-bounded).
+    last_good_power: Option<(SimTime, Watts)>,
+    /// Last accepted junction temperature (thermal glitch filter).
+    last_good_temp: Option<Celsius>,
+    /// Consecutive rounds the thermal reading was rejected as a glitch.
+    temp_rejects: u32,
+    /// Per-cluster outstanding DVFS requests awaiting confirmation.
+    dvfs_watch: Vec<Option<DvfsWatch>>,
+    /// Outstanding LBT migration awaiting confirmation.
+    migration_watch: Option<MigrationWatch>,
+    /// Money audit state: per-task savings as of the last audited round
+    /// (sorted by id) and that round's announced allowance.
+    audit_savings: Vec<(TaskId, Money)>,
+    audit_prev_allowance: Option<Money>,
+    /// Last market round the auditor has seen.
+    audited_round: u64,
 }
 
 impl PpmManager {
@@ -86,8 +130,30 @@ impl PpmManager {
             estimator: OnlineEstimator::new(),
             events: EventLog::new(),
             last_state: PowerState::Normal,
+            bid_rounds: 0,
+            last_good_power: None,
+            last_good_temp: None,
+            temp_rejects: 0,
+            dvfs_watch: Vec::new(),
+            migration_watch: None,
+            audit_savings: Vec::new(),
+            audit_prev_allowance: None,
+            audited_round: 0,
         }
     }
+
+    /// Rounds a last-good power reading stays usable as a fallback before
+    /// the manager must trust the raw sensor again.
+    const POWER_STALENESS_ROUNDS: u64 = 8;
+    /// Bounded re-issues of a lost DVFS request or failed migration.
+    const MAX_ACTUATION_RETRIES: u8 = 3;
+    /// Largest credible junction-temperature step between two bid rounds
+    /// (°C); the RC model moves well under 1 °C per 31.7 ms round even at
+    /// peak power, so anything bigger is a sensor glitch.
+    const MAX_TEMP_STEP: f64 = 5.0;
+    /// Consecutive rejected thermal readings before one is accepted anyway
+    /// (a real step change must not be filtered forever).
+    const MAX_TEMP_REJECTS: u32 = 3;
 
     /// The paper's default TC2 configuration.
     pub fn tc2() -> PpmManager {
@@ -135,9 +201,58 @@ impl PpmManager {
         }
     }
 
+    /// Chip power with the dropped-sensor fallback: a zero reading while
+    /// tasks run is physically impossible (leakage alone is positive), so
+    /// substitute the last good reading while it is fresh enough. On a
+    /// clean trace the raw reading is positive from the first executed
+    /// quantum onwards and this is the identity.
+    fn plausible_chip_power(&mut self, snap: &SystemSnapshot) -> Watts {
+        let raw = snap.chip_power;
+        if raw.value() <= 0.0 && !snap.tasks.is_empty() {
+            if let Some((at, w)) = self.last_good_power {
+                let bound = SimDuration(self.config.bid_period.0 * Self::POWER_STALENESS_ROUNDS);
+                if snap.now.since(at) <= bound {
+                    self.events.push(
+                        snap.now,
+                        Event::SensorFallback {
+                            observed: raw,
+                            used: w,
+                        },
+                    );
+                    return w;
+                }
+            }
+            return raw;
+        }
+        self.last_good_power = Some((snap.now, raw));
+        raw
+    }
+
+    /// Junction temperature with the spike filter: a jump beyond the RC
+    /// model's physical slew rate is held back (the previous accepted value
+    /// is used) for up to [`Self::MAX_TEMP_REJECTS`] consecutive rounds, so
+    /// one glitched read cannot trip the thermal-pressure emergency while a
+    /// genuine sustained rise still gets through. On a clean trace the
+    /// per-round step is far below the threshold and this is the identity.
+    fn plausible_hottest(&mut self, snap: &SystemSnapshot) -> Option<Celsius> {
+        let h = snap.hottest?;
+        if let Some(prev) = self.last_good_temp {
+            let glitch = (h.value() - prev.value()).abs() > Self::MAX_TEMP_STEP;
+            if glitch && self.temp_rejects < Self::MAX_TEMP_REJECTS {
+                self.temp_rejects += 1;
+                return Some(prev);
+            }
+        }
+        self.temp_rejects = 0;
+        self.last_good_temp = Some(h);
+        Some(h)
+    }
+
     /// Distil the executor snapshot into `self.obs_buf` (capacity is
     /// reused).
     fn observe_into(&mut self, snap: &SystemSnapshot) {
+        let plausible_power = self.plausible_chip_power(snap);
+        let plausible_hottest = self.plausible_hottest(snap);
         let obs = &mut self.obs_buf;
         obs.tasks.clear();
         obs.tasks.extend(snap.tasks.iter().map(|t| TaskObs {
@@ -164,8 +279,8 @@ impl PpmManager {
         // headroom into the equivalent power signal so the chip agent's
         // state machine — and hence the money supply — reacts to heat
         // exactly as it reacts to a TDP excursion.
-        let mut chip_power = snap.chip_power;
-        if let (Some((th, crit)), Some(hottest)) = (self.config.thermal_limit, snap.hottest) {
+        let mut chip_power = plausible_power;
+        if let (Some((th, crit)), Some(hottest)) = (self.config.thermal_limit, plausible_hottest) {
             if hottest > crit {
                 chip_power = chip_power.max(self.config.tdp * 1.05);
             } else if hottest > th {
@@ -196,7 +311,88 @@ impl PpmManager {
                 VfStep::Down => cl.step_down(),
             };
             plan.request_level(cluster, VfLevel(level));
+            // Watch the request until the regulator confirms it; a lost
+            // command is re-issued by `retry_lost_dvfs` next round.
+            self.dvfs_watch[cluster.0] = Some(DvfsWatch {
+                target: level,
+                attempts: 0,
+            });
         }
+    }
+
+    /// Re-issue DVFS requests the regulator never acknowledged. On a clean
+    /// trace every request is in force (or in flight) by the next round's
+    /// snapshot — `effective_target` reflects pending transitions — so the
+    /// watch clears without a retry and this queues nothing.
+    fn retry_lost_dvfs(&mut self, snap: &SystemSnapshot, plan: &mut ActuationPlan) {
+        for ci in 0..self.dvfs_watch.len().min(snap.clusters.len()) {
+            let Some(mut w) = self.dvfs_watch[ci] else {
+                continue;
+            };
+            let cl = &snap.clusters[ci];
+            if cl.off
+                || cl.effective_target == w.target
+                || w.attempts >= Self::MAX_ACTUATION_RETRIES
+            {
+                // Landed, moot (gated), or out of patience: resync with
+                // whatever the hardware actually does.
+                self.dvfs_watch[ci] = None;
+                continue;
+            }
+            w.attempts += 1;
+            plan.request_level(ClusterId(ci), VfLevel(w.target));
+            self.events.push(
+                snap.now,
+                Event::DvfsRetry {
+                    cluster: ClusterId(ci),
+                    level: VfLevel(w.target),
+                    attempt: w.attempts,
+                },
+            );
+            self.dvfs_watch[ci] = Some(w);
+        }
+    }
+
+    /// Re-issue a migration the executor never performed, with exponential
+    /// backoff (1, 2, 4 rounds). On a clean trace the task is on its
+    /// destination core by the next round's snapshot, so the watch clears
+    /// without a retry and this queues nothing.
+    fn retry_lost_migration(&mut self, snap: &SystemSnapshot, plan: &mut ActuationPlan) {
+        let Some(mut w) = self.migration_watch else {
+            return;
+        };
+        let Some(t) = snap.task(w.task) else {
+            // The mover exited (or crashed) before arriving; nothing owed.
+            self.migration_watch = None;
+            return;
+        };
+        if t.core == w.to {
+            self.migration_watch = None;
+            return;
+        }
+        if self.bid_rounds < w.next_retry {
+            return;
+        }
+        if w.attempts >= Self::MAX_ACTUATION_RETRIES {
+            self.migration_watch = None;
+            return;
+        }
+        w.attempts += 1;
+        w.next_retry = self.bid_rounds + (1 << w.attempts);
+        let target_cluster = snap.core(w.to).cluster;
+        if plan.cluster_off(snap, target_cluster) {
+            plan.power_on(target_cluster);
+        }
+        plan.migrate(w.task, w.to);
+        self.events.push(
+            snap.now,
+            Event::MigrationRetry {
+                task: w.task,
+                to: w.to,
+                attempt: w.attempts,
+            },
+        );
+        self.migration_watch = Some(w);
     }
 
     /// The paper's kernel realization of resource distribution: translate
@@ -423,6 +619,12 @@ impl PpmManager {
             if plan.core_of(snap, m.task) != m.to_core {
                 plan.migrate(m.task, m.to_core);
                 self.moves.push((snap.now, m));
+                self.migration_watch = Some(MigrationWatch {
+                    task: m.task,
+                    to: m.to_core,
+                    attempts: 0,
+                    next_retry: self.bid_rounds + 1,
+                });
                 self.events.push(
                     snap.now,
                     Event::Migration {
@@ -466,11 +668,20 @@ impl PowerManager for PpmManager {
             return;
         }
         self.next_round = snap.now + self.config.bid_period;
+        self.bid_rounds += 1;
+        if self.dvfs_watch.len() != snap.clusters.len() {
+            self.dvfs_watch.resize(snap.clusters.len(), None);
+        }
 
         if self.config.online_estimation {
             self.observe_costs(snap);
         }
         self.observe_into(snap);
+        // Graceful degradation: chase actuations the hardware lost before
+        // queueing this round's fresh decisions (plan order means a fresh
+        // request for the same knob wins).
+        self.retry_lost_dvfs(snap, plan);
+        self.retry_lost_migration(snap, plan);
         // Task churn: retire the market agents of departed tasks (their
         // savings leave the economy with them) and log admissions. The
         // sorted merge-diff replaces HashSet differences, so churn events
@@ -560,6 +771,99 @@ impl PowerManager for PpmManager {
             self.run_lbt(snap, plan, migrate);
         }
         self.manage_gating(snap, plan);
+    }
+
+    /// Money conservation (§3.2): re-derive every agent's balance-sheet
+    /// update from the round records and flag any divergence. The checks
+    /// recompute the market's own formulas on the market's own inputs, so
+    /// on a correct implementation they hold bit-exactly.
+    fn audit(&mut self, _snap: &SystemSnapshot, auditor: &mut Auditor) {
+        let round = self.market.rounds();
+        if round == self.audited_round {
+            return; // no new round this quantum
+        }
+        self.audited_round = round;
+        // Split borrows: the decision is read while the audit state is
+        // rebuilt.
+        let Self {
+            config,
+            last_decision,
+            audit_savings,
+            audit_prev_allowance,
+            ..
+        } = self;
+        let Some(d) = last_decision.as_ref() else {
+            return;
+        };
+        const EPS: f64 = 1e-9;
+        let min_bid = config.min_bid.value();
+        let cap_factor = config.savings_cap_factor;
+        // Allowance bounds: clamp(A + Δ) ∈ [min_bid · participants, ·1e12].
+        let floor = min_bid * d.tasks.len().max(1) as f64;
+        let a_next = d.allowance.value();
+        if a_next < floor - EPS || a_next > floor * 1e12 * (1.0 + 1e-9) + EPS {
+            auditor.report(
+                "money-allowance-bounds",
+                format!("allowance {a_next} outside [{floor}, {floor}e12]"),
+            );
+        }
+        // Distribution: Σ a_t over participants never exceeds the allowance
+        // announced by the previous round.
+        if let Some(prev_a) = *audit_prev_allowance {
+            let distributed: f64 = d.tasks.iter().map(|t| t.allowance.value()).sum();
+            if distributed > prev_a.value() * (1.0 + 1e-9) + EPS {
+                auditor.report(
+                    "money-overdistributed",
+                    format!(
+                        "Σ task allowances {distributed} > allowance {}",
+                        prev_a.value()
+                    ),
+                );
+            }
+        }
+        for t in &d.tasks {
+            let a = t.allowance.value();
+            let b = t.bid.value();
+            let m = t.savings.value();
+            // Bid floor: every bidding path clamps at min_bid (a frozen bid
+            // replays an older — also clamped — bid).
+            if b < min_bid - EPS {
+                auditor.report(
+                    "money-bid-floor",
+                    format!("task {}: bid {b} < min bid {min_bid}", t.id.0),
+                );
+            }
+            // Savings band: m' ∈ [0, cap_factor · a].
+            if m < -EPS || m > a * cap_factor + EPS {
+                auditor.report(
+                    "money-savings-cap",
+                    format!(
+                        "task {}: savings {m} outside [0, {}]",
+                        t.id.0,
+                        a * cap_factor
+                    ),
+                );
+            }
+            // Conservation: m' must equal clamp(m + a − b, 0, cap_factor·a)
+            // computed from the balance we recorded last round. The inputs
+            // are the market's own f64s, so the recomputation is bit-exact.
+            if let Ok(i) = audit_savings.binary_search_by_key(&t.id, |&(id, _)| id) {
+                let prev = audit_savings[i].1.value();
+                let expect = (prev + a - b).clamp(0.0, a * cap_factor);
+                if (m - expect).abs() > EPS {
+                    auditor.report(
+                        "money-conservation",
+                        format!(
+                            "task {}: savings {m}, expected clamp({prev} + {a} - {b}) = {expect}",
+                            t.id.0
+                        ),
+                    );
+                }
+            }
+        }
+        audit_savings.clear();
+        audit_savings.extend(d.tasks.iter().map(|t| (t.id, t.savings)));
+        *audit_prev_allowance = Some(d.allowance);
     }
 }
 

@@ -33,6 +33,7 @@
 pub mod chip;
 pub mod cluster;
 pub mod core;
+pub mod faults;
 pub mod migration;
 pub mod power;
 pub mod thermal;
@@ -42,6 +43,7 @@ pub mod vf;
 pub use crate::chip::{Chip, ChipBuilder};
 pub use crate::cluster::{Cluster, ClusterId, ClusterPowerState};
 pub use crate::core::{CoreClass, CoreDescriptor, CoreId};
+pub use crate::faults::{ActuationOutcome, FaultConfig, FaultPlan, FaultStats};
 pub use crate::migration::MigrationModel;
 pub use crate::power::{EnergyMeter, PowerModel};
 pub use crate::thermal::{Celsius, ThermalModel, ThermalParams};

@@ -10,6 +10,8 @@
 //!   --no-lbt                 disable load balancing / migration (PPM only)
 //!   --online                 online demand estimation (PPM only)
 //!   --trace SECS             print a CSV sample every SECS
+//!   --faults SEED            inject deterministic sensor/actuator faults
+//!   --audit                  run the every-quantum invariant auditor
 //! ```
 
 use std::process::exit;
@@ -20,6 +22,7 @@ use ppm::core::config::PpmConfig;
 use ppm::core::manager::{place_on_little, PpmManager};
 use ppm::platform::chip::Chip;
 use ppm::platform::core::CoreId;
+use ppm::platform::faults::{FaultConfig, FaultPlan};
 use ppm::platform::thermal::ThermalModel;
 use ppm::platform::units::ProcessingUnits;
 use ppm::platform::units::{SimDuration, Watts};
@@ -40,6 +43,11 @@ struct Args {
     no_lbt: bool,
     online: bool,
     trace: Option<u64>,
+    /// Fault-injection seed (`--faults`): perturb sensors and actuators
+    /// deterministically from this seed.
+    faults: Option<u64>,
+    /// Run the every-quantum invariant auditor and print its report.
+    audit: bool,
     /// Custom task specs (`--task`), replacing the workload set when given.
     tasks: Vec<String>,
 }
@@ -55,6 +63,8 @@ impl Args {
             no_lbt: false,
             online: false,
             trace: None,
+            faults: None,
+            audit: false,
             tasks: Vec::new(),
         };
         let mut it = std::env::args().skip(1);
@@ -75,6 +85,14 @@ impl Args {
                 "--task" => args.tasks.push(value("--task")?),
                 "--no-lbt" => args.no_lbt = true,
                 "--online" => args.online = true,
+                "--faults" => {
+                    args.faults = Some(
+                        value("--faults")?
+                            .parse()
+                            .map_err(|e| format!("--faults: {e}"))?,
+                    )
+                }
+                "--audit" => args.audit = true,
                 "--trace" => {
                     args.trace = Some(
                         value("--trace")?
@@ -102,6 +120,11 @@ const HELP: &str = "ppm-sim — simulate a power manager on a big.LITTLE chip
   --no-lbt                 disable load balancing / migration (PPM only)
   --online                 online demand estimation (PPM only)
   --trace SECS             print a CSV sample every SECS
+  --faults SEED            inject deterministic sensor/actuator faults
+                           (noisy/stale/dropped power readings, lost DVFS
+                           and migrations) seeded by SEED
+  --audit                  run the every-quantum invariant auditor and
+                           print its report (exit 1 on violations)
   --task SPEC              custom task instead of the workload set; repeatable.
                            SPEC: hr=30,demand=500[,speedup=1.8][,prio=1]
                                  [,trace=0:1;30:1.5]  (trace uses ; separators)";
@@ -182,8 +205,14 @@ fn build_system(args: &Args, policy: AllocationPolicy) -> Result<System, String>
     Ok(sys)
 }
 
-fn simulate<M: PowerManager>(args: &Args, sys: System, mgr: M) {
+fn simulate<M: PowerManager>(args: &Args, sys: System, mgr: M) -> bool {
     let mut sim = Simulation::new(sys, mgr).with_warmup(SimDuration::from_secs(2));
+    if let Some(seed) = args.faults {
+        sim = sim.with_faults(FaultPlan::new(FaultConfig::with_seed(seed)));
+    }
+    if args.audit {
+        sim = sim.with_auditor();
+    }
     if let Some(every) = args.trace {
         println!("time_s,power_w,hottest_c,task_hr_normalized...");
         let mut elapsed = 0;
@@ -236,6 +265,23 @@ fn simulate<M: PowerManager>(args: &Args, sys: System, mgr: M) {
         m.migrations_intra, m.migrations_inter
     );
     println!("V-F transitions   : {}", m.vf_transitions);
+    if let Some(f) = sim.faults() {
+        let s = f.stats();
+        println!(
+            "faults injected   : {} total ({} sensor, {} DVFS, {} migration, {} crash)",
+            s.total(),
+            s.dropped_readings + s.stale_readings + s.thermal_spikes,
+            s.dvfs_failed + s.dvfs_deferred,
+            s.migrations_failed,
+            s.task_crashes,
+        );
+    }
+    let mut clean = true;
+    if let Some(a) = sim.auditor() {
+        println!("\n# audit\n{}", a.render());
+        clean = a.violations().is_empty();
+    }
+    clean
 }
 
 fn main() {
@@ -246,8 +292,8 @@ fn main() {
             exit(2);
         }
     };
-    let result: Result<(), String> = (|| {
-        match args.scheme.as_str() {
+    let result: Result<bool, String> = (|| {
+        Ok(match args.scheme.as_str() {
             "ppm" => {
                 let mut config = match args.tdp {
                     Some(w) => PpmConfig::tc2_with_tdp(Watts(w)),
@@ -260,7 +306,7 @@ fn main() {
                     config = config.with_online_estimation();
                 }
                 let sys = build_system(&args, AllocationPolicy::Market)?;
-                simulate(&args, sys, PpmManager::new(config));
+                simulate(&args, sys, PpmManager::new(config))
             }
             "hpm" => {
                 let mut config = HpmConfig::new();
@@ -268,7 +314,7 @@ fn main() {
                     config = config.with_tdp(Watts(w));
                 }
                 let sys = build_system(&args, AllocationPolicy::Market)?;
-                simulate(&args, sys, HpmManager::new(config));
+                simulate(&args, sys, HpmManager::new(config))
             }
             "hl" => {
                 let mut config = HlConfig::new();
@@ -276,14 +322,18 @@ fn main() {
                     config = config.with_tdp(Watts(w));
                 }
                 let sys = build_system(&args, AllocationPolicy::FairWeights)?;
-                simulate(&args, sys, HlManager::new(config));
+                simulate(&args, sys, HlManager::new(config))
             }
             other => return Err(format!("unknown scheme `{other}`")),
-        }
-        Ok(())
+        })
     })();
-    if let Err(e) = result {
-        eprintln!("error: {e}");
-        exit(2);
+    match result {
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(2);
+        }
+        // `--audit` turns invariant violations into a failing exit code.
+        Ok(false) => exit(1),
+        Ok(true) => {}
     }
 }

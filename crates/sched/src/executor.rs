@@ -10,12 +10,14 @@
 use ppm_platform::chip::Chip;
 use ppm_platform::cluster::ClusterId;
 use ppm_platform::core::CoreId;
+use ppm_platform::faults::{ActuationOutcome, FaultPlan};
 use ppm_platform::thermal::{Celsius, ThermalModel};
 use ppm_platform::units::{ProcessingUnits, SimDuration, SimTime, Watts};
 use ppm_platform::vf::VfLevel;
 use ppm_workload::task::{Task, TaskId};
 
 use crate::affinity::CpuMask;
+use crate::audit::Auditor;
 use crate::metrics::{RunMetrics, TraceSample};
 use crate::nice::Nice;
 use crate::pelt::PeltTracker;
@@ -163,6 +165,11 @@ impl System {
     /// Temperature of `cluster`, if a thermal model is attached.
     pub fn cluster_temperature(&self, cluster: ClusterId) -> Option<Celsius> {
         self.thermal.as_ref().map(|t| t.temperature(cluster))
+    }
+
+    /// The TDP used for violation accounting, when set.
+    pub fn tdp(&self) -> Option<Watts> {
+        self.tdp
     }
 
     /// Record TDP violations against `tdp` in the metrics.
@@ -678,6 +685,12 @@ pub trait PowerManager {
     /// your own queued-but-unapplied decisions (e.g. a share set earlier in
     /// this same invocation), use the plan's overlay queries.
     fn plan(&mut self, snap: &SystemSnapshot, dt: SimDuration, plan: &mut ActuationPlan);
+
+    /// Check policy-internal invariants (e.g. the market's money
+    /// conservation) after a quantum, reporting breaches via
+    /// [`Auditor::report`]. Called only when an auditor is attached; the
+    /// default does nothing.
+    fn audit(&mut self, _snap: &SystemSnapshot, _auditor: &mut Auditor) {}
 }
 
 /// A no-op manager: fixed mapping, fixed (initial) frequencies, fair
@@ -709,6 +722,12 @@ pub struct Simulation<M> {
     plan: ActuationPlan,
     /// Optional actuation tape (see [`Simulation::with_tape`]).
     tape: Option<Tape>,
+    /// Optional fault injection (see [`Simulation::with_faults`]).
+    faults: Option<FaultPlan>,
+    /// Reused buffer for the post-fault subset of the plan.
+    faulted: ActuationPlan,
+    /// Optional invariant auditor (see [`Simulation::with_auditor`]).
+    auditor: Option<Auditor>,
 }
 
 impl<M: PowerManager> Simulation<M> {
@@ -729,6 +748,9 @@ impl<M: PowerManager> Simulation<M> {
             snap: SystemSnapshot::new(),
             plan: ActuationPlan::new(),
             tape: None,
+            faults: None,
+            faulted: ActuationPlan::new(),
+            auditor: None,
         }
     }
 
@@ -764,9 +786,37 @@ impl<M: PowerManager> Simulation<M> {
         self
     }
 
+    /// Inject deterministic faults: observation faults perturb the snapshot
+    /// the manager sees (the platform's true state is untouched), actuation
+    /// faults drop or delay DVFS/migration commands between the tape and
+    /// the hardware, and the plan may crash tasks mid-run. The tape keeps
+    /// recording the manager's *intent*, so faulted runs stay replayable.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Simulation<M> {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Audit system invariants after every quantum (see [`Auditor`]).
+    /// Violations accumulate in [`Simulation::auditor`]; nothing panics
+    /// mid-run.
+    pub fn with_auditor(mut self) -> Simulation<M> {
+        self.auditor = Some(Auditor::new());
+        self
+    }
+
     /// The actuation tape recorded so far, when enabled.
     pub fn tape(&self) -> Option<&Tape> {
         self.tape.as_ref()
+    }
+
+    /// The fault plan, when fault injection is enabled (for its stats).
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// The auditor and everything it collected, when enabled.
+    pub fn auditor(&self) -> Option<&Auditor> {
+        self.auditor.as_ref()
     }
 
     /// The system under simulation.
@@ -798,18 +848,83 @@ impl<M: PowerManager> Simulation<M> {
         let end = self.system.now() + duration;
         while self.system.now() < end {
             let dt = self.quantum.min(end.since(self.system.now()));
-            // Snapshot in, plan out, apply in one place.
-            self.snap.capture(&self.system);
-            self.plan.clear();
-            self.manager.plan(&self.snap, dt, &mut self.plan);
-            if let Some(tape) = &mut self.tape {
-                if !self.plan.is_empty() {
-                    tape.record(self.snap.now, self.snap.digest(), self.plan.ops());
+            // Injected task crashes land before capture: the manager first
+            // sees a world without the victim, exactly like a real exit.
+            if let Some(f) = &mut self.faults {
+                if let Some(victim) = f.task_crash(self.system.task_count()) {
+                    let id = self.system.task_iter().nth(victim);
+                    if let Some(id) = id {
+                        self.system.remove_task(id);
+                    }
                 }
             }
-            self.system.apply_plan(&self.plan);
+            // Snapshot in, plan out, apply in one place.
+            self.snap.capture(&self.system);
+            if let Some(f) = &mut self.faults {
+                // Observation faults: perturb only what the manager sees.
+                self.snap.chip_power = f.perturb_power(0, self.snap.chip_power);
+                for ci in 0..self.snap.clusters.len() {
+                    let p = self.snap.clusters[ci].power;
+                    self.snap.clusters[ci].power = f.perturb_power(1 + ci, p);
+                }
+                if let Some(h) = self.snap.hottest {
+                    self.snap.hottest = Some(f.perturb_temperature(h));
+                }
+            }
+            self.plan.clear();
+            self.manager.plan(&self.snap, dt, &mut self.plan);
+            let need_digest =
+                self.auditor.is_some() || (self.tape.is_some() && !self.plan.is_empty());
+            let digest = if need_digest { self.snap.digest() } else { 0 };
+            if let Some(tape) = &mut self.tape {
+                if !self.plan.is_empty() {
+                    tape.record(self.snap.now, digest, self.plan.ops());
+                }
+            }
+            if let Some(f) = &mut self.faults {
+                // Deferred DVFS requests that are due land first, then the
+                // fresh plan runs the actuation-fault gauntlet. The tape
+                // above recorded the manager's intent; the hardware gets
+                // whatever survives.
+                while let Some((cluster, level)) = f.pop_due_dvfs(self.system.now()) {
+                    self.system.request_level(cluster, level);
+                }
+                self.faulted.clear();
+                for &op in self.plan.ops() {
+                    match op {
+                        Action::RequestLevel(cluster, level) => match f.dvfs_outcome() {
+                            ActuationOutcome::Apply => self.faulted.push(op),
+                            ActuationOutcome::Fail => {}
+                            ActuationOutcome::Defer(quanta) => {
+                                let delay =
+                                    SimDuration(self.quantum.0.saturating_mul(u64::from(quanta)));
+                                f.defer_dvfs(self.system.now() + delay, cluster, level);
+                            }
+                        },
+                        Action::Migrate(..) => {
+                            if f.migration_applies() {
+                                self.faulted.push(op);
+                            }
+                        }
+                        _ => self.faulted.push(op),
+                    }
+                }
+                self.system.apply_plan(&self.faulted);
+            } else {
+                self.system.apply_plan(&self.plan);
+            }
             let record = self.system.now().as_micros() >= self.warmup.as_micros();
             self.system.step(dt, record);
+            if let Some(aud) = &mut self.auditor {
+                aud.begin_quantum(self.snap.now, digest);
+                aud.check_system(&self.system);
+                if let Some(tape) = &self.tape {
+                    if !self.plan.is_empty() {
+                        aud.check_tape(tape);
+                    }
+                }
+                self.manager.audit(&self.snap, aud);
+            }
             if let Some(p) = self.trace_period {
                 if self.system.now() >= self.next_trace {
                     self.system.sample_trace();

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod affinity;
+pub mod audit;
 pub mod executor;
 pub mod governor;
 pub mod metrics;
@@ -39,6 +40,7 @@ pub mod runqueue;
 pub mod snapshot;
 
 pub use crate::affinity::CpuMask;
+pub use crate::audit::{Auditor, Violation};
 pub use crate::executor::{AllocationPolicy, NullManager, PowerManager, Simulation, System};
 pub use crate::governor::{Conservative, FrequencyGovernor, Ondemand, Performance, Powersave};
 pub use crate::metrics::{RunMetrics, TaskMetrics, TraceSample};

@@ -20,6 +20,11 @@ cargo test -q
 echo ">>> cargo test -q --release"
 cargo test -q --release
 
+echo ">>> fault sweep (pinned seed 165: auditor must stay clean)"
+PPM_FAULT_SEED=165 cargo test -q --release --test fault_injection
+cargo run --release --quiet -p ppm --bin ppm-sim -- \
+  --scheme ppm --workload l1 --duration 20 --faults 165 --audit > /dev/null
+
 echo ">>> bench_sweep --check (parallel sweep == serial, bit-for-bit)"
 cargo run --release --quiet -p ppm-bench --bin bench_sweep -- --check
 

@@ -179,6 +179,70 @@ fn e2e_tape(scheme: ppm_bench::Scheme) -> (String, String) {
     (format!("{summary:?}"), tape)
 }
 
+/// A fully hardened run — faults injected from a pinned seed, auditor on,
+/// tape on — reduced to bytes: summary, tape, auditor report, and the
+/// fault counters.
+fn faulted_tape(scheme: ppm_bench::Scheme, seed: u64) -> (String, String, String, String) {
+    let set = set_by_name("m2").expect("m2");
+    let run = ppm_bench::run_workload_hardened(
+        &set,
+        scheme,
+        None,
+        SimDuration::from_secs(10),
+        ppm_bench::Harness {
+            faults: Some(ppm::platform::faults::FaultConfig::with_seed(seed)),
+            audit: true,
+            tape: true,
+        },
+    );
+    (
+        format!("{:?}", run.summary),
+        run.tape,
+        run.audit_report,
+        format!("{:?}", run.fault_stats),
+    )
+}
+
+#[test]
+fn faulted_runs_are_identical_across_threads() {
+    // The fault plan is itself a seeded stream: the same seed must perturb
+    // the same readings and fail the same actuations on every thread, so
+    // the tape, the auditor's report, and the fault counters all reduce to
+    // the same bytes. This is what makes a fault-seed failure replayable.
+    for scheme in ppm_bench::Scheme::ALL {
+        let reference = faulted_tape(scheme, 0xA5);
+        let handles: Vec<_> = (0..2)
+            .map(|_| std::thread::spawn(move || faulted_tape(scheme, 0xA5)))
+            .collect();
+        for h in handles {
+            let got = h.join().expect("faulted thread");
+            assert_eq!(reference.0, got.0, "{} summary diverged", scheme.name());
+            assert_eq!(reference.1, got.1, "{} tape diverged", scheme.name());
+            assert_eq!(
+                reference.2,
+                got.2,
+                "{} audit report diverged",
+                scheme.name()
+            );
+            assert_eq!(reference.3, got.3, "{} fault stats diverged", scheme.name());
+        }
+        assert!(
+            !reference.1.is_empty(),
+            "{} recorded nothing",
+            scheme.name()
+        );
+        // And a different seed must actually change the run, or the plan
+        // is not really wired into the pipeline.
+        let other = faulted_tape(scheme, 0xB7);
+        assert_ne!(
+            reference.1,
+            other.1,
+            "{} ignores the fault seed",
+            scheme.name()
+        );
+    }
+}
+
 #[test]
 fn e2e_actuation_tapes_are_identical_across_threads() {
     // Spawned threads get fresh hasher seeds (`RandomState` is per thread);
