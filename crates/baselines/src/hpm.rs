@@ -25,6 +25,7 @@ use ppm_platform::core::{CoreClass, CoreId};
 use ppm_platform::units::{ProcessingUnits, SimDuration, SimTime, Watts};
 use ppm_platform::vf::VfLevel;
 use ppm_sched::executor::{AllocationPolicy, PowerManager, System};
+use ppm_sched::metrics::Degradation;
 use ppm_sched::plan::ActuationPlan;
 use ppm_sched::snapshot::SystemSnapshot;
 use ppm_workload::task::TaskId;
@@ -91,6 +92,8 @@ pub struct HpmManager {
     /// Last chip-power reading that looked sane, for the dropped-sensor
     /// fallback in the power loop.
     last_good_power: Option<(SimTime, Watts)>,
+    /// Graceful-degradation counters (sensor fallbacks taken).
+    degradation: Degradation,
 }
 
 impl HpmManager {
@@ -113,6 +116,7 @@ impl HpmManager {
             next_lbt: SimTime::ZERO,
             migrated_at: Vec::new(),
             last_good_power: None,
+            degradation: Degradation::default(),
         }
     }
 
@@ -136,6 +140,7 @@ impl HpmManager {
                         .saturating_mul(Self::POWER_STALENESS_PERIODS),
                 );
                 if snap.now.since(at) <= staleness {
+                    self.degradation.sensor_fallbacks += 1;
                     return good;
                 }
             }
@@ -375,6 +380,10 @@ impl HpmManager {
 impl PowerManager for HpmManager {
     fn name(&self) -> &'static str {
         "HPM"
+    }
+
+    fn degradation(&self) -> Degradation {
+        self.degradation
     }
 
     fn init(&mut self, sys: &mut System) {

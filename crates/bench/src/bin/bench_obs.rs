@@ -1,0 +1,96 @@
+//! Recorder overhead: wall-clock ns per simulated quantum with telemetry
+//! off, on, and on + phase profiling, over a PPM run of the m1 workload.
+//! Writes a JSON record (`BENCH_obs.json`) so the zero-overhead-off claim
+//! has a measured trajectory to compare against.
+//!
+//! Run with `cargo run --release -p ppm-bench --bin bench_obs [out.json]`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ppm_bench::{run_workload_hardened, Harness, Scheme};
+use ppm_platform::units::SimDuration;
+use ppm_workload::sets::set_by_name;
+
+/// Simulated length of each measured run.
+const DURATION: SimDuration = SimDuration(20_000_000);
+/// Repetitions per mode; the minimum is reported (least-noise estimate).
+const REPS: usize = 3;
+
+struct Mode {
+    name: &'static str,
+    harness: fn() -> Harness,
+}
+
+const MODES: [Mode; 3] = [
+    Mode {
+        name: "off",
+        harness: Harness::default,
+    },
+    Mode {
+        name: "telemetry",
+        harness: || Harness {
+            telemetry: true,
+            ..Harness::default()
+        },
+    },
+    Mode {
+        name: "telemetry+profile",
+        harness: || Harness {
+            telemetry: true,
+            profile: true,
+            ..Harness::default()
+        },
+    },
+];
+
+fn bench_mode(make: fn() -> Harness) -> f64 {
+    let set = set_by_name("m1").expect("m1 exists");
+    let quanta = (DURATION.0 / 1000) as f64;
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let run = run_workload_hardened(&set, Scheme::Ppm, None, DURATION, make());
+        let ns = start.elapsed().as_secs_f64() * 1e9 / quanta;
+        assert!(run.summary.avg_power.value() > 0.0);
+        best = best.min(ns);
+    }
+    best
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_obs.json".to_string());
+    println!("{:<20} {:>14}", "mode", "ns/quantum");
+    let mut rows = Vec::new();
+    for mode in &MODES {
+        let ns = bench_mode(mode.harness);
+        println!("{:<20} {:>14.0}", mode.name, ns);
+        rows.push((mode.name, ns));
+    }
+    let off = rows[0].1;
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"telemetry_overhead\",\n  \"unit\": \"ns_per_quantum\",\n");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"m1\", \"scheme\": \"ppm\", \"sim_secs\": {}, \"reps\": {REPS},",
+        DURATION.as_secs_f64()
+    );
+    json.push_str("  \"modes\": [\n");
+    for (i, (name, ns)) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"mode\": \"{name}\", \"ns_per_quantum\": {ns:.0}, \"overhead_vs_off\": {:.3}}}{}",
+            ns / off,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

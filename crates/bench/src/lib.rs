@@ -138,6 +138,11 @@ pub struct Harness {
     pub audit: bool,
     /// Record the actuation tape.
     pub tape: bool,
+    /// Attach the per-quantum time-series [`Telemetry`](ppm_obs::Telemetry)
+    /// recorder (capacity sized to the run duration, so nothing wraps).
+    pub telemetry: bool,
+    /// Also profile manager phases (implies `telemetry`).
+    pub profile: bool,
 }
 
 impl Harness {
@@ -146,7 +151,7 @@ impl Harness {
         Harness {
             faults: Some(FaultConfig::with_seed(seed)),
             audit: true,
-            tape: false,
+            ..Harness::default()
         }
     }
 }
@@ -165,6 +170,9 @@ pub struct HardenedRun {
     pub audit_report: String,
     /// Fault counters (zeroes unless [`Harness::faults`]).
     pub fault_stats: FaultStats,
+    /// Recorded telemetry (present iff [`Harness::telemetry`] or
+    /// [`Harness::profile`]).
+    pub telemetry: Option<ppm_obs::Telemetry>,
 }
 
 /// Execute `set` under `scheme` with the given [`Harness`] attachments.
@@ -192,7 +200,7 @@ pub fn run_workload_hardened(
         sys.set_tdp_accounting(t);
     }
 
-    let (metrics, tape, violations, audit_report, fault_stats) = match scheme {
+    let (metrics, tape, violations, audit_report, fault_stats, telemetry) = match scheme {
         Scheme::Ppm => {
             let config = match tdp {
                 Some(t) => PpmConfig::tc2_with_tdp(t),
@@ -236,7 +244,15 @@ pub fn run_workload_hardened(
         violations,
         audit_report,
         fault_stats,
+        telemetry,
     }
+}
+
+/// Telemetry capacity covering every quantum of a `duration` run (plus a
+/// little slack), so the ring never wraps within the harness.
+fn telemetry_capacity(duration: SimDuration) -> usize {
+    let quanta = duration.0 / Simulation::<NullManager>::DEFAULT_QUANTUM.0;
+    quanta as usize + 8
 }
 
 #[allow(clippy::type_complexity)]
@@ -245,7 +261,14 @@ fn run<M: PowerManager>(
     manager: M,
     duration: SimDuration,
     harness: &Harness,
-) -> (RunMetrics, String, Vec<Violation>, String, FaultStats) {
+) -> (
+    RunMetrics,
+    String,
+    Vec<Violation>,
+    String,
+    FaultStats,
+    Option<ppm_obs::Telemetry>,
+) {
     let mut sim = Simulation::new(sys, manager).with_warmup(DEFAULT_WARMUP);
     if harness.tape {
         sim = sim.with_tape();
@@ -255,6 +278,13 @@ fn run<M: PowerManager>(
     }
     if let Some(fc) = harness.faults.clone() {
         sim = sim.with_faults(FaultPlan::new(fc));
+    }
+    if harness.telemetry || harness.profile {
+        let mut tel = ppm_obs::Telemetry::new(telemetry_capacity(duration));
+        if harness.profile {
+            tel = tel.with_profiling();
+        }
+        sim = sim.with_telemetry(tel);
     }
     sim.run_for(duration);
     let tape = sim
@@ -266,12 +296,14 @@ fn run<M: PowerManager>(
         .map(|a| (a.violations().to_vec(), a.render()))
         .unwrap_or_default();
     let fault_stats = sim.faults().map(|f| f.stats()).unwrap_or_default();
+    let telemetry = sim.take_telemetry();
     (
         sim.into_system().into_metrics(),
         tape,
         violations,
         audit_report,
         fault_stats,
+        telemetry,
     )
 }
 

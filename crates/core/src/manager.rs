@@ -10,6 +10,9 @@
 //! load balancing every 3 bid rounds, migration every 2 load-balance
 //! invocations; both disabled in the emergency state).
 
+use std::time::Instant;
+
+use ppm_obs::{Phase, PhaseProfiler, PolicySample};
 use ppm_platform::cluster::ClusterId;
 use ppm_platform::core::CoreId;
 use ppm_platform::thermal::Celsius;
@@ -17,6 +20,7 @@ use ppm_platform::units::{Money, Price, ProcessingUnits, SimDuration, SimTime, W
 use ppm_platform::vf::VfLevel;
 use ppm_sched::audit::Auditor;
 use ppm_sched::executor::{AllocationPolicy, PowerManager, System};
+use ppm_sched::metrics::Degradation;
 use ppm_sched::nice::Nice;
 use ppm_sched::plan::ActuationPlan;
 use ppm_sched::snapshot::{SystemSnapshot, TaskSnap};
@@ -104,6 +108,10 @@ pub struct PpmManager {
     audit_prev_allowance: Option<Money>,
     /// Last market round the auditor has seen.
     audited_round: u64,
+    /// Live graceful-degradation counters, incremented exactly where the
+    /// corresponding [`Event`]s are pushed (so telemetry and hardened-run
+    /// totals never replay the event stream).
+    degradation: Degradation,
 }
 
 impl PpmManager {
@@ -139,6 +147,7 @@ impl PpmManager {
             audit_savings: Vec::new(),
             audit_prev_allowance: None,
             audited_round: 0,
+            degradation: Degradation::default(),
         }
     }
 
@@ -212,6 +221,7 @@ impl PpmManager {
             if let Some((at, w)) = self.last_good_power {
                 let bound = SimDuration(self.config.bid_period.0 * Self::POWER_STALENESS_ROUNDS);
                 if snap.now.since(at) <= bound {
+                    self.degradation.sensor_fallbacks += 1;
                     self.events.push(
                         snap.now,
                         Event::SensorFallback {
@@ -341,6 +351,7 @@ impl PpmManager {
             }
             w.attempts += 1;
             plan.request_level(ClusterId(ci), VfLevel(w.target));
+            self.degradation.dvfs_retries += 1;
             self.events.push(
                 snap.now,
                 Event::DvfsRetry {
@@ -384,6 +395,7 @@ impl PpmManager {
             plan.power_on(target_cluster);
         }
         plan.migrate(w.task, w.to);
+        self.degradation.migration_retries += 1;
         self.events.push(
             snap.now,
             Event::MigrationRetry {
@@ -664,6 +676,59 @@ impl PowerManager for PpmManager {
     }
 
     fn plan(&mut self, snap: &SystemSnapshot, _dt: SimDuration, plan: &mut ActuationPlan) {
+        self.plan_inner(snap, plan, None);
+    }
+
+    fn plan_profiled(
+        &mut self,
+        snap: &SystemSnapshot,
+        _dt: SimDuration,
+        plan: &mut ActuationPlan,
+        prof: &mut PhaseProfiler,
+    ) {
+        self.plan_inner(snap, plan, Some(prof));
+    }
+
+    fn sample_policy(&self, out: &mut PolicySample) {
+        out.reset(self.obs_buf.cores.len());
+        if let Some(a) = self.market.allowance() {
+            out.allowance = a.value();
+            // Money supply = allowance in circulation + every live agent's
+            // savings (exiting tasks take their savings with them).
+            let savings: f64 = self
+                .known_tasks
+                .iter()
+                .map(|&t| self.market.savings_of(t).value())
+                .sum();
+            out.money_supply = a.value() + savings;
+        }
+        if let Some(d) = &self.last_decision {
+            for &(core, price) in &d.prices {
+                out.set_core_price(core.0, price.value());
+            }
+        }
+    }
+
+    fn degradation(&self) -> Degradation {
+        self.degradation
+    }
+
+    fn audit(&mut self, _snap: &SystemSnapshot, auditor: &mut Auditor) {
+        self.audit_impl(auditor);
+    }
+}
+
+impl PpmManager {
+    /// The body behind [`PowerManager::plan`] / `plan_profiled`: one
+    /// bidding round on cadence, optionally timing the market's bid /
+    /// price-discovery / DVFS sections and the LBT module. Timing never
+    /// feeds back into any decision.
+    fn plan_inner(
+        &mut self,
+        snap: &SystemSnapshot,
+        plan: &mut ActuationPlan,
+        mut prof: Option<&mut PhaseProfiler>,
+    ) {
         if snap.now < self.next_round {
             return;
         }
@@ -726,7 +791,12 @@ impl PowerManager for PpmManager {
         std::mem::swap(&mut self.known_tasks, &mut self.current_tasks);
         // Run the round into the recycled decision buffer.
         let mut decision = self.last_decision.take().unwrap_or_default();
-        self.market.round_into(&self.obs_buf, &mut decision);
+        match prof.as_deref_mut() {
+            Some(p) => self
+                .market
+                .round_into_profiled(&self.obs_buf, &mut decision, p),
+            None => self.market.round_into(&self.obs_buf, &mut decision),
+        }
         self.events.push(
             now,
             Event::Round {
@@ -737,6 +807,7 @@ impl PowerManager for PpmManager {
             },
         );
         for &(task, core) in &decision.orphans {
+            self.degradation.tasks_orphaned += 1;
             self.events.push(now, Event::TaskOrphaned { task, core });
         }
         if decision.state != self.last_state {
@@ -768,7 +839,11 @@ impl PowerManager for PpmManager {
             if migrate {
                 self.lbs_since_migration = 0;
             }
+            let lbt_mark = prof.as_ref().map(|_| Instant::now());
             self.run_lbt(snap, plan, migrate);
+            if let (Some(p), Some(m)) = (prof, lbt_mark) {
+                p.record(Phase::Lbt, m.elapsed().as_nanos() as u64);
+            }
         }
         self.manage_gating(snap, plan);
     }
@@ -776,8 +851,9 @@ impl PowerManager for PpmManager {
     /// Money conservation (§3.2): re-derive every agent's balance-sheet
     /// update from the round records and flag any divergence. The checks
     /// recompute the market's own formulas on the market's own inputs, so
-    /// on a correct implementation they hold bit-exactly.
-    fn audit(&mut self, _snap: &SystemSnapshot, auditor: &mut Auditor) {
+    /// on a correct implementation they hold bit-exactly. This is the body
+    /// behind [`PowerManager::audit`].
+    fn audit_impl(&mut self, auditor: &mut Auditor) {
         let round = self.market.rounds();
         if round == self.audited_round {
             return; // no new round this quantum

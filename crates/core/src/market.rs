@@ -23,7 +23,9 @@
 //! order can leak into results.
 
 use std::fmt;
+use std::time::Instant;
 
+use ppm_obs::{lap, Phase, PhaseProfiler};
 use ppm_platform::cluster::ClusterId;
 use ppm_platform::core::CoreId;
 use ppm_platform::units::{Money, Price, ProcessingUnits, Watts};
@@ -462,6 +464,34 @@ impl Market {
     /// participate this round and are reported in [`MarketDecision::orphans`]
     /// instead of panicking.
     pub fn round_into(&mut self, obs: &MarketObs, out: &mut MarketDecision) {
+        self.round_impl(obs, out, None);
+    }
+
+    /// Like [`Market::round_into`], but reporting wall-time spans for the
+    /// bid / price-discovery / DVFS sections into `prof` (as
+    /// [`Phase::MarketBid`](ppm_obs::Phase), `MarketPrice`, `MarketDvfs`).
+    /// Timing is observation-only: the decision computed is bit-identical
+    /// to [`Market::round_into`] (the golden tapes prove it).
+    pub fn round_into_profiled(
+        &mut self,
+        obs: &MarketObs,
+        out: &mut MarketDecision,
+        prof: &mut PhaseProfiler,
+    ) {
+        self.round_impl(obs, out, Some(prof));
+    }
+
+    fn round_impl(
+        &mut self,
+        obs: &MarketObs,
+        out: &mut MarketDecision,
+        mut prof: Option<&mut PhaseProfiler>,
+    ) {
+        let mut mark = if prof.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        };
         self.round += 1;
         out.reset();
 
@@ -661,6 +691,7 @@ impl Market {
             s.t_bid[ti] = bid;
             s.core_bids[cs as usize] += bid;
         }
+        lap(prof.as_deref_mut(), &mut mark, Phase::MarketBid);
 
         // --- Core agents: price discovery P_c = Σ b_t / S_c. ---
         for cs in 0..ncores {
@@ -704,6 +735,7 @@ impl Market {
         }
         out.shares.sort_unstable_by_key(|(t, _)| *t);
         out.tasks.sort_unstable_by_key(|t| t.id);
+        lap(prof.as_deref_mut(), &mut mark, Phase::MarketPrice);
 
         // --- Constrained core per cluster: highest summed demand, ties
         // broken towards the lowest core id. ---
@@ -815,6 +847,7 @@ impl Market {
         let next_allowance = (allowance + delta).clamp(floor, ceiling);
         self.allowance = Some(next_allowance);
         out.allowance = next_allowance;
+        lap(prof, &mut mark, Phase::MarketDvfs);
     }
 
     /// The chip agent's Δ policy: emergency cuts gated by the cooldown,

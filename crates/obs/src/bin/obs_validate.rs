@@ -1,0 +1,150 @@
+//! `obs_validate` — well-formedness check for exported telemetry.
+//!
+//! ```text
+//! obs_validate [TRACE.json|METRICS.csv|METRICS.jsonl|OTHER.json]...
+//! ```
+//!
+//! Each argument is validated by extension. `.json` documents parse in
+//! full; when they carry trace events (a `traceEvents` object or the bare
+//! array form) the events are checked too — complete `"X"` events need a
+//! non-negative `dur`, any `"B"`/`"E"` pairs must balance per `(pid,
+//! tid)`, and counter arguments must be finite numbers. `.jsonl` parses
+//! line-by-line; `.csv` must be rectangular with a header. CI runs this
+//! on the smoke artifacts; exit status 0 means every file passed.
+
+use std::collections::HashMap;
+use std::process::exit;
+
+use ppm_obs::json::{self, Json};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("obs_validate: {msg}");
+    exit(1);
+}
+
+fn validate_trace(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("{path}: read failed: {e}")));
+    let doc = json::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: invalid JSON: {e}")));
+    // Accept both the object form ({"traceEvents": [...]}) and the bare
+    // array form of the trace_event spec. Any other well-formed document
+    // (e.g. a BENCH_*.json record) passes as plain JSON.
+    let Some(events) = doc.get("traceEvents").unwrap_or(&doc).as_arr() else {
+        println!("ok: {path}: valid JSON (no trace events)");
+        return;
+    };
+    let mut spans = 0usize;
+    let mut counters = 0usize;
+    let mut depth: HashMap<(i64, i64), i64> = HashMap::new();
+    for (k, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail(&format!("{path}: event {k}: missing \"ph\"")));
+        let pid_tid = || {
+            let pid = e.get("pid").and_then(Json::as_num).unwrap_or(0.0) as i64;
+            let tid = e.get("tid").and_then(Json::as_num).unwrap_or(0.0) as i64;
+            (pid, tid)
+        };
+        match ph {
+            "X" => {
+                spans += 1;
+                let dur = e
+                    .get("dur")
+                    .and_then(Json::as_num)
+                    .unwrap_or_else(|| fail(&format!("{path}: event {k}: X without dur")));
+                if dur.is_nan() || dur < 0.0 {
+                    fail(&format!("{path}: event {k}: negative/NaN dur"));
+                }
+                if e.get("ts").and_then(Json::as_num).is_none() {
+                    fail(&format!("{path}: event {k}: X without numeric ts"));
+                }
+            }
+            "B" => {
+                spans += 1;
+                *depth.entry(pid_tid()).or_insert(0) += 1;
+            }
+            "E" => {
+                let d = depth.entry(pid_tid()).or_insert(0);
+                *d -= 1;
+                if *d < 0 {
+                    fail(&format!("{path}: event {k}: E without matching B"));
+                }
+            }
+            "C" => {
+                counters += 1;
+                match e.get("args") {
+                    Some(Json::Obj(args)) if !args.is_empty() => {
+                        for (name, v) in args {
+                            match v.as_num() {
+                                Some(n) if n.is_finite() => {}
+                                _ => fail(&format!(
+                                    "{path}: event {k}: counter series {name} is not a finite number"
+                                )),
+                            }
+                        }
+                    }
+                    _ => fail(&format!("{path}: event {k}: counter without args")),
+                }
+            }
+            "M" | "I" => {}
+            other => fail(&format!("{path}: event {k}: unsupported phase {other:?}")),
+        }
+    }
+    if let Some((&(pid, tid), _)) = depth.iter().find(|(_, &d)| d != 0) {
+        fail(&format!("{path}: unbalanced B/E on pid {pid} tid {tid}"));
+    }
+    println!(
+        "ok: {path}: {} events ({spans} spans, {counters} counters)",
+        events.len()
+    );
+}
+
+fn validate_jsonl(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("{path}: read failed: {e}")));
+    let mut rows = 0usize;
+    for (n, line) in text.lines().enumerate() {
+        json::parse(line)
+            .unwrap_or_else(|e| fail(&format!("{path}: line {}: invalid JSON: {e}", n + 1)));
+        rows += 1;
+    }
+    println!("ok: {path}: {rows} JSONL rows");
+}
+
+fn validate_csv(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("{path}: read failed: {e}")));
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .unwrap_or_else(|| fail(&format!("{path}: empty CSV")));
+    let cols = header.split(',').count();
+    let mut rows = 0usize;
+    for (n, line) in lines.enumerate() {
+        if line.split(',').count() != cols {
+            fail(&format!(
+                "{path}: row {}: ragged ({cols} header columns)",
+                n + 2
+            ));
+        }
+        rows += 1;
+    }
+    println!("ok: {path}: {rows} CSV rows × {cols} columns");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        fail("usage: obs_validate [TRACE.json|METRICS.csv|METRICS.jsonl]...");
+    }
+    for path in &args {
+        if path.ends_with(".jsonl") {
+            validate_jsonl(path);
+        } else if path.ends_with(".json") {
+            validate_trace(path);
+        } else {
+            validate_csv(path);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! # ppm-obs — zero-overhead observability for the PPM simulator
+//!
+//! Three pieces, all dependency-free:
+//!
+//! - [`recorder::SeriesRecorder`] — a per-quantum time-series in columnar
+//!   ring buffers: per-core price/supply, per-cluster V/f/power/
+//!   temperature, chip power vs TDP headroom, money supply and allowance,
+//!   per-task share/granted/heart-rate, and the degradation counters.
+//!   Allocation happens at construction and at entity admission only;
+//!   every steady-state row write is indexed stores.
+//! - [`profiler::PhaseProfiler`] — wall-clock spans around the stages of a
+//!   quantum (capture, plan with market bid / price / DVFS / LBT
+//!   sub-phases, apply, step, audit) aggregated into fixed-bucket log2
+//!   histograms with approximate p50/p95/p99 and exact max.
+//! - [`export`] — Chrome `trace_event` JSON (Perfetto-loadable), CSV and
+//!   JSONL time-series, and a human-readable summary table. [`json`] is
+//!   the minimal parser the validation tooling uses on those artifacts.
+//!
+//! The contract that makes this "zero-overhead": the simulator carries an
+//! `Option<Telemetry>`; when `None`, every instrumentation site is a
+//! single branch and the goldens/allocation tests prove nothing else
+//! happens. When `Some`, observation is strictly read-only — the 18
+//! golden actuation tapes are bit-identical either way.
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod json;
+pub mod profiler;
+pub mod recorder;
+
+pub use crate::export::{csv_header, summary_table, write_chrome_trace, write_csv, write_jsonl};
+pub use crate::profiler::{lap, Hist, Phase, PhaseProfiler, HIST_BUCKETS};
+pub use crate::recorder::{PolicySample, RowWriter, SeriesRecorder};
+
+/// The telemetry sink a simulation carries: the time-series recorder, the
+/// phase profiler, and the policy-sample scratch the manager fills.
+///
+/// Constructing one is the setup allocation; everything after is in-place.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    /// Per-quantum time-series (ring of the most recent `capacity` quanta).
+    pub recorder: SeriesRecorder,
+    /// Phase histograms; populated only when profiling is enabled.
+    pub profiler: PhaseProfiler,
+    /// Scratch the manager's `sample_policy` fills each recorded quantum.
+    pub policy: PolicySample,
+    profile: bool,
+}
+
+impl Telemetry {
+    /// A telemetry sink recording the most recent `capacity` quanta, with
+    /// phase profiling off.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity.
+    pub fn new(capacity: usize) -> Telemetry {
+        Telemetry {
+            recorder: SeriesRecorder::new(capacity),
+            profiler: PhaseProfiler::new(),
+            policy: PolicySample::new(),
+            profile: false,
+        }
+    }
+
+    /// Enable wall-clock phase profiling. Off by default because reading
+    /// the monotonic clock ~10× per quantum, while cheap, is not free —
+    /// and time-series recording alone never needs it.
+    pub fn with_profiling(mut self) -> Telemetry {
+        self.profile = true;
+        self
+    }
+
+    /// Whether phase profiling is enabled.
+    pub fn profiling(&self) -> bool {
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telemetry_profiling_toggle() {
+        let t = Telemetry::new(16);
+        assert!(!t.profiling());
+        assert!(t.clone().with_profiling().profiling());
+        assert_eq!(t.recorder.capacity(), 16);
+    }
+}

@@ -9,17 +9,23 @@
 //!   --tdp WATTS              enable a power cap
 //!   --no-lbt                 disable load balancing / migration (PPM only)
 //!   --online                 online demand estimation (PPM only)
-//!   --trace SECS             print a CSV sample every SECS
+//!   --sample SECS            print a CSV sample every SECS
+//!   --trace PATH             write a Chrome trace_event JSON (Perfetto)
+//!   --metrics PATH           write the per-quantum time-series (.csv/.jsonl)
+//!   --profile                profile manager phases, print the summary table
 //!   --faults SEED            inject deterministic sensor/actuator faults
 //!   --audit                  run the every-quantum invariant auditor
 //! ```
 
+use std::fs::File;
+use std::io;
 use std::process::exit;
 
 use ppm::baselines::hl::{HlConfig, HlManager};
 use ppm::baselines::hpm::{HpmConfig, HpmManager};
 use ppm::core::config::PpmConfig;
 use ppm::core::manager::{place_on_little, PpmManager};
+use ppm::obs::{summary_table, write_chrome_trace, write_csv, write_jsonl, Telemetry};
 use ppm::platform::chip::Chip;
 use ppm::platform::core::CoreId;
 use ppm::platform::faults::{FaultConfig, FaultPlan};
@@ -42,7 +48,14 @@ struct Args {
     tdp: Option<f64>,
     no_lbt: bool,
     online: bool,
-    trace: Option<u64>,
+    /// Print a CSV sample to stdout every this many simulated seconds.
+    sample: Option<u64>,
+    /// Write a Chrome `trace_event` JSON (load in Perfetto / `chrome://tracing`).
+    trace: Option<String>,
+    /// Write the per-quantum time-series (`.jsonl` → JSON lines, else CSV).
+    metrics: Option<String>,
+    /// Profile manager phases and print the percentile summary table.
+    profile: bool,
     /// Fault-injection seed (`--faults`): perturb sensors and actuators
     /// deterministically from this seed.
     faults: Option<u64>,
@@ -62,7 +75,10 @@ impl Args {
             tdp: None,
             no_lbt: false,
             online: false,
+            sample: None,
             trace: None,
+            metrics: None,
+            profile: false,
             faults: None,
             audit: false,
             tasks: Vec::new(),
@@ -93,13 +109,16 @@ impl Args {
                     )
                 }
                 "--audit" => args.audit = true,
-                "--trace" => {
-                    args.trace = Some(
-                        value("--trace")?
+                "--sample" => {
+                    args.sample = Some(
+                        value("--sample")?
                             .parse()
-                            .map_err(|e| format!("--trace: {e}"))?,
+                            .map_err(|e| format!("--sample: {e}"))?,
                     )
                 }
+                "--trace" => args.trace = Some(value("--trace")?),
+                "--metrics" => args.metrics = Some(value("--metrics")?),
+                "--profile" => args.profile = true,
                 "--help" | "-h" => {
                     println!("{}", HELP);
                     exit(0);
@@ -119,7 +138,13 @@ const HELP: &str = "ppm-sim — simulate a power manager on a big.LITTLE chip
   --tdp WATTS              enable a power cap
   --no-lbt                 disable load balancing / migration (PPM only)
   --online                 online demand estimation (PPM only)
-  --trace SECS             print a CSV sample every SECS
+  --sample SECS            print a CSV sample every SECS
+  --trace PATH             write a Chrome trace_event JSON of the run
+                           (open in Perfetto or chrome://tracing)
+  --metrics PATH           write the per-quantum time-series; `.jsonl`
+                           extension selects JSON lines, anything else CSV
+  --profile                time manager phases (bid, price discovery, DVFS,
+                           LBT, ...) and print a p50/p95/p99 summary table
   --faults SEED            inject deterministic sensor/actuator faults
                            (noisy/stale/dropped power readings, lost DVFS
                            and migrations) seeded by SEED
@@ -205,7 +230,7 @@ fn build_system(args: &Args, policy: AllocationPolicy) -> Result<System, String>
     Ok(sys)
 }
 
-fn simulate<M: PowerManager>(args: &Args, sys: System, mgr: M) -> bool {
+fn simulate<M: PowerManager>(args: &Args, sys: System, mgr: M) -> Result<bool, String> {
     let mut sim = Simulation::new(sys, mgr).with_warmup(SimDuration::from_secs(2));
     if let Some(seed) = args.faults {
         sim = sim.with_faults(FaultPlan::new(FaultConfig::with_seed(seed)));
@@ -213,7 +238,15 @@ fn simulate<M: PowerManager>(args: &Args, sys: System, mgr: M) -> bool {
     if args.audit {
         sim = sim.with_auditor();
     }
-    if let Some(every) = args.trace {
+    if args.trace.is_some() || args.metrics.is_some() || args.profile {
+        // One row per 1 ms quantum, sized so the ring never wraps.
+        let mut tel = Telemetry::new(args.duration as usize * 1000 + 8);
+        if args.profile {
+            tel = tel.with_profiling();
+        }
+        sim = sim.with_telemetry(tel);
+    }
+    if let Some(every) = args.sample {
         println!("time_s,power_w,hottest_c,task_hr_normalized...");
         let mut elapsed = 0;
         while elapsed < args.duration {
@@ -281,7 +314,39 @@ fn simulate<M: PowerManager>(args: &Args, sys: System, mgr: M) -> bool {
         println!("\n# audit\n{}", a.render());
         clean = a.violations().is_empty();
     }
-    clean
+
+    if let Some(tel) = sim.take_telemetry() {
+        if let Some(path) = &args.metrics {
+            let mut f = io::BufWriter::new(
+                File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+            );
+            if path.ends_with(".jsonl") {
+                write_jsonl(&tel.recorder, &mut f)
+            } else {
+                write_csv(&tel.recorder, &mut f)
+            }
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("metrics           : {path} ({} rows)", tel.recorder.rows());
+        }
+        if let Some(path) = &args.trace {
+            let mut f = io::BufWriter::new(
+                File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+            );
+            // Decimate counter rows so huge runs stay loadable in Perfetto;
+            // spans are never decimated.
+            let stride = (tel.recorder.rows() / 20_000).max(1);
+            write_chrome_trace(&tel.recorder, &mut f, stride)
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("chrome trace      : {path} (stride {stride})");
+        }
+        if args.profile {
+            println!(
+                "\n# manager phase profile\n{}",
+                summary_table(&tel.profiler)
+            );
+        }
+    }
+    Ok(clean)
 }
 
 fn main() {
@@ -306,7 +371,7 @@ fn main() {
                     config = config.with_online_estimation();
                 }
                 let sys = build_system(&args, AllocationPolicy::Market)?;
-                simulate(&args, sys, PpmManager::new(config))
+                simulate(&args, sys, PpmManager::new(config))?
             }
             "hpm" => {
                 let mut config = HpmConfig::new();
@@ -314,7 +379,7 @@ fn main() {
                     config = config.with_tdp(Watts(w));
                 }
                 let sys = build_system(&args, AllocationPolicy::Market)?;
-                simulate(&args, sys, HpmManager::new(config))
+                simulate(&args, sys, HpmManager::new(config))?
             }
             "hl" => {
                 let mut config = HlConfig::new();
@@ -322,7 +387,7 @@ fn main() {
                     config = config.with_tdp(Watts(w));
                 }
                 let sys = build_system(&args, AllocationPolicy::FairWeights)?;
-                simulate(&args, sys, HlManager::new(config))
+                simulate(&args, sys, HlManager::new(config))?
             }
             other => return Err(format!("unknown scheme `{other}`")),
         })

@@ -16,6 +16,8 @@
 //! * [`baselines`] — the evaluation's comparison schemes, HPM and HL.
 //! * [`predict`] — the online power-performance estimator (the paper's
 //!   stated future work, replacing off-line profiling).
+//! * [`obs`] — the zero-overhead telemetry layer: per-quantum time-series
+//!   recorder, manager phase profiler, and Chrome-trace/CSV/JSONL exporters.
 //!
 //! ## Quick start
 //!
@@ -48,6 +50,7 @@
 
 pub use ppm_baselines as baselines;
 pub use ppm_core as core;
+pub use ppm_obs as obs;
 pub use ppm_platform as platform;
 pub use ppm_predict as predict;
 pub use ppm_sched as sched;

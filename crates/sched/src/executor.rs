@@ -7,6 +7,9 @@
 //! the system and actuates its knobs (shares/nice values, DVFS requests,
 //! task migration, cluster gating).
 
+use std::time::Instant;
+
+use ppm_obs::{lap, Phase, Telemetry};
 use ppm_platform::chip::Chip;
 use ppm_platform::cluster::ClusterId;
 use ppm_platform::core::CoreId;
@@ -18,7 +21,7 @@ use ppm_workload::task::{Task, TaskId};
 
 use crate::affinity::CpuMask;
 use crate::audit::Auditor;
-use crate::metrics::{RunMetrics, TraceSample};
+use crate::metrics::{Degradation, RunMetrics, TraceSample};
 use crate::nice::Nice;
 use crate::pelt::PeltTracker;
 use crate::plan::{Action, ActuationPlan, Tape};
@@ -686,6 +689,36 @@ pub trait PowerManager {
     /// this same invocation), use the plan's overlay queries.
     fn plan(&mut self, snap: &SystemSnapshot, dt: SimDuration, plan: &mut ActuationPlan);
 
+    /// Like [`PowerManager::plan`], but with a profiler to report wall-time
+    /// sub-phase spans into ([`Phase::MarketBid`](ppm_obs::Phase),
+    /// `MarketPrice`, `MarketDvfs`, `Lbt`). Called instead of `plan` when
+    /// the simulation profiles; timing must be observation-only — the plan
+    /// produced must be byte-identical to what `plan` would produce. The
+    /// default ignores the profiler.
+    fn plan_profiled(
+        &mut self,
+        snap: &SystemSnapshot,
+        dt: SimDuration,
+        plan: &mut ActuationPlan,
+        _prof: &mut ppm_obs::PhaseProfiler,
+    ) {
+        self.plan(snap, dt, plan);
+    }
+
+    /// Report the policy-side market state (allowance, money supply,
+    /// discovered per-core prices) into a telemetry row. Called once per
+    /// quantum when telemetry is attached; managers without a market keep
+    /// the default no-op (the sample stays `NaN` and exports as empty).
+    fn sample_policy(&self, _out: &mut ppm_obs::PolicySample) {}
+
+    /// Live graceful-degradation counters (see
+    /// [`Degradation`](crate::metrics::Degradation)). The executor copies
+    /// this into [`RunMetrics::degradation`] every quantum; the default
+    /// reports zeroes.
+    fn degradation(&self) -> Degradation {
+        Degradation::default()
+    }
+
     /// Check policy-internal invariants (e.g. the market's money
     /// conservation) after a quantum, reporting breaches via
     /// [`Auditor::report`]. Called only when an auditor is attached; the
@@ -728,6 +761,10 @@ pub struct Simulation<M> {
     faulted: ActuationPlan,
     /// Optional invariant auditor (see [`Simulation::with_auditor`]).
     auditor: Option<Auditor>,
+    /// Optional telemetry sink (see [`Simulation::with_telemetry`]). When
+    /// `None`, every instrumentation site below is one branch on this
+    /// option — the zero-overhead-off contract.
+    telemetry: Option<Telemetry>,
 }
 
 impl<M: PowerManager> Simulation<M> {
@@ -751,6 +788,7 @@ impl<M: PowerManager> Simulation<M> {
             faults: None,
             faulted: ActuationPlan::new(),
             auditor: None,
+            telemetry: None,
         }
     }
 
@@ -802,6 +840,26 @@ impl<M: PowerManager> Simulation<M> {
     pub fn with_auditor(mut self) -> Simulation<M> {
         self.auditor = Some(Auditor::new());
         self
+    }
+
+    /// Attach a telemetry sink: record one time-series row per quantum
+    /// into its ring recorder and, when
+    /// [`Telemetry::with_profiling`] is set, wall-clock phase spans into
+    /// its histograms. Observation is strictly read-only — the actuation
+    /// tape of a run is bit-identical with or without telemetry.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Simulation<M> {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The telemetry sink, when attached.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Detach and return the telemetry sink (for exporting after a run).
+    pub fn take_telemetry(&mut self) -> Option<Telemetry> {
+        self.telemetry.take()
     }
 
     /// The actuation tape recorded so far, when enabled.
@@ -858,6 +916,15 @@ impl<M: PowerManager> Simulation<M> {
                     }
                 }
             }
+            // Wall-clock marks exist only while profiling; `lap` collapses
+            // to one branch otherwise. The monotonic clock sizes the spans,
+            // the simulated clock (snap.now) places them.
+            let profiling = self.telemetry.as_ref().is_some_and(Telemetry::profiling);
+            let mut mark = if profiling {
+                Some(Instant::now())
+            } else {
+                None
+            };
             // Snapshot in, plan out, apply in one place.
             self.snap.capture(&self.system);
             if let Some(f) = &mut self.faults {
@@ -871,8 +938,24 @@ impl<M: PowerManager> Simulation<M> {
                     self.snap.hottest = Some(f.perturb_temperature(h));
                 }
             }
+            lap(
+                self.telemetry.as_mut().map(|t| &mut t.profiler),
+                &mut mark,
+                Phase::Capture,
+            );
             self.plan.clear();
-            self.manager.plan(&self.snap, dt, &mut self.plan);
+            match &mut self.telemetry {
+                Some(tel) if profiling => {
+                    self.manager
+                        .plan_profiled(&self.snap, dt, &mut self.plan, &mut tel.profiler)
+                }
+                _ => self.manager.plan(&self.snap, dt, &mut self.plan),
+            }
+            lap(
+                self.telemetry.as_mut().map(|t| &mut t.profiler),
+                &mut mark,
+                Phase::Plan,
+            );
             let need_digest =
                 self.auditor.is_some() || (self.tape.is_some() && !self.plan.is_empty());
             let digest = if need_digest { self.snap.digest() } else { 0 };
@@ -913,8 +996,18 @@ impl<M: PowerManager> Simulation<M> {
             } else {
                 self.system.apply_plan(&self.plan);
             }
+            lap(
+                self.telemetry.as_mut().map(|t| &mut t.profiler),
+                &mut mark,
+                Phase::Apply,
+            );
             let record = self.system.now().as_micros() >= self.warmup.as_micros();
             self.system.step(dt, record);
+            lap(
+                self.telemetry.as_mut().map(|t| &mut t.profiler),
+                &mut mark,
+                Phase::Step,
+            );
             if let Some(aud) = &mut self.auditor {
                 aud.begin_quantum(self.snap.now, digest);
                 aud.check_system(&self.system);
@@ -924,6 +1017,19 @@ impl<M: PowerManager> Simulation<M> {
                     }
                 }
                 self.manager.audit(&self.snap, aud);
+                lap(
+                    self.telemetry.as_mut().map(|t| &mut t.profiler),
+                    &mut mark,
+                    Phase::Audit,
+                );
+            }
+            // Degradation rollup: copy the manager's live counters into the
+            // metrics so hardened runs report totals without replaying the
+            // event stream. Unconditional — it is four u64 copies.
+            self.system.metrics.degradation = self.manager.degradation();
+            if let Some(tel) = &mut self.telemetry {
+                self.manager.sample_policy(&mut tel.policy);
+                record_telemetry_row(&self.system, tel, self.snap.now);
             }
             if let Some(p) = self.trace_period {
                 if self.system.now() >= self.next_trace {
@@ -942,6 +1048,66 @@ impl<M: PowerManager> Simulation<M> {
     /// Tear down into the system (for post-run inspection).
     pub fn into_system(self) -> System {
         self.system
+    }
+}
+
+/// Append one time-series row for the quantum that just executed at `at`.
+/// Reads true sensors (like the metrics do), the manager's policy sample,
+/// and the profiler's per-quantum spans; writes are indexed stores into
+/// the recorder's preallocated ring — no allocation once the entity
+/// population has been seen.
+fn record_telemetry_row(sys: &System, tel: &mut Telemetry, at: SimTime) {
+    let n_clusters = sys.chip.clusters().len();
+    let n_cores = sys.chip.cores().len();
+    let n_tasks = sys.entries.len();
+    tel.recorder.ensure_shape(n_clusters, n_cores, n_tasks);
+    let last_phases = tel.profiler.take_last();
+
+    let deg = sys.metrics.degradation;
+    let chip_power = sys.last_chip_power.value();
+    let headroom = sys.tdp().map_or(f64::NAN, |t| t.value() - chip_power);
+    let hottest = sys.thermal().map_or(f64::NAN, |t| t.hottest().value());
+    let mut row = tel.recorder.push_row(at.as_micros());
+    row.chip(chip_power, headroom, hottest)
+        .degradation(
+            deg.sensor_fallbacks,
+            deg.dvfs_retries,
+            deg.migration_retries,
+            deg.tasks_orphaned,
+        )
+        .phases(&last_phases)
+        .policy(&tel.policy);
+    for ci in 0..n_clusters {
+        let id = ClusterId(ci);
+        let cluster = sys.chip.cluster(id);
+        let (freq, volt) = if cluster.is_off() {
+            (0.0, 0.0)
+        } else {
+            let p = cluster.point();
+            (f64::from(p.frequency.value()), f64::from(p.voltage.0))
+        };
+        row.cluster(
+            ci,
+            freq,
+            volt,
+            sys.last_cluster_power[ci].value(),
+            sys.cluster_temperature(id).map_or(f64::NAN, |c| c.value()),
+        );
+        let supply = cluster.supply_per_core().value();
+        for &core in sys.chip.cores_of(id) {
+            row.core_supply(core.0, supply);
+        }
+    }
+    for (i, e) in sys.entries.iter().enumerate() {
+        if e.active {
+            row.task(
+                i,
+                e.share.value(),
+                e.granted.value(),
+                e.task.heart_rate(),
+                e.task.normalized_heart_rate(),
+            );
+        }
     }
 }
 

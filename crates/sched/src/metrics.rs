@@ -89,7 +89,39 @@ pub struct RunMetrics {
     /// Per-cluster time spent at each V-F level, indexed by level
     /// (thermal-cycling analysis).
     level_residency: Vec<Vec<SimDuration>>,
+    /// Graceful-degradation totals rolled up from the manager's live
+    /// counters (no event-stream replay needed).
+    pub degradation: Degradation,
     trace: Vec<TraceSample>,
+}
+
+/// Totals of the manager's graceful-degradation paths: how often it fell
+/// back to a last-good sensor reading, re-issued a lost DVFS request or
+/// migration, or skipped a task bound to a core it no longer knows.
+///
+/// Managers keep these as live counters (incremented exactly where the
+/// corresponding `Event` is pushed) and report them through
+/// [`PowerManager::degradation`](crate::executor::PowerManager::degradation);
+/// the executor copies the latest value here every quantum, so a hardened
+/// run's totals come for free — without replaying the event stream.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Degradation {
+    /// Implausible sensor readings replaced by a last-good value.
+    pub sensor_fallbacks: u64,
+    /// DVFS requests re-issued because the hardware did not take them.
+    pub dvfs_retries: u64,
+    /// Migrations re-issued after a failed attempt.
+    pub migration_retries: u64,
+    /// Tasks observed on cores the policy could not place (skipped for
+    /// the round rather than crashing).
+    pub tasks_orphaned: u64,
+}
+
+impl Degradation {
+    /// Sum of all degradation counters.
+    pub fn total(&self) -> u64 {
+        self.sensor_fallbacks + self.dvfs_retries + self.migration_retries + self.tasks_orphaned
+    }
 }
 
 impl RunMetrics {

@@ -28,4 +28,20 @@ cargo run --release --quiet -p ppm --bin ppm-sim -- \
 echo ">>> bench_sweep --check (parallel sweep == serial, bit-for-bit)"
 cargo run --release --quiet -p ppm-bench --bin bench_sweep -- --check
 
+echo ">>> telemetry smoke (ppm-sim --trace/--metrics/--profile + artifact validation)"
+obs_tmp="$(mktemp -d)"
+trap 'rm -rf "$obs_tmp"' EXIT
+cargo run --release --quiet -p ppm --bin ppm-sim -- \
+  --scheme ppm --workload m1 --duration 10 \
+  --trace "$obs_tmp/m1.trace.json" --metrics "$obs_tmp/m1.csv" --profile > /dev/null
+cargo run --release --quiet -p ppm --bin ppm-sim -- \
+  --scheme ppm --workload m1 --duration 10 \
+  --metrics "$obs_tmp/m1.jsonl" > /dev/null
+cargo run --release --quiet -p ppm-obs --bin obs_validate -- \
+  "$obs_tmp/m1.trace.json" "$obs_tmp/m1.csv" "$obs_tmp/m1.jsonl"
+
+echo ">>> bench_obs (recorder overhead trajectory -> BENCH_obs.json)"
+cargo run --release --quiet -p ppm-bench --bin bench_obs -- "$obs_tmp/BENCH_obs.json"
+cargo run --release --quiet -p ppm-obs --bin obs_validate -- "$obs_tmp/BENCH_obs.json"
+
 echo "ci: all green"

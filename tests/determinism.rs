@@ -193,6 +193,7 @@ fn faulted_tape(scheme: ppm_bench::Scheme, seed: u64) -> (String, String, String
             faults: Some(ppm::platform::faults::FaultConfig::with_seed(seed)),
             audit: true,
             tape: true,
+            ..ppm_bench::Harness::default()
         },
     );
     (

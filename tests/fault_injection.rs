@@ -40,7 +40,7 @@ fn audited(
         Harness {
             faults: Some(faults),
             audit: true,
-            tape: false,
+            ..Harness::default()
         },
     )
 }

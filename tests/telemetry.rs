@@ -1,0 +1,233 @@
+//! Telemetry layer integration: attaching the recorder + profiler is
+//! observation-only (all 18 golden cells stay bit-identical), the exported
+//! artifacts are well-formed (CSV shape, Chrome trace JSON, JSONL), and the
+//! ring-buffer accounting holds when a run outlives its capacity.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ppm::obs::json::{self, Json};
+use ppm::obs::{csv_header, write_chrome_trace, write_csv, write_jsonl, Phase, Telemetry};
+use ppm::platform::units::{SimDuration, Watts};
+use ppm::workload::sets::set_by_name;
+use ppm_bench::{run_workload_hardened, HardenedRun, Harness, Scheme};
+
+/// The golden-suite grid (tests/goldens.rs): 3 sets × 3 schemes × 2 figures.
+const SETS: [&str; 3] = ["l1", "m2", "h3"];
+const DURATION: SimDuration = SimDuration(8_000_000);
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/goldens")
+}
+
+fn instrumented(set_name: &str, scheme: Scheme, tdp: Option<Watts>) -> HardenedRun {
+    let set = set_by_name(set_name).expect("known workload set");
+    run_workload_hardened(
+        &set,
+        scheme,
+        tdp,
+        DURATION,
+        Harness {
+            tape: true,
+            telemetry: true,
+            profile: true,
+            ..Harness::default()
+        },
+    )
+}
+
+/// The acceptance gate of the telemetry layer: with the recorder AND the
+/// phase profiler attached, every golden cell still produces byte-identical
+/// summary + actuation tape. Profiling reads the monotonic clock, so this
+/// also proves wall-clock observation never leaks into simulated behaviour.
+#[test]
+fn all_golden_cells_are_bit_identical_with_telemetry_on() {
+    for (fig, tdp) in [("fig4_fig5", None), ("fig6", Some(Watts(4.0)))] {
+        for set in SETS {
+            for scheme in Scheme::ALL {
+                let name = format!("{fig}_{set}_{}.tape", scheme.name().to_lowercase());
+                let committed = fs::read_to_string(goldens_dir().join(&name))
+                    .unwrap_or_else(|e| panic!("missing golden {name} ({e})"));
+                let run = instrumented(set, scheme, tdp);
+                let fresh = format!("{:?}\n{}", run.summary, run.tape);
+                assert_eq!(
+                    committed, fresh,
+                    "telemetry must be observation-only, but {name} drifted"
+                );
+                // And the instrumentation actually ran.
+                let tel = run.telemetry.expect("telemetry attached");
+                assert_eq!(tel.recorder.rows() as u64, DURATION.0 / 1000);
+                assert!(tel.profiler.total_count() > 0);
+            }
+        }
+    }
+}
+
+/// CSV export: one row per quantum, a header naming the figure-grade
+/// columns, and every row rectangular.
+#[test]
+fn csv_has_one_row_per_quantum_and_the_expected_columns() {
+    let run = instrumented("l1", Scheme::Ppm, None);
+    let tel = run.telemetry.expect("telemetry attached");
+    let header = csv_header(&tel.recorder);
+    for needle in [
+        "t_s",
+        "chip_power_w",
+        "tdp_headroom_w",
+        "allowance",
+        "money_supply",
+        "sensor_fallbacks",
+        "ph_market_bid_ns",
+        "cl0_freq_mhz",
+        "cl1_power_w",
+        "core0_price",
+        "core0_supply_pu",
+        "task0_share_pu",
+        "task0_hr_norm",
+    ] {
+        assert!(header.contains(needle), "header misses {needle}: {header}");
+    }
+
+    let mut buf = Vec::new();
+    write_csv(&tel.recorder, &mut buf).expect("write csv");
+    let text = String::from_utf8(buf).expect("utf8");
+    let mut lines = text.lines();
+    let cols = lines.next().expect("header line").split(',').count();
+    let rows: Vec<&str> = lines.collect();
+    assert_eq!(rows.len() as u64, DURATION.0 / 1000, "one row per quantum");
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.split(',').count(), cols, "row {i} not rectangular");
+    }
+    // Steady-state PPM rows carry real data: prices and power present.
+    let last = rows.last().expect("rows");
+    let cells: Vec<&str> = last.split(',').collect();
+    let col_of = |name: &str| {
+        header
+            .split(',')
+            .position(|h| h == name)
+            .unwrap_or_else(|| panic!("no column {name}"))
+    };
+    let power: f64 = cells[col_of("chip_power_w")].parse().expect("power cell");
+    assert!(power > 0.0);
+    assert!(!cells[col_of("core0_price")].is_empty(), "price recorded");
+}
+
+/// Chrome trace export parses as JSON and contains well-formed complete
+/// (`"ph":"X"`) span events for the executor phases plus finite counters.
+#[test]
+fn chrome_trace_is_valid_and_spans_are_complete_events() {
+    let run = instrumented("l1", Scheme::Ppm, None);
+    let tel = run.telemetry.expect("telemetry attached");
+    let mut buf = Vec::new();
+    write_chrome_trace(&tel.recorder, &mut buf, 1).expect("write trace");
+    let doc = json::parse(&String::from_utf8(buf).expect("utf8")).expect("valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut spans = 0usize;
+    let mut counters = 0usize;
+    let mut phase_names = std::collections::BTreeSet::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+        match ph {
+            "X" => {
+                spans += 1;
+                let dur = ev.get("dur").and_then(Json::as_num).expect("dur");
+                let ts = ev.get("ts").and_then(Json::as_num).expect("ts");
+                assert!(dur >= 0.0 && ts >= 0.0);
+                phase_names.insert(ev.get("name").and_then(Json::as_str).expect("name"));
+            }
+            "C" => {
+                counters += 1;
+                let Some(Json::Obj(args)) = ev.get("args") else {
+                    panic!("counter without args object")
+                };
+                assert!(!args.is_empty());
+                for v in args.values() {
+                    let n = v.as_num().expect("counter values are numbers");
+                    assert!(n.is_finite());
+                }
+            }
+            "M" => {}
+            other => panic!("unexpected event type {other:?}"),
+        }
+    }
+    assert!(spans > 0 && counters > 0);
+    for phase in [Phase::Capture, Phase::Plan, Phase::Apply, Phase::Step] {
+        assert!(
+            phase_names.contains(phase.name()),
+            "missing {} spans",
+            phase.name()
+        );
+    }
+    // PPM actuates, so its plan sub-phases must appear too.
+    assert!(phase_names.contains(Phase::MarketBid.name()));
+    assert!(phase_names.contains(Phase::Lbt.name()));
+}
+
+/// JSONL export: every line is a standalone JSON object with a timestamp.
+#[test]
+fn jsonl_parses_line_by_line() {
+    let run = instrumented("m2", Scheme::Hpm, Some(Watts(4.0)));
+    let tel = run.telemetry.expect("telemetry attached");
+    let mut buf = Vec::new();
+    write_jsonl(&tel.recorder, &mut buf).expect("write jsonl");
+    let text = String::from_utf8(buf).expect("utf8");
+    let mut lines = 0u64;
+    for line in text.lines() {
+        let row = json::parse(line).expect("valid JSON line");
+        let t = row.get("t_s").and_then(Json::as_num).expect("t_s");
+        assert!(t >= 0.0);
+        lines += 1;
+    }
+    assert_eq!(lines, DURATION.0 / 1000);
+    // HPM rolls sensor fallbacks into the degradation counters; without
+    // faults they stay zero — but the column must exist and parse.
+    let first = json::parse(text.lines().next().expect("rows")).expect("row");
+    assert_eq!(
+        first
+            .get("sensor_fallbacks")
+            .and_then(Json::as_num)
+            .expect("sensor_fallbacks"),
+        0.0
+    );
+}
+
+/// When a run outlives the ring capacity the recorder keeps the most recent
+/// rows, counts the overwritten ones, and timestamps stay monotonic.
+#[test]
+fn ring_wrap_keeps_the_most_recent_quanta() {
+    use ppm::core::config::PpmConfig;
+    use ppm::core::manager::{place_on_little, PpmManager};
+    use ppm::platform::chip::Chip;
+    use ppm::platform::core::CoreId;
+    use ppm::sched::{AllocationPolicy, Simulation, System};
+    use ppm::workload::task::Priority;
+
+    let mut sys = System::new(Chip::tc2(), AllocationPolicy::Market);
+    let set = set_by_name("l1").expect("l1 exists");
+    for task in set.spawn(0, Priority::NORMAL) {
+        sys.add_task(task, CoreId(0));
+    }
+    place_on_little(&mut sys);
+    let mut sim =
+        Simulation::new(sys, PpmManager::new(PpmConfig::tc2())).with_telemetry(Telemetry::new(100));
+    sim.run_for(SimDuration::from_secs(1));
+
+    let tel = sim.take_telemetry().expect("telemetry attached");
+    assert_eq!(tel.recorder.rows(), 100);
+    assert_eq!(tel.recorder.total_rows(), 1000);
+    assert_eq!(tel.recorder.dropped(), 900);
+    let times: Vec<u64> = tel
+        .recorder
+        .row_indices()
+        .map(|i| tel.recorder.time_us(i))
+        .collect();
+    assert_eq!(times.len(), 100);
+    assert!(times.windows(2).all(|w| w[0] < w[1]), "oldest-first order");
+    // The retained window is exactly the last 100 quanta.
+    assert_eq!(*times.last().expect("rows"), 999_000);
+}

@@ -235,3 +235,52 @@ fn steady_state_executor_quantum_does_not_allocate() {
     assert!(sim.metrics().average_power().value() > 0.0);
     assert!(sim.metrics().vf_transitions > 0);
 }
+
+/// Telemetry attached (recorder + phase profiling): all allocation happens
+/// at setup. The ring capacity (512) is far below the quanta executed, so
+/// the buffer wraps both during warm-up and during the measured block —
+/// proving ring wrap itself is allocation-free, not just append.
+#[test]
+fn steady_state_quantum_with_telemetry_does_not_allocate() {
+    use ppm::obs::Telemetry;
+    use ppm::platform::chip::Chip;
+    use ppm::sched::{AllocationPolicy, Simulation, System as SimSystem};
+    use ppm::workload::benchmarks::{Benchmark, BenchmarkSpec, Input};
+    use ppm::workload::task::{Priority, Task};
+
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let mut sys = SimSystem::new(Chip::tc2(), AllocationPolicy::Market);
+    for i in 0..4 {
+        sys.add_task(
+            Task::new(
+                TaskId(i),
+                BenchmarkSpec::of(Benchmark::Swaptions, Input::Large).expect("variant"),
+                Priority(1),
+            ),
+            CoreId(i % 5),
+        );
+    }
+    let mut sim = Simulation::new(sys, TogglingManager { flip: false })
+        .with_telemetry(Telemetry::new(512).with_profiling());
+
+    // Warm-up covers setup: column shaping for the task/core/cluster
+    // population, histogram zeroing, and the first ring wrap.
+    sim.run_for(SimDuration::from_secs(2));
+
+    let before = allocations();
+    sim.run_for(SimDuration::from_secs(1));
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "telemetry-on steady-state quanta must not touch the allocator"
+    );
+    let tel = sim.take_telemetry().expect("telemetry attached");
+    assert_eq!(tel.recorder.rows(), 512, "ring is full");
+    assert!(tel.recorder.total_rows() >= 3000, "every quantum recorded");
+    assert!(tel.recorder.dropped() > 0, "ring wrapped during the run");
+    assert!(
+        tel.profiler.total_count() >= 3000,
+        "phases were profiled throughout"
+    );
+}
