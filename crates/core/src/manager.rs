@@ -108,6 +108,12 @@ pub struct PpmManager {
     audit_prev_allowance: Option<Money>,
     /// Last market round the auditor has seen.
     audited_round: u64,
+    /// Consecutive *derived* audits (not replay-skipped ones) that raised
+    /// no violations, saturating at 2 — the precondition for reusing the
+    /// money books on a fast-path round. Two are required because a lag-2
+    /// market replay duplicates the checks of the round two back, so both
+    /// parities' most recent derivations must have been clean.
+    audit_clean_streak: u8,
     /// Live graceful-degradation counters, incremented exactly where the
     /// corresponding [`Event`]s are pushed (so telemetry and hardened-run
     /// totals never replay the event stream).
@@ -147,6 +153,7 @@ impl PpmManager {
             audit_savings: Vec::new(),
             audit_prev_allowance: None,
             audited_round: 0,
+            audit_clean_streak: 0,
             degradation: Degradation::default(),
         }
     }
@@ -707,6 +714,10 @@ impl PowerManager for PpmManager {
                 out.set_core_price(core.0, price.value());
             }
         }
+        if self.market.rounds() > 0 {
+            out.market_fast_hit = f64::from(u8::from(self.market.last_round_fast()));
+            out.market_dirty_stages = f64::from(self.market.last_round_dirty_sections());
+        }
     }
 
     fn degradation(&self) -> Degradation {
@@ -751,44 +762,26 @@ impl PpmManager {
         // savings leave the economy with them) and log admissions. The
         // sorted merge-diff replaces HashSet differences, so churn events
         // fire in task-id order on every run.
-        self.current_tasks.clear();
-        self.current_tasks
-            .extend(self.obs_buf.tasks.iter().map(|t| t.id));
-        self.current_tasks.sort_unstable();
+        //
+        // Fast path: the snapshot's advisory change mask says the task
+        // section kept its digest, and an exact in-order id comparison
+        // (the hard guarantee — digests are probabilistic) confirms the
+        // membership is the same as last round's, so the sort + merge-diff
+        // is skipped entirely. `snap.tasks` (hence `obs_buf.tasks`) is
+        // ascending by id, and `known_tasks` is sorted, so a zip compare
+        // is exact.
         let now = snap.now;
-        let (mut i, mut j) = (0, 0);
-        while i < self.known_tasks.len() || j < self.current_tasks.len() {
-            let old = self.known_tasks.get(i).copied();
-            let new = self.current_tasks.get(j).copied();
-            match (old, new) {
-                (Some(o), Some(n)) if o == n => {
-                    i += 1;
-                    j += 1;
-                }
-                (Some(o), Some(n)) if o < n => {
-                    self.market.remove_task(o);
-                    self.estimator.remove_task(o);
-                    self.events.push(now, Event::TaskExited { task: o });
-                    i += 1;
-                }
-                (Some(_), Some(n)) => {
-                    self.events.push(now, Event::TaskAdmitted { task: n });
-                    j += 1;
-                }
-                (Some(o), None) => {
-                    self.market.remove_task(o);
-                    self.estimator.remove_task(o);
-                    self.events.push(now, Event::TaskExited { task: o });
-                    i += 1;
-                }
-                (None, Some(n)) => {
-                    self.events.push(now, Event::TaskAdmitted { task: n });
-                    j += 1;
-                }
-                (None, None) => unreachable!(),
-            }
+        let membership_unchanged = !snap.changed.tasks
+            && self.obs_buf.tasks.len() == self.known_tasks.len()
+            && self
+                .obs_buf
+                .tasks
+                .iter()
+                .zip(&self.known_tasks)
+                .all(|(t, &k)| t.id == k);
+        if !membership_unchanged {
+            self.diff_task_churn(now);
         }
-        std::mem::swap(&mut self.known_tasks, &mut self.current_tasks);
         // Run the round into the recycled decision buffer.
         let mut decision = self.last_decision.take().unwrap_or_default();
         match prof.as_deref_mut() {
@@ -848,6 +841,48 @@ impl PpmManager {
         self.manage_gating(snap, plan);
     }
 
+    /// The sorted merge-diff behind task-churn handling: retire departed
+    /// tasks' market agents, log admissions, and refresh `known_tasks`.
+    fn diff_task_churn(&mut self, now: SimTime) {
+        self.current_tasks.clear();
+        self.current_tasks
+            .extend(self.obs_buf.tasks.iter().map(|t| t.id));
+        self.current_tasks.sort_unstable();
+        let (mut i, mut j) = (0, 0);
+        while i < self.known_tasks.len() || j < self.current_tasks.len() {
+            let old = self.known_tasks.get(i).copied();
+            let new = self.current_tasks.get(j).copied();
+            match (old, new) {
+                (Some(o), Some(n)) if o == n => {
+                    i += 1;
+                    j += 1;
+                }
+                (Some(o), Some(n)) if o < n => {
+                    self.market.remove_task(o);
+                    self.estimator.remove_task(o);
+                    self.events.push(now, Event::TaskExited { task: o });
+                    i += 1;
+                }
+                (Some(_), Some(n)) => {
+                    self.events.push(now, Event::TaskAdmitted { task: n });
+                    j += 1;
+                }
+                (Some(o), None) => {
+                    self.market.remove_task(o);
+                    self.estimator.remove_task(o);
+                    self.events.push(now, Event::TaskExited { task: o });
+                    i += 1;
+                }
+                (None, Some(n)) => {
+                    self.events.push(now, Event::TaskAdmitted { task: n });
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        std::mem::swap(&mut self.known_tasks, &mut self.current_tasks);
+    }
+
     /// Money conservation (§3.2): re-derive every agent's balance-sheet
     /// update from the round records and flag any divergence. The checks
     /// recompute the market's own formulas on the market's own inputs, so
@@ -858,7 +893,26 @@ impl PpmManager {
         if round == self.audited_round {
             return; // no new round this quantum
         }
+        // Fast-path reuse: a replay round's decision is byte-identical to a
+        // retained round's (one or two back), so every check below would
+        // recompute exactly the same f64 expressions on exactly the same
+        // inputs as the derivation that audited that retained round —
+        // including conservation, because a replay certifies the state
+        // recurrence m_{R-1} = m_{R-1-lag}, making the clamp(m + a − b, …)
+        // identity at round R the literal same computation as at round
+        // R−lag. With lag ≤ 2, a chain of replays traces every skipped
+        // check back to one of the last *two* derived audits, so reuse the
+        // books only when both were violation-free and no round was skipped
+        // in between; otherwise fall through and re-derive.
+        if round == self.audited_round + 1
+            && self.market.last_round_fast()
+            && self.audit_clean_streak >= 2
+        {
+            self.audited_round = round;
+            return;
+        }
         self.audited_round = round;
+        let violations_before = auditor.violations().len();
         // Split borrows: the decision is read while the audit state is
         // rebuilt.
         let Self {
@@ -940,6 +994,11 @@ impl PpmManager {
         audit_savings.clear();
         audit_savings.extend(d.tasks.iter().map(|t| (t.id, t.savings)));
         *audit_prev_allowance = Some(d.allowance);
+        if auditor.violations().len() == violations_before {
+            self.audit_clean_streak = self.audit_clean_streak.saturating_add(1).min(2);
+        } else {
+            self.audit_clean_streak = 0;
+        }
     }
 }
 

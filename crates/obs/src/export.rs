@@ -21,6 +21,7 @@ pub fn csv_header(rec: &SeriesRecorder) -> String {
     let (n_cl, n_co, n_t) = rec.shape();
     let mut h = String::from(
         "t_s,chip_power_w,tdp_headroom_w,hottest_c,allowance,money_supply,\
+         market_fast_hit,market_dirty_stages,\
          sensor_fallbacks,dvfs_retries,migration_retries,tasks_orphaned",
     );
     for p in Phase::ALL {
@@ -66,6 +67,8 @@ pub fn write_csv<W: Write>(rec: &SeriesRecorder, w: &mut W) -> io::Result<()> {
             rec.hottest_c[i],
             rec.allowance[i],
             rec.money_supply[i],
+            rec.market_fast_hit[i],
+            rec.market_dirty_stages[i],
         ] {
             line.push(',');
             line.push_str(&cell(v));
@@ -136,6 +139,8 @@ pub fn write_jsonl<W: Write>(rec: &SeriesRecorder, w: &mut W) -> io::Result<()> 
             ("hottest_c", rec.hottest_c[i]),
             ("allowance", rec.allowance[i]),
             ("money_supply", rec.money_supply[i]),
+            ("market_fast_hit", rec.market_fast_hit[i]),
+            ("market_dirty_stages", rec.market_dirty_stages[i]),
         ] {
             line.push_str(&format!(",\"{k}\":{}", jnum(v)));
         }
@@ -293,6 +298,15 @@ pub fn write_chrome_trace<W: Write>(
                 ("supply".to_string(), rec.money_supply[i]),
             ],
         );
+        counter(
+            &mut ev,
+            ts,
+            "market_fast_path",
+            &[
+                ("fast_hit".to_string(), rec.market_fast_hit[i]),
+                ("dirty_stages".to_string(), rec.market_dirty_stages[i]),
+            ],
+        );
         let price: Vec<(String, f64)> = (0..n_co)
             .map(|c| (format!("core{c}"), rec.core_price[c][i]))
             .collect();
@@ -354,6 +368,7 @@ pub fn write_chrome_trace<W: Write>(
         }
         let mut sub_cursor = plan_start;
         for p in [
+            Phase::MarketDiff,
             Phase::MarketBid,
             Phase::MarketPrice,
             Phase::MarketDvfs,
@@ -465,8 +480,8 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 1 + 3);
         let cols = lines[0].split(',').count();
-        // 10 scalars + 9 phases + 2·4 cluster + 3·2 core + 2·4 task = 41.
-        assert_eq!(cols, 41);
+        // 12 scalars + 10 phases + 2·4 cluster + 3·2 core + 2·4 task = 44.
+        assert_eq!(cols, 44);
         for row in &lines[1..] {
             assert_eq!(row.split(',').count(), cols, "ragged row: {row}");
         }

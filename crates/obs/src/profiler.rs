@@ -35,6 +35,10 @@ pub enum Phase {
     Step,
     /// The every-quantum invariant auditor, when attached.
     Audit,
+    /// Market sub-phase: observation diffing and fast-path replay — the
+    /// incremental engine's change detection (and, on a clean converged
+    /// round, the whole round).
+    MarketDiff,
     /// Market sub-phase: slot placement, allowance distribution, task bids.
     MarketBid,
     /// Market sub-phase: core-agent price discovery and purchases.
@@ -47,7 +51,7 @@ pub enum Phase {
 
 impl Phase {
     /// Number of phases (sizes the fixed arrays).
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
 
     /// Every phase, in display order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -56,6 +60,7 @@ impl Phase {
         Phase::Apply,
         Phase::Step,
         Phase::Audit,
+        Phase::MarketDiff,
         Phase::MarketBid,
         Phase::MarketPrice,
         Phase::MarketDvfs,
@@ -71,6 +76,7 @@ impl Phase {
             Phase::Apply => "apply",
             Phase::Step => "step",
             Phase::Audit => "audit",
+            Phase::MarketDiff => "market_diff",
             Phase::MarketBid => "market_bid",
             Phase::MarketPrice => "market_price",
             Phase::MarketDvfs => "market_dvfs",
@@ -83,7 +89,11 @@ impl Phase {
     pub fn is_plan_subphase(self) -> bool {
         matches!(
             self,
-            Phase::MarketBid | Phase::MarketPrice | Phase::MarketDvfs | Phase::Lbt
+            Phase::MarketDiff
+                | Phase::MarketBid
+                | Phase::MarketPrice
+                | Phase::MarketDvfs
+                | Phase::Lbt
         )
     }
 

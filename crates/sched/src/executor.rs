@@ -633,10 +633,25 @@ impl System {
     pub fn apply_plan(&mut self, plan: &ActuationPlan) {
         for &op in plan.ops() {
             match op {
-                Action::SetShare(task, share) => self.set_share(task, share),
+                Action::SetShare(task, share) => {
+                    // No-op recognition: `set_share` clamps at zero and then
+                    // overwrites the entry field, so a command whose clamped
+                    // value is bitwise-equal to the current share changes
+                    // nothing. The plan (and hence the tape, which records
+                    // the plan before application) is untouched either way.
+                    let next = share.max(ProcessingUnits::ZERO);
+                    if self.entries[task.0].share.0.to_bits() != next.0.to_bits() {
+                        self.set_share(task, share);
+                    }
+                }
                 Action::SetNice(task, nice) => self.set_nice(task, nice),
                 Action::RequestLevel(cluster, level) => {
-                    self.request_level(cluster, level);
+                    // No-op recognition: `Cluster::request_level` returns
+                    // without side effects when the effective target already
+                    // matches, so skipping the delegation is bit-identical.
+                    if self.chip.clusters()[cluster.0].effective_target() != level {
+                        self.request_level(cluster, level);
+                    }
                 }
                 Action::Migrate(task, core) => {
                     self.migrate(task, core);

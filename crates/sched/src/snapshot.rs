@@ -138,6 +138,58 @@ impl ClusterSnap {
     }
 }
 
+/// Per-section "what changed since the previous capture" mask.
+///
+/// Derived from per-section FNV-1a sub-digests compared across consecutive
+/// [`SystemSnapshot::capture`] calls. Capture time (`now`) is deliberately
+/// excluded — it advances every quantum and carries no decision input.
+///
+/// Digest equality is **probabilistic** (a 64-bit collision could mark a
+/// changed section clean), so the mask is advisory: use it to skip cheap
+/// bookkeeping or as a fast pre-filter, but any consumer that needs a hard
+/// bit-identity guarantee must confirm with an exact comparison of the data
+/// it depends on (the market's incremental fast path does exactly that).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChangeMask {
+    /// Chip scalars changed (power sample, hottest junction temperature).
+    pub chip: bool,
+    /// The task section changed (membership or any per-task field).
+    pub tasks: bool,
+    /// The core section changed (utilization or supply on any core).
+    pub cores: bool,
+    /// The cluster section changed (level, target, gating, supply, power).
+    pub clusters: bool,
+}
+
+impl ChangeMask {
+    /// Everything dirty — the state before any capture pair exists.
+    pub const ALL: ChangeMask = ChangeMask {
+        chip: true,
+        tasks: true,
+        cores: true,
+        clusters: true,
+    };
+
+    /// True when any section changed.
+    pub fn any(self) -> bool {
+        self.chip || self.tasks || self.cores || self.clusters
+    }
+
+    /// Number of dirty sections, 0–4.
+    pub fn dirty_sections(self) -> u32 {
+        u32::from(self.chip)
+            + u32::from(self.tasks)
+            + u32::from(self.cores)
+            + u32::from(self.clusters)
+    }
+}
+
+impl Default for ChangeMask {
+    fn default() -> ChangeMask {
+        ChangeMask::ALL
+    }
+}
+
 /// Everything a power manager may observe, captured at one instant.
 #[derive(Debug, Default)]
 pub struct SystemSnapshot {
@@ -153,6 +205,10 @@ pub struct SystemSnapshot {
     pub cores: Vec<CoreSnap>,
     /// All clusters, indexed by cluster id.
     pub clusters: Vec<ClusterSnap>,
+    /// What changed since the previous capture (advisory — see [`ChangeMask`]).
+    pub changed: ChangeMask,
+    /// Previous capture's per-section sub-digests, `None` before the first.
+    prev_sections: Option<[u64; 4]>,
 }
 
 impl SystemSnapshot {
@@ -233,6 +289,82 @@ impl SystemSnapshot {
                 cost_per_beat: task.measured_cost_per_beat(),
             }
         }));
+
+        let sections = self.section_digests();
+        self.changed = match self.prev_sections {
+            Some(prev) => ChangeMask {
+                chip: sections[0] != prev[0],
+                tasks: sections[1] != prev[1],
+                cores: sections[2] != prev[2],
+                clusters: sections[3] != prev[3],
+            },
+            None => ChangeMask::ALL,
+        };
+        self.prev_sections = Some(sections);
+    }
+
+    /// Per-section FNV-1a sub-digests: chip scalars, tasks, cores, clusters.
+    /// `now` is excluded (see [`ChangeMask`]); otherwise these cover the same
+    /// fields as [`SystemSnapshot::digest`], which stays untouched so tape
+    /// digests are unaffected.
+    fn section_digests(&self) -> [u64; 4] {
+        let mut chip = Fnv::new();
+        chip.f64(self.chip_power.value());
+        match self.hottest {
+            Some(c) => {
+                chip.u64(1);
+                chip.f64(c.value());
+            }
+            None => chip.u64(0),
+        }
+
+        let mut tasks = Fnv::new();
+        tasks.u64(self.tasks.len() as u64);
+        for t in &self.tasks {
+            tasks.u64(t.id.0 as u64);
+            tasks.u64(t.core.0 as u64);
+            tasks.u64(u64::from(t.priority));
+            tasks.f64(t.share.value());
+            tasks.f64(t.granted.value());
+            tasks.f64(t.pelt_load);
+            tasks.u64(u64::from(t.stalled));
+            tasks.f64(t.heart_rate);
+            tasks.f64(t.target_rate);
+            tasks.f64(t.demand.value());
+            tasks.f64(t.demand_little.value());
+            tasks.f64(t.demand_big.value());
+            match t.cost_per_beat {
+                Some(c) => {
+                    tasks.u64(1);
+                    tasks.f64(c);
+                }
+                None => tasks.u64(0),
+            }
+        }
+
+        let mut cores = Fnv::new();
+        cores.u64(self.cores.len() as u64);
+        for c in &self.cores {
+            cores.f64(c.utilization);
+            cores.f64(c.supply.value());
+        }
+
+        let mut clusters = Fnv::new();
+        clusters.u64(self.clusters.len() as u64);
+        for cl in &self.clusters {
+            clusters.u64(cl.level as u64);
+            clusters.u64(cl.effective_target as u64);
+            clusters.u64(u64::from(cl.off));
+            clusters.f64(cl.supply_per_core.value());
+            clusters.f64(cl.power.value());
+        }
+
+        [
+            chip.finish(),
+            tasks.finish(),
+            cores.finish(),
+            clusters.finish(),
+        ]
     }
 
     /// The snapshot of `task`, if active (binary search — tasks are sorted).
@@ -426,6 +558,33 @@ mod tests {
         sys.set_share(TaskId(0), ProcessingUnits(1.0));
         b.capture(&sys);
         assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn change_mask_tracks_sections_across_captures() {
+        let mut sys = sys_with_tasks(2);
+        let mut snap = SystemSnapshot::new();
+
+        snap.capture(&sys);
+        assert_eq!(snap.changed, ChangeMask::ALL, "first capture is all-dirty");
+        assert_eq!(snap.changed.dirty_sections(), 4);
+
+        snap.capture(&sys);
+        assert!(!snap.changed.any(), "identical recapture must be clean");
+        assert_eq!(snap.changed.dirty_sections(), 0);
+
+        sys.set_share(TaskId(0), ProcessingUnits(42.0));
+        snap.capture(&sys);
+        assert!(snap.changed.tasks, "share write dirties the task section");
+        assert!(!snap.changed.chip);
+        assert!(!snap.changed.cores);
+        assert!(!snap.changed.clusters);
+
+        sys.power_off(ClusterId(1));
+        snap.capture(&sys);
+        assert!(snap.changed.clusters, "gating dirties the cluster section");
+        assert!(snap.changed.cores, "gating zeroes the cores' supply");
+        assert!(!snap.changed.tasks);
     }
 
     #[test]

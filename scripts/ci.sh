@@ -28,6 +28,9 @@ cargo run --release --quiet -p ppm --bin ppm-sim -- \
 echo ">>> bench_sweep --check (parallel sweep == serial, bit-for-bit)"
 cargo run --release --quiet -p ppm-bench --bin bench_sweep -- --check
 
+echo ">>> bench_market --check quick (incremental == full recompute, bit-for-bit)"
+cargo run --release --quiet -p ppm-bench --bin bench_market -- --check quick
+
 echo ">>> telemetry smoke (ppm-sim --trace/--metrics/--profile + artifact validation)"
 obs_tmp="$(mktemp -d)"
 trap 'rm -rf "$obs_tmp"' EXIT

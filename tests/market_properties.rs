@@ -74,6 +74,32 @@ impl World {
     }
 }
 
+/// One step of the incremental-equivalence drive: hold everything stable,
+/// perturb a demand or the chip power (fault-shaped observation noise),
+/// or churn the population (remove an agent / admit a new task).
+#[derive(Debug, Clone)]
+enum Churn {
+    Stable,
+    Demand(usize, f64),
+    Power(f64),
+    Remove(usize),
+    Add(u32, f64),
+}
+
+fn churn_strategy() -> impl Strategy<Value = Churn> {
+    // Weighted pick via a selector (the vendored proptest has no
+    // `prop_oneof`): stable rounds dominate so replays actually happen.
+    (0usize..9, 0usize..64, 20.0f64..900.0, 1u32..=8, 0.0f64..4.0).prop_map(|(sel, i, d, p, pw)| {
+        match sel {
+            0..=3 => Churn::Stable,
+            4 | 5 => Churn::Demand(i, d),
+            6 => Churn::Power(pw),
+            7 => Churn::Remove(i),
+            _ => Churn::Add(p, d),
+        }
+    })
+}
+
 fn world_strategy() -> impl Strategy<Value = World> {
     (1usize..=3, 2usize..=8).prop_flat_map(|(clusters, tasks)| {
         (
@@ -185,6 +211,68 @@ proptest! {
             last_dvfs_round < 150,
             "market still switching V-F levels at round {last_dvfs_round}"
         );
+    }
+
+    /// The incremental engine (the default) is bit-identical to an
+    /// always-full-recompute market under random interleavings of task
+    /// churn, fault-perturbed observations, and stable rounds: every
+    /// decision renders byte-equal (`Debug` distinguishes `-0.0`/`NaN`)
+    /// and the money books (per-agent savings and bids) match bitwise
+    /// after every round. A long stable tail makes sure the fast path
+    /// actually engages inside the property, not just in unit tests.
+    #[test]
+    fn incremental_equals_full_recompute(
+        world in world_strategy(),
+        ops in proptest::collection::vec(churn_strategy(), 0..40),
+    ) {
+        let mut w = world;
+        let mut inc = Market::new(PpmConfig::tc2());
+        prop_assert!(inc.incremental(), "incremental mode must be the default");
+        let mut full = Market::new(PpmConfig::tc2());
+        full.set_incremental(false);
+        let mut power_bias = 0.0f64;
+        let stable_tail = std::iter::repeat_n(Churn::Stable, 60);
+        for (step, op) in ops.into_iter().chain(stable_tail).enumerate() {
+            match op {
+                Churn::Stable => {}
+                Churn::Demand(i, d) => {
+                    let n = w.demands.len();
+                    w.demands[i % n] = d;
+                }
+                Churn::Power(p) => power_bias = p,
+                Churn::Remove(i) => {
+                    let id = TaskId(i % w.demands.len());
+                    inc.remove_task(id);
+                    full.remove_task(id);
+                }
+                Churn::Add(p, d) => {
+                    w.priorities.push(p);
+                    w.demands.push(d);
+                }
+            }
+            let mut obs = w.obs();
+            obs.chip_power = Watts(obs.chip_power.value() + power_bias);
+            let di = inc.round(&obs);
+            let df = full.round(&obs);
+            prop_assert_eq!(
+                format!("{di:?}"), format!("{df:?}"),
+                "step {}: incremental decision diverged", step
+            );
+            for i in 0..w.demands.len() {
+                let id = TaskId(i);
+                prop_assert_eq!(
+                    inc.savings_of(id).value().to_bits(),
+                    full.savings_of(id).value().to_bits(),
+                    "step {}: savings of task {} diverged", step, i
+                );
+                prop_assert_eq!(
+                    inc.bid_of(id).value().to_bits(),
+                    full.bid_of(id).value().to_bits(),
+                    "step {}: bid of task {} diverged", step, i
+                );
+            }
+            w.apply(&di);
+        }
     }
 
     /// The chip agent's state classification matches the configured bands.

@@ -109,6 +109,7 @@ fn steady_state_market_round_does_not_allocate() {
         market.round_into(&snapshot, &mut out);
     }
 
+    let hits_before = market.fast_path_hits();
     let before = allocations();
     for _ in 0..100 {
         market.round_into(&snapshot, &mut out);
@@ -119,9 +120,15 @@ fn steady_state_market_round_does_not_allocate() {
         0,
         "steady-state rounds must not touch the allocator"
     );
-    // Sanity: the rounds actually ran an economy.
+    // Sanity: the rounds actually ran an economy, and the measured block
+    // exercised the incremental fast path (so the dirty-tracking
+    // bookkeeping itself is proven allocation-free, not just the stages).
     assert_eq!(out.tasks.len(), snapshot.tasks.len());
     assert!(out.allowance.value() > 0.0);
+    assert!(
+        market.fast_path_hits() > hits_before,
+        "steady block must replay through the fast path"
+    );
 
     // Also steady under demand drift (same populations, different numbers):
     // only values change, so capacities hold and no allocation happens.
@@ -153,6 +160,54 @@ fn steady_state_market_round_does_not_allocate() {
         after - before,
         0,
         "shrinking and idle rounds must stay allocation-free"
+    );
+}
+
+/// The churn path — full recomputes with the incremental engine's capture
+/// and ring rotation running every round, plus agent removal/re-admission —
+/// must also be allocation-free once the arenas, free list, and retention
+/// buffers are warm.
+#[test]
+fn market_churn_rounds_do_not_allocate_after_warmup() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let mut snapshot = obs(4, 4, 8);
+    let mut market = Market::new(PpmConfig::tc2());
+    let mut out = MarketDecision::default();
+
+    // Warm-up includes one remove/re-admit cycle so the free list reaches
+    // its steady capacity alongside the arenas and retained buffers.
+    for _ in 0..50 {
+        market.round_into(&snapshot, &mut out);
+    }
+    market.remove_task(TaskId(3));
+    for _ in 0..4 {
+        market.round_into(&snapshot, &mut out);
+    }
+
+    let full_before = market.full_recomputes();
+    let before = allocations();
+    for round in 0..100u64 {
+        // Per-round demand churn dirties the task section (full engine with
+        // capture/rotation every round); periodic agent churn exercises the
+        // slot free list and ring invalidation.
+        let k = (round as usize * 17) % snapshot.tasks.len();
+        let t = &mut snapshot.tasks[k];
+        let delta = if round % 2 == 0 { 1.0 } else { -1.0 };
+        t.demand = ProcessingUnits((t.demand.value() + delta).max(1.0));
+        if round % 10 == 0 {
+            market.remove_task(TaskId(k));
+        }
+        market.round_into(&snapshot, &mut out);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "churn rounds must not touch the allocator after warmup"
+    );
+    assert!(
+        market.full_recomputes() - full_before >= 100,
+        "every churn round must run the full engine"
     );
 }
 
