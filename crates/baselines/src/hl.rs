@@ -170,6 +170,14 @@ impl HlManager {
     /// Move every task off the big cluster and gate it (TDP cutoff).
     fn disable_big(&mut self, snap: &SystemSnapshot, plan: &mut ActuationPlan) {
         self.big_disabled = true;
+        self.gate_big(snap, plan);
+    }
+
+    /// Queue the cutoff actions: migrate every task still on a big core,
+    /// gate every big cluster not already off (through the plan overlay,
+    /// so a re-issue after lost actuation queues exactly what is still
+    /// missing and a clean cutoff queues the same ops it always did).
+    fn gate_big(&self, snap: &SystemSnapshot, plan: &mut ActuationPlan) {
         let big_tasks: Vec<TaskId> = snap
             .tasks
             .iter()
@@ -182,7 +190,7 @@ impl HlManager {
             }
         }
         for cl in &snap.clusters {
-            if cl.class == CoreClass::Big {
+            if cl.class == CoreClass::Big && !plan.cluster_off(snap, cl.id) {
                 plan.power_off(cl.id);
             }
         }
@@ -269,10 +277,20 @@ impl PowerManager for HlManager {
                 plan.request_level(cl, level);
             }
         }
-        // TDP cutoff.
+        // TDP cutoff. The latch records irreversible *intent*; the hardware
+        // can still lose the actuation (a plan truncated by a mid-apply
+        // executor death), so while any big cluster shows powered in the
+        // snapshot the cutoff actions are re-issued until it actually gates.
         if let Some(tdp) = self.config.tdp {
             if !self.big_disabled && self.plausible_power(snap) > tdp {
                 self.disable_big(snap, plan);
+            } else if self.big_disabled
+                && snap
+                    .clusters
+                    .iter()
+                    .any(|cl| cl.class == CoreClass::Big && !cl.off)
+            {
+                self.gate_big(snap, plan);
             }
         }
         if self.big_disabled {

@@ -5,8 +5,11 @@
 //! serial summaries bit-for-bit; any divergence aborts the bench.
 //!
 //! Run with `cargo run --release -p ppm-bench --bin bench_sweep
-//! [--check] [--duration-secs N] [out.json]`. `--check` is the quick CI
-//! smoke: two short runs, parallel vs serial equality only, no JSON.
+//! [--check] [--duration-secs N] [--threads N] [out.json]`. `--check` is
+//! the quick CI smoke: two short runs, parallel vs serial equality only,
+//! no JSON. `--threads` overrides the worker count (default: host cores);
+//! the JSON records both `host_cores` and `threads` so an oversubscribed
+//! record reads as what it is.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -31,6 +34,7 @@ fn assert_identical(serial: &[RunSummary], parallel: &[RunSummary]) {
 fn main() {
     let mut check = false;
     let mut duration_secs: u64 = 120;
+    let mut threads: Option<usize> = None;
     let mut out_path = "BENCH_sweep.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -42,10 +46,25 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--duration-secs needs an integer");
             }
+            "--threads" => {
+                threads = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .expect("--threads needs an integer >= 1"),
+                );
+            }
             other => out_path = other.to_string(),
         }
     }
-    let threads = default_threads();
+    let host_cores = default_threads();
+    let threads = threads.unwrap_or(host_cores);
+    if threads > host_cores {
+        eprintln!(
+            "warning: --threads {threads} exceeds {host_cores} host core(s); \
+             the parallel pass will oversubscribe and mostly measure scheduling"
+        );
+    }
 
     if check {
         // Quick smoke: the first two grid cells at 2 simulated seconds,
@@ -67,7 +86,8 @@ fn main() {
     let duration = SimDuration::from_secs(duration_secs);
     let jobs = comparative_grid(None, duration);
     println!(
-        "comparative grid: {} runs × {duration_secs} s simulated, {threads} host core(s)",
+        "comparative grid: {} runs × {duration_secs} s simulated, \
+         {threads} thread(s) on {host_cores} host core(s)",
         jobs.len()
     );
 
@@ -94,7 +114,8 @@ fn main() {
     json.push_str("{\n  \"bench\": \"comparative_sweep\",\n  \"unit\": \"seconds\",\n");
     let _ = writeln!(json, "  \"runs\": {},", jobs.len());
     let _ = writeln!(json, "  \"sim_seconds_per_run\": {duration_secs},");
-    let _ = writeln!(json, "  \"host_cores\": {threads},");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"serial_s\": {serial_s:.3},");
     let _ = writeln!(json, "  \"parallel_s\": {parallel_s:.3},");
     let _ = writeln!(json, "  \"speedup\": {speedup:.3}");

@@ -143,6 +143,10 @@ pub struct Harness {
     pub telemetry: bool,
     /// Also profile manager phases (implies `telemetry`).
     pub profile: bool,
+    /// Threads the PPM market fans out over (`0` keeps the config default,
+    /// i.e. serial; `n > 1` attaches a persistent pool of `n − 1` workers —
+    /// DESIGN.md §13). Ignored by the non-market schemes.
+    pub market_workers: usize,
 }
 
 impl Harness {
@@ -202,10 +206,13 @@ pub fn run_workload_hardened(
 
     let (metrics, tape, violations, audit_report, fault_stats, telemetry) = match scheme {
         Scheme::Ppm => {
-            let config = match tdp {
+            let mut config = match tdp {
                 Some(t) => PpmConfig::tc2_with_tdp(t),
                 None => PpmConfig::tc2(),
             };
+            if harness.market_workers > 0 {
+                config = config.with_market_workers(harness.market_workers);
+            }
             run(sys, PpmManager::new(config), duration, &harness)
         }
         Scheme::Hpm => {

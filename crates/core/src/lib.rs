@@ -48,6 +48,7 @@ pub mod events;
 pub mod lbt;
 pub mod manager;
 pub mod market;
+pub mod pool;
 pub mod state;
 
 pub use crate::config::{ConfigError, PpmConfig};
@@ -55,4 +56,5 @@ pub use crate::events::{Event, EventLog, LoggedEvent};
 pub use crate::lbt::{decide_load_balance, decide_migration, LbtSnapshot, Move, MoveGoal};
 pub use crate::manager::{place_on_little, tc2_ppm_system, PpmManager};
 pub use crate::market::{Market, MarketDecision, MarketObs, VfStep};
+pub use crate::pool::WorkerPool;
 pub use crate::state::PowerState;

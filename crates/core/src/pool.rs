@@ -1,0 +1,252 @@
+//! A small persistent worker pool for sharded market rounds.
+//!
+//! The paper's §3 market is decentralized — per-core supply agents and
+//! per-cluster DVFS agents interact only through prices — so the
+//! post-placement stages of a bidding round can run per cluster shard in
+//! parallel. This pool lifts the `std::thread::scope` + atomic-job-index
+//! idiom from `ppm-bench`'s sweep runner into a reusable primitive whose
+//! threads are spawned **once** and parked on a condvar between rounds:
+//! dispatching a job allocates nothing and costs two mutex round-trips,
+//! which is what makes per-31.7 ms-round use viable.
+//!
+//! [`WorkerPool::run`] publishes one job — a `Fn(usize)` over shard
+//! indices — to all workers, executes shard 0 on the calling thread, and
+//! blocks until every worker has finished. A pool with `n` worker threads
+//! therefore serves `n + 1` shards per dispatch. Determinism is the
+//! caller's contract: shards must own disjoint output buffers, and the
+//! caller merges them in slot order after `run` returns.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased pointer to the job closure. Only ever dereferenced
+/// between publication in [`WorkerPool::run`] and the final `remaining`
+/// decrement, a window the caller outlives by construction (it blocks on
+/// `done` until `remaining == 0`), so the erasure is sound.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared `&` calls from many threads are
+// fine) and the pool guarantees it outlives every dereference (see
+// `JobPtr` docs), so sending the pointer between threads is safe.
+unsafe impl Send for JobPtr {}
+
+/// State shared between the dispatching thread and the workers.
+struct State {
+    /// The current job, valid while `generation` names it.
+    job: Option<JobPtr>,
+    /// Incremented once per dispatch; workers use it to tell a fresh job
+    /// from the one they just finished (a condvar wake alone cannot).
+    generation: u64,
+    /// Workers still running the current job.
+    remaining: usize,
+    /// Set once by `Drop`; workers exit their loop when they see it.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here between rounds.
+    work: Condvar,
+    /// The dispatcher parks here until `remaining` hits zero.
+    done: Condvar,
+}
+
+/// Persistent worker threads for sharded market rounds: spawned once,
+/// parked between dispatches, joined on drop. See the module docs.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    /// Serializes dispatches: the pool is shared by `Arc` (cloned markets
+    /// keep one set of threads), and the generation/remaining bookkeeping
+    /// assumes one job in flight at a time.
+    dispatch: Mutex<()>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.threads.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawn a pool with `workers` persistent threads. `workers == 0` is a
+    /// valid degenerate pool: [`WorkerPool::run`] then just calls the job
+    /// once on the calling thread.
+    pub fn new(workers: usize) -> WorkerPool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                generation: 0,
+                remaining: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let threads = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ppm-market-{i}"))
+                    .spawn(move || worker_loop(&shared, i + 1))
+                    .expect("spawn market worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            dispatch: Mutex::new(()),
+            threads,
+        }
+    }
+
+    /// Worker threads in the pool (shards per dispatch is one more: the
+    /// calling thread runs shard 0).
+    pub fn workers(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Total shards a dispatch fans out over: `workers() + 1`.
+    pub fn shards(&self) -> usize {
+        self.threads.len() + 1
+    }
+
+    /// Run `job` once per shard index in `0..self.shards()`: index 0 on
+    /// the calling thread, the rest on the parked workers. Blocks until
+    /// every shard has finished; allocates nothing.
+    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        let n = self.threads.len();
+        if n == 0 {
+            job(0);
+            return;
+        }
+        let _dispatch = self.dispatch.lock().expect("pool dispatch mutex");
+        // SAFETY: `run` does not return until `remaining == 0`, i.e. until
+        // every worker has finished calling the job and will not touch the
+        // pointer again (workers only read `state.job` under the lock while
+        // `generation` names this dispatch), so the borrow outlives every
+        // dereference despite the erased lifetime.
+        let erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(job) };
+        {
+            let mut st = self.shared.state.lock().expect("pool mutex");
+            st.job = Some(JobPtr(erased));
+            st.generation += 1;
+            st.remaining = n;
+            self.shared.work.notify_all();
+        }
+        job(0);
+        let mut st = self.shared.state.lock().expect("pool mutex");
+        while st.remaining > 0 {
+            st = self.shared.done.wait(st).expect("pool mutex");
+        }
+        st.job = None;
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool mutex");
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool mutex");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen {
+                    seen = st.generation;
+                    break st.job.expect("generation advanced without a job");
+                }
+                st = shared.work.wait(st).expect("pool mutex");
+            }
+        };
+        // SAFETY: the dispatcher keeps the pointee alive until `remaining`
+        // reaches zero, which only happens after this call returns.
+        (unsafe { &*job.0 })(index);
+        let mut st = shared.state.lock().expect("pool mutex");
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_shard_runs_exactly_once() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.shards(), 4);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(&|i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "shard {i}");
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_dispatches() {
+        let pool = WorkerPool::new(2);
+        let total = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.run(&|i| {
+                total.fetch_add(i + 1, Ordering::SeqCst);
+            });
+        }
+        // Σ (i+1) over shards {0,1,2} = 6, 100 times.
+        assert_eq!(total.load(Ordering::SeqCst), 600);
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.shards(), 1);
+        let hits = AtomicUsize::new(0);
+        pool.run(&|i| {
+            assert_eq!(i, 0);
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn disjoint_slot_outputs_merge_deterministically() {
+        // The market's usage pattern: each shard owns a disjoint output
+        // slot; the caller merges in slot order after run() returns.
+        let pool = WorkerPool::new(3);
+        let slots: Vec<Mutex<Option<usize>>> = (0..4).map(|_| Mutex::new(None)).collect();
+        pool.run(&|i| {
+            *slots[i].lock().expect("slot") = Some(i * 10);
+        });
+        let merged: Vec<usize> = slots
+            .iter()
+            .map(|s| s.lock().expect("slot").expect("filled"))
+            .collect();
+        assert_eq!(merged, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn drop_joins_cleanly_even_without_dispatch() {
+        let pool = WorkerPool::new(4);
+        drop(pool);
+    }
+}

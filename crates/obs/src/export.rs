@@ -21,7 +21,7 @@ pub fn csv_header(rec: &SeriesRecorder) -> String {
     let (n_cl, n_co, n_t) = rec.shape();
     let mut h = String::from(
         "t_s,chip_power_w,tdp_headroom_w,hottest_c,allowance,money_supply,\
-         market_fast_hit,market_dirty_stages,\
+         market_fast_hit,market_dirty_stages,market_workers,\
          sensor_fallbacks,dvfs_retries,migration_retries,tasks_orphaned",
     );
     for p in Phase::ALL {
@@ -69,6 +69,7 @@ pub fn write_csv<W: Write>(rec: &SeriesRecorder, w: &mut W) -> io::Result<()> {
             rec.money_supply[i],
             rec.market_fast_hit[i],
             rec.market_dirty_stages[i],
+            rec.market_workers[i],
         ] {
             line.push(',');
             line.push_str(&cell(v));
@@ -141,6 +142,7 @@ pub fn write_jsonl<W: Write>(rec: &SeriesRecorder, w: &mut W) -> io::Result<()> 
             ("money_supply", rec.money_supply[i]),
             ("market_fast_hit", rec.market_fast_hit[i]),
             ("market_dirty_stages", rec.market_dirty_stages[i]),
+            ("market_workers", rec.market_workers[i]),
         ] {
             line.push_str(&format!(",\"{k}\":{}", jnum(v)));
         }
@@ -370,6 +372,7 @@ pub fn write_chrome_trace<W: Write>(
         for p in [
             Phase::MarketDiff,
             Phase::MarketBid,
+            Phase::MarketShard,
             Phase::MarketPrice,
             Phase::MarketDvfs,
             Phase::Lbt,
@@ -480,8 +483,8 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 1 + 3);
         let cols = lines[0].split(',').count();
-        // 12 scalars + 10 phases + 2·4 cluster + 3·2 core + 2·4 task = 44.
-        assert_eq!(cols, 44);
+        // 13 scalars + 11 phases + 2·4 cluster + 3·2 core + 2·4 task = 46.
+        assert_eq!(cols, 46);
         for row in &lines[1..] {
             assert_eq!(row.split(',').count(), cols, "ragged row: {row}");
         }

@@ -69,6 +69,15 @@ pub struct FaultConfig {
     pub task_crash_prob: f64,
     /// Ceiling on injected crashes per run (keeps workloads alive).
     pub max_task_crashes: u32,
+    /// Probability (decided once per cluster, on its first read) that a
+    /// cluster agent's observation clock drifts: its power readings then
+    /// permanently lag the chip-wide capture by a fixed number of quanta.
+    pub clock_drift_prob: f64,
+    /// Maximum lag, in quanta, of a drifted cluster clock.
+    pub clock_drift_quanta_max: u32,
+    /// Per-quantum probability the executor dies mid-actuation: only a
+    /// random prefix of the plan's actions reaches the hardware.
+    pub partial_plan_prob: f64,
 }
 
 impl FaultConfig {
@@ -89,6 +98,9 @@ impl FaultConfig {
             migration_fail_prob: 0.10,
             task_crash_prob: 0.0,
             max_task_crashes: 0,
+            clock_drift_prob: 0.25,
+            clock_drift_quanta_max: 2,
+            partial_plan_prob: 0.02,
         }
     }
 
@@ -108,6 +120,9 @@ impl FaultConfig {
             migration_fail_prob: 0.30,
             task_crash_prob: 2e-4,
             max_task_crashes: 2,
+            clock_drift_prob: 0.50,
+            clock_drift_quanta_max: 4,
+            partial_plan_prob: 0.08,
             ..FaultConfig::with_seed(seed)
         }
     }
@@ -125,6 +140,8 @@ impl FaultConfig {
             && self.dvfs_fail_prob + self.dvfs_defer_prob <= 1.0
             && p01(self.migration_fail_prob)
             && p01(self.task_crash_prob)
+            && p01(self.clock_drift_prob)
+            && p01(self.partial_plan_prob)
             && self.power_noise_sigma.is_finite()
             && self.power_noise_sigma >= 0.0
             && self.power_quantum.value().is_finite()
@@ -162,6 +179,10 @@ pub struct FaultStats {
     pub migrations_failed: u64,
     /// Tasks crashed.
     pub task_crashes: u64,
+    /// Cluster power readings delivered late by a drifted agent clock.
+    pub drifted_readings: u64,
+    /// Plans truncated by a mid-actuation executor death.
+    pub partial_plans: u64,
 }
 
 impl FaultStats {
@@ -174,6 +195,8 @@ impl FaultStats {
             + self.dvfs_deferred
             + self.migrations_failed
             + self.task_crashes
+            + self.drifted_readings
+            + self.partial_plans
     }
 }
 
@@ -183,6 +206,14 @@ struct DeferredDvfs {
     due: SimTime,
     cluster: ClusterId,
     level: VfLevel,
+}
+
+/// One cluster agent's observation clock: lag 0 is an honest clock; a
+/// drifted clock delivers readings `lag` quanta late through a small ring.
+#[derive(Debug, Clone, PartialEq)]
+struct ClusterClock {
+    lag: u32,
+    ring: std::collections::VecDeque<Watts>,
 }
 
 /// Seeded, replayable stream of fault decisions.
@@ -200,6 +231,9 @@ pub struct FaultPlan {
     /// sensor of cluster `c`.
     last_power: Vec<Option<Watts>>,
     deferred: Vec<DeferredDvfs>,
+    /// Per-cluster observation clocks; `None` until the first read decides
+    /// whether that cluster's clock drifts.
+    cluster_clocks: Vec<Option<ClusterClock>>,
     crashes_injected: u32,
     stats: FaultStats,
 }
@@ -213,6 +247,7 @@ impl FaultPlan {
             rng,
             last_power: Vec::new(),
             deferred: Vec::new(),
+            cluster_clocks: Vec::new(),
             crashes_injected: 0,
             stats: FaultStats::default(),
         }
@@ -336,6 +371,68 @@ impl FaultPlan {
         Some((d.cluster, d.level))
     }
 
+    /// Apply cluster `c`'s observation clock drift to its power reading.
+    ///
+    /// The paper's cluster agents each sample their sensor on their own
+    /// timer; with probability `clock_drift_prob` (decided once per
+    /// cluster, on its first read — two draws then, none afterwards) a
+    /// cluster's clock drifts and every reading it delivers lags the
+    /// chip-wide capture by a fixed `1..=clock_drift_quanta_max` quanta.
+    /// Call once per cluster per quantum, in cluster order, *after*
+    /// [`FaultPlan::perturb_power`]: drift delays what the sensor
+    /// reported, sensor faults included.
+    pub fn drift_cluster_power(&mut self, cluster: usize, reading: Watts) -> Watts {
+        if self.cluster_clocks.len() <= cluster {
+            self.cluster_clocks.resize_with(cluster + 1, || None);
+        }
+        let slot = &mut self.cluster_clocks[cluster];
+        if slot.is_none() {
+            let drifts = self.rng.gen_bool(self.config.clock_drift_prob);
+            let lag: u32 = self
+                .rng
+                .gen_range(1..=self.config.clock_drift_quanta_max.max(1));
+            *slot = Some(ClusterClock {
+                lag: if drifts { lag } else { 0 },
+                ring: std::collections::VecDeque::new(),
+            });
+        }
+        let clock = slot.as_mut().expect("clock just decided");
+        if clock.lag == 0 {
+            return reading;
+        }
+        clock.ring.push_back(reading);
+        if clock.ring.len() > clock.lag as usize + 1 {
+            clock.ring.pop_front();
+        }
+        // Until the ring warms past one entry the front IS the fresh
+        // reading (the agent's first sample); only late deliveries count
+        // as injected faults.
+        if clock.ring.len() > 1 {
+            self.stats.drifted_readings += 1;
+        }
+        *clock.ring.front().expect("ring just fed")
+    }
+
+    /// Decide whether the executor dies mid-actuation this quantum: with
+    /// probability `partial_plan_prob`, only the first `Some(k)` of `ops`
+    /// planned actions reach the hardware (`k` uniform in `0..ops`, so at
+    /// least one action is lost). The tape has already recorded the full
+    /// intent — managers must notice and re-issue, exactly as after a
+    /// failed actuation. Consumes two draws whenever `ops > 0`.
+    pub fn plan_cut(&mut self, ops: usize) -> Option<usize> {
+        if ops == 0 {
+            return None;
+        }
+        let dies = self.rng.gen_bool(self.config.partial_plan_prob);
+        let keep = self.rng.gen_range(0..ops);
+        if dies {
+            self.stats.partial_plans += 1;
+            Some(keep)
+        } else {
+            None
+        }
+    }
+
     /// Decide whether a task crashes this quantum; returns the index of
     /// the victim among `active_tasks` currently-running tasks. Bounded by
     /// `max_task_crashes` for the whole run.
@@ -375,6 +472,11 @@ mod tests {
                 a.perturb_temperature(Celsius(40.0)),
                 b.perturb_temperature(Celsius(40.0))
             );
+            assert_eq!(
+                a.drift_cluster_power(i % 3, Watts(i as f64)),
+                b.drift_cluster_power(i % 3, Watts(i as f64))
+            );
+            assert_eq!(a.plan_cut(1 + i % 4), b.plan_cut(1 + i % 4));
         }
         assert_eq!(a.stats(), b.stats());
         assert!(a.stats().total() > 0, "harsh profile injected nothing");
@@ -501,6 +603,61 @@ mod tests {
             }
         }
         assert!(seen.0 && seen.1 && seen.2, "missing outcome: {seen:?}");
+    }
+
+    #[test]
+    fn drifted_clocks_deliver_readings_late() {
+        let mut cfg = FaultConfig::with_seed(23);
+        cfg.clock_drift_prob = 1.0;
+        cfg.clock_drift_quanta_max = 2;
+        let mut plan = FaultPlan::new(cfg);
+        // Lag is 1 or 2; either way reading k arrives at quantum k + lag,
+        // and the warmup quanta replay the agent's first sample.
+        let delivered: Vec<f64> = (0..8)
+            .map(|q| plan.drift_cluster_power(0, Watts(q as f64)).value())
+            .collect();
+        let lag = delivered
+            .iter()
+            .rposition(|&w| w == 0.0)
+            .expect("first sample replays during warmup");
+        assert!((1..=2).contains(&lag), "lag {lag} out of range");
+        for (q, &w) in delivered.iter().enumerate().skip(lag) {
+            assert_eq!(w, (q - lag) as f64, "quantum {q}");
+        }
+        // Every read after the first replays an older sample while real
+        // time moves on, so all 7 later reads count as late deliveries.
+        assert_eq!(plan.stats().drifted_readings, 7);
+    }
+
+    #[test]
+    fn honest_clocks_pass_readings_through() {
+        let mut cfg = FaultConfig::with_seed(29);
+        cfg.clock_drift_prob = 0.0;
+        let mut plan = FaultPlan::new(cfg);
+        for q in 0..20 {
+            assert_eq!(
+                plan.drift_cluster_power(q % 4, Watts(q as f64)),
+                Watts(q as f64)
+            );
+        }
+        assert_eq!(plan.stats().drifted_readings, 0);
+    }
+
+    #[test]
+    fn plan_cuts_keep_a_strict_prefix() {
+        let mut cfg = FaultConfig::with_seed(31);
+        cfg.partial_plan_prob = 1.0;
+        let mut plan = FaultPlan::new(cfg);
+        assert_eq!(plan.plan_cut(0), None, "empty plans draw nothing");
+        for ops in 1..50 {
+            let keep = plan.plan_cut(ops).expect("prob 1.0 always cuts");
+            assert!(keep < ops, "must lose at least one op");
+        }
+        assert_eq!(plan.stats().partial_plans, 49);
+        cfg = FaultConfig::with_seed(31);
+        cfg.partial_plan_prob = 0.0;
+        let mut plan = FaultPlan::new(cfg);
+        assert_eq!(plan.plan_cut(10), None);
     }
 
     #[test]

@@ -944,10 +944,14 @@ impl<M: PowerManager> Simulation<M> {
             self.snap.capture(&self.system);
             if let Some(f) = &mut self.faults {
                 // Observation faults: perturb only what the manager sees.
+                // Cluster readings additionally pass through each agent's
+                // (possibly drifted) observation clock, so a drifted
+                // cluster flies on sensor data from a few quanta ago.
                 self.snap.chip_power = f.perturb_power(0, self.snap.chip_power);
                 for ci in 0..self.snap.clusters.len() {
                     let p = self.snap.clusters[ci].power;
-                    self.snap.clusters[ci].power = f.perturb_power(1 + ci, p);
+                    let p = f.perturb_power(1 + ci, p);
+                    self.snap.clusters[ci].power = f.drift_cluster_power(ci, p);
                 }
                 if let Some(h) = self.snap.hottest {
                     self.snap.hottest = Some(f.perturb_temperature(h));
@@ -988,7 +992,13 @@ impl<M: PowerManager> Simulation<M> {
                     self.system.request_level(cluster, level);
                 }
                 self.faulted.clear();
-                for &op in self.plan.ops() {
+                // A mid-actuation executor death truncates the plan to a
+                // prefix; the dropped tail never even reaches the per-op
+                // gauntlet, exactly as if the process died between ops.
+                let keep = f
+                    .plan_cut(self.plan.ops().len())
+                    .unwrap_or(self.plan.ops().len());
+                for &op in &self.plan.ops()[..keep] {
                     match op {
                         Action::RequestLevel(cluster, level) => match f.dvfs_outcome() {
                             ActuationOutcome::Apply => self.faulted.push(op),

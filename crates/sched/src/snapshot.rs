@@ -10,7 +10,12 @@
 //!
 //! Capture reuses all buffers: after the first few quanta (static topology
 //! vectors are built once) a steady-state capture performs **zero heap
-//! allocation** — see `tests/zero_alloc.rs`.
+//! allocation** — see `tests/zero_alloc.rs`. The task section — the only
+//! per-capture cost that scales with task count — is additionally gated on
+//! a live-state sub-digest, so a capture whose task telemetry has not moved
+//! skips the rebuild entirely; chip scalars and core/cluster dynamics are
+//! always re-read because observation faults perturb the snapshot's copies
+//! in place after capture.
 
 use ppm_platform::cluster::ClusterId;
 use ppm_platform::core::{CoreClass, CoreId};
@@ -209,6 +214,8 @@ pub struct SystemSnapshot {
     pub changed: ChangeMask,
     /// Previous capture's per-section sub-digests, `None` before the first.
     prev_sections: Option<[u64; 4]>,
+    /// How many captures actually rebuilt the task section (stat).
+    task_rebuilds: u64,
 }
 
 impl SystemSnapshot {
@@ -268,29 +275,54 @@ impl SystemSnapshot {
             snap.supply = chip.core_supply(d.id());
         }
 
-        self.tasks.clear();
-        self.tasks.extend(sys.task_iter().map(|id| {
-            let task = sys.task(id);
-            let core = sys.core_of(id);
-            let class = chip.core(core).class();
-            TaskSnap {
-                id,
-                core,
-                priority: task.priority().value(),
-                share: sys.share_of(id),
-                granted: sys.granted(id),
-                pelt_load: sys.pelt_load(id),
-                stalled: sys.is_stalled(id),
-                heart_rate: task.heart_rate(),
-                target_rate: task.spec().target_range().target(),
-                demand: task.demand(class, class),
-                demand_little: task.spec().profiled_demand(CoreClass::Little),
-                demand_big: task.spec().profiled_demand(CoreClass::Big),
-                cost_per_beat: task.measured_cost_per_beat(),
-            }
-        }));
+        // Task section: the rebuild walks every task through half a dozen
+        // telemetry accessors, so it is gated on a digest of the *live*
+        // values (never the snapshot's own copy, which observation faults
+        // may have perturbed after the previous capture — those only touch
+        // chip power, cluster powers, and `hottest`, all refreshed above).
+        // In steady state telemetry converges and the section digest stops
+        // moving, so the common case is one read-only pass and no writes.
+        // The gate shares ChangeMask's 64-bit-collision caveat.
+        let tasks_digest = Self::live_tasks_digest(sys);
+        let tasks_clean = self
+            .prev_sections
+            .is_some_and(|prev| prev[1] == tasks_digest);
+        if !tasks_clean {
+            self.task_rebuilds += 1;
+            self.tasks.clear();
+            self.tasks.extend(sys.task_iter().map(|id| {
+                let task = sys.task(id);
+                let core = sys.core_of(id);
+                let class = chip.core(core).class();
+                TaskSnap {
+                    id,
+                    core,
+                    priority: task.priority().value(),
+                    share: sys.share_of(id),
+                    granted: sys.granted(id),
+                    pelt_load: sys.pelt_load(id),
+                    stalled: sys.is_stalled(id),
+                    heart_rate: task.heart_rate(),
+                    target_rate: task.spec().target_range().target(),
+                    demand: task.demand(class, class),
+                    demand_little: task.spec().profiled_demand(CoreClass::Little),
+                    demand_big: task.spec().profiled_demand(CoreClass::Big),
+                    cost_per_beat: task.measured_cost_per_beat(),
+                }
+            }));
+        }
+        debug_assert_eq!(
+            tasks_digest,
+            Self::tasks_section_digest(&self.tasks),
+            "live and snapshot task digests drifted apart"
+        );
 
-        let sections = self.section_digests();
+        let sections = [
+            self.chip_digest(),
+            tasks_digest,
+            self.cores_digest(),
+            self.clusters_digest(),
+        ];
         self.changed = match self.prev_sections {
             Some(prev) => ChangeMask {
                 chip: sections[0] != prev[0],
@@ -303,11 +335,18 @@ impl SystemSnapshot {
         self.prev_sections = Some(sections);
     }
 
-    /// Per-section FNV-1a sub-digests: chip scalars, tasks, cores, clusters.
-    /// `now` is excluded (see [`ChangeMask`]); otherwise these cover the same
-    /// fields as [`SystemSnapshot::digest`], which stays untouched so tape
-    /// digests are unaffected.
-    fn section_digests(&self) -> [u64; 4] {
+    /// How many captures so far rebuilt the task section (the rest were
+    /// digest-gated to a read-only pass).
+    pub fn task_rebuilds(&self) -> u64 {
+        self.task_rebuilds
+    }
+
+    // Per-section FNV-1a sub-digests: chip scalars, tasks, cores, clusters.
+    // `now` is excluded (see [`ChangeMask`]); otherwise these cover the same
+    // fields as [`SystemSnapshot::digest`], which stays untouched so tape
+    // digests are unaffected.
+
+    fn chip_digest(&self) -> u64 {
         let mut chip = Fnv::new();
         chip.f64(self.chip_power.value());
         match self.hottest {
@@ -317,38 +356,84 @@ impl SystemSnapshot {
             }
             None => chip.u64(0),
         }
+        chip.finish()
+    }
 
-        let mut tasks = Fnv::new();
-        tasks.u64(self.tasks.len() as u64);
-        for t in &self.tasks {
-            tasks.u64(t.id.0 as u64);
-            tasks.u64(t.core.0 as u64);
-            tasks.u64(u64::from(t.priority));
-            tasks.f64(t.share.value());
-            tasks.f64(t.granted.value());
-            tasks.f64(t.pelt_load);
-            tasks.u64(u64::from(t.stalled));
-            tasks.f64(t.heart_rate);
-            tasks.f64(t.target_rate);
-            tasks.f64(t.demand.value());
-            tasks.f64(t.demand_little.value());
-            tasks.f64(t.demand_big.value());
-            match t.cost_per_beat {
+    /// Task-section digest streamed straight from the live system, hashing
+    /// exactly the fields (in exactly the order) a rebuild would store —
+    /// [`Self::tasks_section_digest`] is its snapshot-side twin, and
+    /// `capture` debug-asserts the two stay in lockstep.
+    fn live_tasks_digest(sys: &System) -> u64 {
+        let chip = sys.chip();
+        let mut h = Fnv::new();
+        // Length prefix counts *active* tasks (`task_count` also counts
+        // removed ids, which stay allocated).
+        h.u64(sys.task_iter().count() as u64);
+        for id in sys.task_iter() {
+            let task = sys.task(id);
+            let core = sys.core_of(id);
+            let class = chip.core(core).class();
+            h.u64(id.0 as u64);
+            h.u64(core.0 as u64);
+            h.u64(u64::from(task.priority().value()));
+            h.f64(sys.share_of(id).value());
+            h.f64(sys.granted(id).value());
+            h.f64(sys.pelt_load(id));
+            h.u64(u64::from(sys.is_stalled(id)));
+            h.f64(task.heart_rate());
+            h.f64(task.spec().target_range().target());
+            h.f64(task.demand(class, class).value());
+            h.f64(task.spec().profiled_demand(CoreClass::Little).value());
+            h.f64(task.spec().profiled_demand(CoreClass::Big).value());
+            match task.measured_cost_per_beat() {
                 Some(c) => {
-                    tasks.u64(1);
-                    tasks.f64(c);
+                    h.u64(1);
+                    h.f64(c);
                 }
-                None => tasks.u64(0),
+                None => h.u64(0),
             }
         }
+        h.finish()
+    }
 
+    fn tasks_section_digest(tasks: &[TaskSnap]) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(tasks.len() as u64);
+        for t in tasks {
+            h.u64(t.id.0 as u64);
+            h.u64(t.core.0 as u64);
+            h.u64(u64::from(t.priority));
+            h.f64(t.share.value());
+            h.f64(t.granted.value());
+            h.f64(t.pelt_load);
+            h.u64(u64::from(t.stalled));
+            h.f64(t.heart_rate);
+            h.f64(t.target_rate);
+            h.f64(t.demand.value());
+            h.f64(t.demand_little.value());
+            h.f64(t.demand_big.value());
+            match t.cost_per_beat {
+                Some(c) => {
+                    h.u64(1);
+                    h.f64(c);
+                }
+                None => h.u64(0),
+            }
+        }
+        h.finish()
+    }
+
+    fn cores_digest(&self) -> u64 {
         let mut cores = Fnv::new();
         cores.u64(self.cores.len() as u64);
         for c in &self.cores {
             cores.f64(c.utilization);
             cores.f64(c.supply.value());
         }
+        cores.finish()
+    }
 
+    fn clusters_digest(&self) -> u64 {
         let mut clusters = Fnv::new();
         clusters.u64(self.clusters.len() as u64);
         for cl in &self.clusters {
@@ -358,13 +443,7 @@ impl SystemSnapshot {
             clusters.f64(cl.supply_per_core.value());
             clusters.f64(cl.power.value());
         }
-
-        [
-            chip.finish(),
-            tasks.finish(),
-            cores.finish(),
-            clusters.finish(),
-        ]
+        clusters.finish()
     }
 
     /// The snapshot of `task`, if active (binary search — tasks are sorted).
@@ -585,6 +664,49 @@ mod tests {
         assert!(snap.changed.clusters, "gating dirties the cluster section");
         assert!(snap.changed.cores, "gating zeroes the cores' supply");
         assert!(!snap.changed.tasks);
+    }
+
+    #[test]
+    fn steady_recapture_skips_the_task_rebuild() {
+        let mut sys = sys_with_tasks(3);
+        let mut snap = SystemSnapshot::new();
+        snap.capture(&sys);
+        assert_eq!(snap.task_rebuilds(), 1, "first capture always rebuilds");
+        let frozen = format!("{:?}", snap.tasks);
+
+        snap.capture(&sys);
+        snap.capture(&sys);
+        assert_eq!(snap.task_rebuilds(), 1, "identical recaptures are gated");
+        assert_eq!(format!("{:?}", snap.tasks), frozen);
+
+        sys.set_share(TaskId(2), ProcessingUnits(17.0));
+        snap.capture(&sys);
+        assert_eq!(snap.task_rebuilds(), 2, "a task change forces a rebuild");
+        assert_eq!(
+            snap.task(TaskId(2)).expect("t2").share,
+            ProcessingUnits(17.0)
+        );
+
+        sys.remove_task(TaskId(0));
+        snap.capture(&sys);
+        assert_eq!(
+            snap.task_rebuilds(),
+            3,
+            "membership change forces a rebuild"
+        );
+        assert_eq!(snap.tasks.len(), 2);
+    }
+
+    #[test]
+    fn live_and_snapshot_task_digests_agree() {
+        let mut sys = sys_with_tasks(4);
+        sys.set_share(TaskId(1), ProcessingUnits(3.5));
+        let mut snap = SystemSnapshot::new();
+        snap.capture(&sys);
+        assert_eq!(
+            SystemSnapshot::live_tasks_digest(&sys),
+            SystemSnapshot::tasks_section_digest(&snap.tasks)
+        );
     }
 
     #[test]

@@ -28,8 +28,8 @@ cargo run --release --quiet -p ppm --bin ppm-sim -- \
 echo ">>> bench_sweep --check (parallel sweep == serial, bit-for-bit)"
 cargo run --release --quiet -p ppm-bench --bin bench_sweep -- --check
 
-echo ">>> bench_market --check quick (incremental == full recompute, bit-for-bit)"
-cargo run --release --quiet -p ppm-bench --bin bench_market -- --check quick
+echo ">>> bench_market --workers 4 --check quick (incremental == full == sharded, bit-for-bit)"
+cargo run --release --quiet -p ppm-bench --bin bench_market -- --workers 4 --check quick
 
 echo ">>> telemetry smoke (ppm-sim --trace/--metrics/--profile + artifact validation)"
 obs_tmp="$(mktemp -d)"

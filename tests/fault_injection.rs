@@ -100,6 +100,45 @@ fn harsh_faults_with_crashes_stay_consistent() {
     assert!(run.fault_stats.total() > 0);
 }
 
+/// The two executor-lifecycle faults, cranked up: every cluster agent's
+/// clock drifts (up to 3 quanta) and half the plans are truncated by a
+/// mid-actuation death — with the sharded market on top. The run must
+/// actually inject both fault classes and still audit clean.
+#[test]
+fn clock_drift_and_partial_plans_stay_clean_with_sharding() {
+    let seed = fault_seed();
+    let mut config = FaultConfig::with_seed(seed);
+    config.clock_drift_prob = 1.0;
+    config.clock_drift_quanta_max = 3;
+    config.partial_plan_prob = 0.5;
+    let set = set_by_name("l1").expect("fig4 small set");
+    let run = run_workload_hardened(
+        &set,
+        Scheme::Ppm,
+        None,
+        SimDuration::from_secs(8),
+        Harness {
+            faults: Some(config),
+            audit: true,
+            market_workers: 4,
+            ..Harness::default()
+        },
+    );
+    assert!(
+        run.violations.is_empty(),
+        "PPM drift+partial (seed {seed}):\n{}",
+        run.audit_report
+    );
+    assert!(
+        run.fault_stats.drifted_readings > 0,
+        "no drifted readings were delivered"
+    );
+    assert!(
+        run.fault_stats.partial_plans > 0,
+        "no plan was ever truncated"
+    );
+}
+
 /// Strategy over arbitrary *valid* fault configurations: every probability
 /// is a probability, DVFS fail+defer stays a distribution, magnitudes stay
 /// finite. `FaultConfig::is_valid` is the contract this must satisfy.
@@ -110,6 +149,7 @@ fn arb_fault_config() -> impl Strategy<Value = FaultConfig> {
         (0.0f64..0.02, 0.0f64..30.0),
         (0.0f64..0.45, 0.0f64..0.45, 0u32..=8),
         (0.0f64..0.40, 0.0f64..0.0005, 0u32..=2),
+        (0.0f64..=1.0, 0u32..=4, 0.0f64..0.25),
     )
         .prop_map(
             |(
@@ -118,6 +158,7 @@ fn arb_fault_config() -> impl Strategy<Value = FaultConfig> {
                 (thermal_spike_prob, thermal_spike_magnitude),
                 (dvfs_fail_prob, dvfs_defer_prob, dvfs_defer_quanta_max),
                 (migration_fail_prob, task_crash_prob, max_task_crashes),
+                (clock_drift_prob, clock_drift_quanta_max, partial_plan_prob),
             )| FaultConfig {
                 seed,
                 power_noise_sigma,
@@ -132,6 +173,9 @@ fn arb_fault_config() -> impl Strategy<Value = FaultConfig> {
                 migration_fail_prob,
                 task_crash_prob,
                 max_task_crashes,
+                clock_drift_prob,
+                clock_drift_quanta_max,
+                partial_plan_prob,
             },
         )
 }
