@@ -1,0 +1,219 @@
+//! Fleet stepping throughput over a chips × topology grid, and a JSON
+//! record (`BENCH_fleet.json`) so future changes have a perf trajectory to
+//! compare against.
+//!
+//! Each grid cell builds a heterogeneous [`synthetic_fleet`] under a
+//! binding datacenter cap (so every epoch actually trades), steps it for
+//! half a simulated second on the worker pool, and reports:
+//!
+//! * `quanta_per_sec` — chip-quanta stepped per wall second across the
+//!   whole fleet (chips × quanta / wall).
+//! * `real_time_x` — aggregate simulated chip-seconds per wall second; a
+//!   fleet of 16 chips simulating 4× faster than real time scores 64.
+//!
+//! Run with `cargo run --release -p ppm-bench --bin bench_fleet
+//! [--threads N] [out.json]`. The JSON records `host_cores` and `threads`
+//! so a record taken on an oversubscribed box reads as what it is.
+//!
+//! `--check [quick]` runs no timing: a pinned-seed *faulted* trading fleet
+//! runs for two simulated seconds and the fleet-level audit rollup —
+//! exchange books plus every chip's auditor — must come back clean, else
+//! exit 1. Without `quick` it then steps the acceptance-scale fleet (256
+//! chips × V64/C8/T16 under a 4 kW cap) through one full trading epoch and
+//! requires the same clean rollup.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ppm_bench::sweep::default_threads;
+use ppm_fleet::scenario::synthetic_fleet;
+use ppm_platform::faults::FaultConfig;
+use ppm_platform::units::{SimDuration, Watts};
+
+/// The timed grid: fleet width sweep at the TC2-like shape, plus one
+/// wider-chip point.
+const GRID: [(usize, usize, usize, usize); 5] = [
+    (1, 4, 2, 6),
+    (4, 4, 2, 6),
+    (16, 4, 2, 6),
+    (64, 4, 2, 6),
+    (16, 16, 4, 8),
+];
+
+/// Simulated time per timed cell.
+const SIM: SimDuration = SimDuration(500_000);
+/// Pinned fault seed for `--check` (the same one ci.sh pins elsewhere).
+const CHECK_SEED: u64 = 165;
+
+struct Sample {
+    chips: usize,
+    v: usize,
+    c: usize,
+    t: usize,
+    quanta_per_sec: f64,
+    real_time_x: f64,
+    epochs: u64,
+}
+
+fn bench_point(chips: usize, v: usize, c: usize, t: usize, threads: usize) -> Sample {
+    // ~3 W per chip keeps the cap binding across the grade spread, so the
+    // timing includes the exchange clearing every epoch.
+    let cap = Watts(3.0 * chips as f64);
+    let mut fleet = synthetic_fleet(chips, v, c, t, Some(cap), None).with_threads(threads);
+    // Warm one epoch (arena growth, first-trade setup), then time.
+    fleet.run_for(fleet.epoch());
+    let start = Instant::now();
+    fleet.run_for(SIM);
+    let wall = start.elapsed().as_secs_f64();
+    let quantum_us = fleet.chip(0).sim().quantum().as_micros();
+    let quanta = chips as f64 * SIM.as_micros() as f64 / quantum_us as f64;
+    let sim_chip_secs = chips as f64 * SIM.as_micros() as f64 / 1e6;
+    Sample {
+        chips,
+        v,
+        c,
+        t,
+        quanta_per_sec: quanta / wall,
+        real_time_x: sim_chip_secs / wall,
+        epochs: fleet.exchange().map_or(0, |ex| ex.epochs()),
+    }
+}
+
+/// The pinned-seed faulted smoke: a heterogeneous trading fleet under
+/// faults must stay auditor-clean — books closed at the exchange, every
+/// chip's invariants intact.
+fn check_faulted_smoke() {
+    let mut fleet = synthetic_fleet(
+        4,
+        4,
+        2,
+        6,
+        Some(Watts(12.0)),
+        Some(FaultConfig::with_seed(CHECK_SEED)),
+    );
+    fleet.run_for(SimDuration::from_secs(2));
+    let roll = fleet.audit_rollup();
+    if !roll.is_clean() {
+        eprintln!(
+            "bench_fleet --check: faulted fleet audit FAILED\n{}",
+            roll.render()
+        );
+        std::process::exit(1);
+    }
+    let epochs = fleet.exchange().map_or(0, |ex| ex.epochs());
+    println!(
+        "  faulted smoke ok (seed {CHECK_SEED}, {epochs} epochs, {} quanta audited)",
+        roll.quanta_audited()
+    );
+}
+
+/// The acceptance-scale point: 256 chips × V64/C8/T16 under a 4 kW cap,
+/// one full trading epoch, clean fleet rollup.
+fn check_acceptance_scale(threads: usize) {
+    let start = Instant::now();
+    let mut fleet =
+        synthetic_fleet(256, 64, 8, 16, Some(Watts(4000.0)), None).with_threads(threads);
+    fleet.run_for(fleet.epoch());
+    let roll = fleet.audit_rollup();
+    if !roll.is_clean() {
+        eprintln!(
+            "bench_fleet --check: 256-chip epoch audit FAILED\n{}",
+            roll.render()
+        );
+        std::process::exit(1);
+    }
+    let ex = fleet.exchange().expect("capped fleet has an exchange");
+    println!(
+        "  256 x V64/C8/T16 ok ({} epoch(s), {} quanta audited, {:.1}s wall, {} thread(s))",
+        ex.epochs(),
+        roll.quanta_audited(),
+        start.elapsed().as_secs_f64(),
+        threads,
+    );
+}
+
+fn main() {
+    let mut check = false;
+    let mut quick = false;
+    let mut threads = default_threads();
+    let mut out_path = "BENCH_fleet.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "quick" => quick = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&w| w >= 1)
+                    .expect("--threads needs an integer >= 1");
+            }
+            other => out_path = other.to_string(),
+        }
+    }
+    let host_cores = default_threads();
+    if threads > host_cores {
+        eprintln!(
+            "warning: --threads {threads} exceeds {host_cores} host core(s); \
+             chip stepping will oversubscribe and timings mostly measure scheduling"
+        );
+    }
+    if check {
+        println!(
+            "bench_fleet --check: fleet audit smoke ({} thread(s))",
+            threads
+        );
+        check_faulted_smoke();
+        if !quick {
+            check_acceptance_scale(threads);
+        }
+        println!("bench_fleet --check: clean");
+        return;
+    }
+
+    println!("fleet stepping throughput, {threads} thread(s), {host_cores} host core(s)");
+    println!(
+        "{:<22} {:>10} {:>16} {:>12} {:>8}",
+        "fleet", "quanta", "quanta/s", "realtime", "epochs"
+    );
+    let mut samples = Vec::new();
+    for &(chips, v, c, t) in &GRID {
+        let s = bench_point(chips, v, c, t, threads);
+        println!(
+            "{:<22} {:>10} {:>16.0} {:>11.1}x {:>8}",
+            format!("{}x V{} C{} T{}", s.chips, s.v, s.c, s.t),
+            s.chips * SIM.as_micros() as usize / 1000,
+            s.quanta_per_sec,
+            s.real_time_x,
+            s.epochs,
+        );
+        samples.push(s);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"fleet_step\",\n  \"unit\": \"quanta_per_sec\",\n");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    json.push_str("  \"grid\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"chips\": {}, \"v\": {}, \"c\": {}, \"t\": {}, \"quanta_per_sec\": {:.0}, \"real_time_x\": {:.1}, \"epochs\": {}}}{}",
+            s.chips,
+            s.v,
+            s.c,
+            s.t,
+            s.quanta_per_sec,
+            s.real_time_x,
+            s.epochs,
+            if i + 1 == samples.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

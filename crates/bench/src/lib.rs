@@ -147,6 +147,11 @@ pub struct Harness {
     /// i.e. serial; `n > 1` attaches a persistent pool of `n − 1` workers —
     /// DESIGN.md §13). Ignored by the non-market schemes.
     pub market_workers: usize,
+    /// Drive the run through a one-chip [`ppm_fleet::Fleet`] (no exchange)
+    /// instead of calling `Simulation::run_for` directly. Must be
+    /// byte-identical to the direct run — the fleet golden tests replay
+    /// every committed tape through this path.
+    pub lone_chip_fleet: bool,
 }
 
 impl Harness {
@@ -263,7 +268,7 @@ fn telemetry_capacity(duration: SimDuration) -> usize {
 }
 
 #[allow(clippy::type_complexity)]
-fn run<M: PowerManager>(
+fn run<M: PowerManager + Send>(
     sys: System,
     manager: M,
     duration: SimDuration,
@@ -293,7 +298,18 @@ fn run<M: PowerManager>(
         }
         sim = sim.with_telemetry(tel);
     }
-    sim.run_for(duration);
+    let mut sim = if harness.lone_chip_fleet {
+        // The N=1 byte-identity guarantee: an exchange-less fleet of one
+        // chip steps the identical trajectory in epoch-sized slices.
+        let mut fleet = ppm_fleet::Fleet::new();
+        let peak = ppm_fleet::scenario::chip_peak(sim.system().chip());
+        fleet.add_chip(sim, ppm_fleet::ChipSpec::uniform(peak * 0.1, peak));
+        fleet.run_for(duration);
+        fleet.into_chips().pop().expect("one chip").into_sim()
+    } else {
+        sim.run_for(duration);
+        sim
+    };
     let tape = sim
         .tape()
         .map(ppm_sched::plan::Tape::render)

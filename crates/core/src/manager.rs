@@ -19,7 +19,7 @@ use ppm_platform::thermal::Celsius;
 use ppm_platform::units::{Money, Price, ProcessingUnits, SimDuration, SimTime, Watts};
 use ppm_platform::vf::VfLevel;
 use ppm_sched::audit::Auditor;
-use ppm_sched::executor::{AllocationPolicy, PowerManager, System};
+use ppm_sched::executor::{AllocationPolicy, FleetBid, PowerManager, System};
 use ppm_sched::metrics::Degradation;
 use ppm_sched::nice::Nice;
 use ppm_sched::plan::ActuationPlan;
@@ -736,6 +736,44 @@ impl PowerManager for PpmManager {
 
     fn audit(&mut self, _snap: &SystemSnapshot, auditor: &mut Auditor) {
         self.audit_impl(auditor);
+    }
+
+    /// Equilibrium marginal utility for the fleet exchange: the discovered
+    /// per-core price mass per observed watt. When the chip's TDP is
+    /// squeezed, supply shrinks, prices rise, and the chip bids higher for
+    /// budget — exactly the §3.2 scarcity signal, one level up. `desired`
+    /// scales the draw by the demand/supply imbalance (slew-bounded the
+    /// way the chip agent's Δ is).
+    fn fleet_bid(&self) -> Option<FleetBid> {
+        let d = self.last_decision.as_ref()?;
+        let power = self.obs_buf.chip_power;
+        let price_mass: f64 = d.prices.iter().map(|&(_, p)| p.value()).sum();
+        let value_per_watt = price_mass / power.value().max(1e-6);
+        let imbalance = if d.total_supply.is_positive() {
+            (d.total_demand.value() / d.total_supply.value()).clamp(0.5, 2.0)
+        } else {
+            1.0
+        };
+        Some(FleetBid {
+            value_per_watt,
+            power,
+            desired: power * imbalance,
+        })
+    }
+
+    /// Adopt the exchange's cleared allowance as the chip TDP. The
+    /// threshold keeps its configured ratio below the TDP, so the buffer
+    /// zone scales with the budget. Bitwise-equal budgets are recognised
+    /// as no-ops inside the market (the fast path stays armed); a changed
+    /// budget invalidates the retained rounds.
+    fn set_power_budget(&mut self, tdp: Watts) -> bool {
+        let ratio = self.config.threshold.value() / self.config.tdp.value();
+        let threshold = Watts(tdp.value() * ratio);
+        if self.market.set_power_budget(tdp, threshold) {
+            self.config.tdp = tdp;
+            self.config.threshold = threshold;
+        }
+        true
     }
 }
 

@@ -967,6 +967,28 @@ impl Market {
         self.incr.invalidate();
     }
 
+    /// Adopt a new chip power budget: the TDP (`W_tdp`) and the threshold
+    /// (`W_th`) below it, as a fleet exchange re-trades them every epoch.
+    /// Returns false without touching anything when both are bitwise-equal
+    /// to the configuration in force (the common steady-epoch case, which
+    /// keeps the incremental fast path armed). Otherwise the retained
+    /// rounds were computed under the old budget — the power-state machine
+    /// and allowance Δ depend on it, and the fast path compares
+    /// observations and agent state but *not* config — so the ring is
+    /// dropped and the next round runs the full recompute.
+    pub fn set_power_budget(&mut self, tdp: Watts, threshold: Watts) -> bool {
+        if self.config.tdp.value().to_bits() == tdp.value().to_bits()
+            && self.config.threshold.value().to_bits() == threshold.value().to_bits()
+        {
+            return false;
+        }
+        self.config.tdp = tdp;
+        self.config.threshold = threshold;
+        self.incr.invalidate();
+        self.incr.full_obs_valid = false;
+        true
+    }
+
     /// Toggle the incremental fast path (on by default). Off forces every
     /// round through the full recompute — used by `bench_market --check`
     /// and the equivalence proptests as the reference behaviour.

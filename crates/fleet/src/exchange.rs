@@ -1,0 +1,638 @@
+//! The fleet power-budget exchange: the §3.2 money machinery one level up.
+//!
+//! Inside one chip, task agents bid virtual money for PU supply and the
+//! chip agent steers total power through the money supply. The exchange
+//! plays the identical game across chips: each chip is an agent bidding
+//! for *watts* out of the datacenter power cap, its utility derived from
+//! its own market's equilibrium prices (the [`FleetBid`] hook), divided by
+//! the electricity price at its site. The exchange clears once per epoch:
+//!
+//! * **Allowance Δ** (the fleet agent, mirroring §3.2.3): the fleet
+//!   allowance `A` grows while aggregate desired power exceeds the cap,
+//!   freezes in the threshold buffer zone (`W ≥ 0.875·C`), and is cut
+//!   proportionally when measured power overshoots the cap — with the same
+//!   slew bounds ([`MAX_DELTA_RATE`], [`MIN_EMERGENCY_CUT_RATE`]) and
+//!   emergency cooldown the chip agent uses.
+//! * **Distribution**: chip `i` receives `a_i = A·u_i/Σu`, where
+//!   `u_i = max(value_per_watt_i, floor) / electricity_price_i`.
+//! * **Bidding**: a chip that wants more power than it last cleared spends
+//!   its savings; `b_i = max(a_i + spend_i, MIN_BID)`.
+//! * **Clearing**: the watt price is `P = Σb_i / C`; chip `i` clears
+//!   `w_i = clamp(b_i/P, tdp_min_i, tdp_max_i)`, which becomes its TDP for
+//!   the next epoch.
+//! * **Conservation**: `m_i' = clamp(m_i + a_i − b_i, 0, cap_factor·a_i)`,
+//!   exactly the task-agent savings rule.
+//!
+//! Every clearing appends an [`EpochRecord`] to the ledger, and
+//! [`FleetExchange::audit_epoch`] re-derives all of the identities above
+//! from the recorded inputs, closing the books to 1e-9.
+
+use ppm_core::state::{PowerState, MAX_DELTA_RATE, MIN_EMERGENCY_CUT_RATE};
+use ppm_platform::units::{Money, SimTime, Watts};
+use ppm_sched::audit::Auditor;
+use ppm_sched::executor::FleetBid;
+
+/// Per-chip static exchange parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipSpec {
+    /// Relative electricity price at the chip's site (against the fleet's
+    /// reference tariff). Utility divides by it, so with equal marginal
+    /// value the cheaper site wins the budget.
+    pub electricity_price: f64,
+    /// Smallest TDP the exchange may clamp the chip to (keeps it alive).
+    pub tdp_min: Watts,
+    /// Largest TDP worth granting (the chip's physical peak).
+    pub tdp_max: Watts,
+}
+
+impl ChipSpec {
+    /// A spec at the reference tariff.
+    pub fn uniform(tdp_min: Watts, tdp_max: Watts) -> ChipSpec {
+        ChipSpec {
+            electricity_price: 1.0,
+            tdp_min,
+            tdp_max,
+        }
+    }
+}
+
+/// One chip's row in an epoch clearing.
+#[derive(Debug, Clone)]
+pub struct ChipEpoch {
+    /// The marginal utility the chip reported (0 for managers without a
+    /// market — they bid at the utility floor).
+    pub value_per_watt: f64,
+    /// Utility after the floor and the electricity-price division.
+    pub utility: f64,
+    /// Observed power draw entering the clearing.
+    pub power: Watts,
+    /// Power the chip asked for.
+    pub desired: Watts,
+    /// Allowance `a_i` distributed this epoch.
+    pub allowance: Money,
+    /// Savings spent on top of the allowance.
+    pub spend: Money,
+    /// Bid `b_i` placed.
+    pub bid: Money,
+    /// Savings before the clearing.
+    pub savings_before: Money,
+    /// Savings after the conservation clamp.
+    pub savings_after: Money,
+    /// Raw cleared watts `b_i / P` before the per-chip clamp.
+    pub cleared_raw: Watts,
+    /// The TDP allowance the chip takes into the next epoch.
+    pub cleared: Watts,
+}
+
+/// The ledger row for one epoch clearing.
+#[derive(Debug, Clone)]
+pub struct EpochRecord {
+    /// Epoch counter (1-based; epoch `k` clears after the `k`-th step).
+    pub epoch: u64,
+    /// Simulated time of the clearing.
+    pub at: SimTime,
+    /// Fleet power state this epoch.
+    pub state: PowerState,
+    /// Aggregate measured power `W = Σ power_i`.
+    pub total_power: Watts,
+    /// Aggregate desired power `D = Σ desired_i`.
+    pub total_desired: Watts,
+    /// Fleet allowance before the Δ update.
+    pub allowance_before: Money,
+    /// Fleet allowance after the Δ update — what was distributed.
+    pub allowance_after: Money,
+    /// The discovered watt price `P = Σb_i / C`.
+    pub price_per_watt: f64,
+    /// Per-chip rows, in chip order.
+    pub chips: Vec<ChipEpoch>,
+}
+
+/// The fleet-level budget exchange (see the module docs).
+#[derive(Debug)]
+pub struct FleetExchange {
+    cap: Watts,
+    threshold: Watts,
+    min_bid: Money,
+    savings_cap_factor: f64,
+    utility_floor: f64,
+    allowance: Money,
+    state: PowerState,
+    emergency_cooldown: u32,
+    savings: Vec<Money>,
+    cleared: Vec<Watts>,
+    epoch: u64,
+    ledger: Vec<EpochRecord>,
+}
+
+impl FleetExchange {
+    /// Epochs the allowance is frozen after an emergency cut, letting the
+    /// cut land before cutting again (the chip agent's rule).
+    pub const EMERGENCY_COOLDOWN_EPOCHS: u32 = 2;
+    /// The threshold fraction of the cap (the default `W_th/W_tdp` ratio).
+    pub const THRESHOLD_FACTOR: f64 = 0.875;
+    /// Smallest bid a chip may place.
+    pub const MIN_BID: Money = Money(0.01);
+    /// Savings band: `m_i ≤ cap_factor · a_i` (the task-agent rule).
+    pub const SAVINGS_CAP_FACTOR: f64 = 3.0;
+    /// Utility floor: managers without a market (no [`FleetBid`]) bid as if
+    /// a marginal watt bought this much value, so they keep receiving a
+    /// share instead of starving.
+    pub const UTILITY_FLOOR: f64 = 1e-3;
+    /// Absolute/relative slack the audit closes the books to.
+    pub const EPS: f64 = 1e-9;
+
+    /// An exchange clearing `cap` watts per epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive cap.
+    pub fn new(cap: Watts) -> FleetExchange {
+        assert!(cap.value() > 0.0, "power cap must be positive");
+        FleetExchange {
+            cap,
+            threshold: Watts(cap.value() * Self::THRESHOLD_FACTOR),
+            min_bid: Self::MIN_BID,
+            savings_cap_factor: Self::SAVINGS_CAP_FACTOR,
+            utility_floor: Self::UTILITY_FLOOR,
+            // $1 per watt of cap: the watt price starts near unity.
+            allowance: Money(cap.value()),
+            state: PowerState::Normal,
+            emergency_cooldown: 0,
+            savings: Vec::new(),
+            cleared: Vec::new(),
+            epoch: 0,
+            ledger: Vec::new(),
+        }
+    }
+
+    /// The datacenter power cap.
+    pub fn cap(&self) -> Watts {
+        self.cap
+    }
+
+    /// The current fleet allowance.
+    pub fn allowance(&self) -> Money {
+        self.allowance
+    }
+
+    /// The fleet power state after the most recent clearing.
+    pub fn state(&self) -> PowerState {
+        self.state
+    }
+
+    /// Epochs cleared so far.
+    pub fn epochs(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The full clearing ledger, in epoch order.
+    pub fn ledger(&self) -> &[EpochRecord] {
+        &self.ledger
+    }
+
+    /// Chip `i`'s current savings.
+    pub fn savings_of(&self, chip: usize) -> Money {
+        self.savings.get(chip).copied().unwrap_or(Money::ZERO)
+    }
+
+    /// Chip `i`'s most recently cleared TDP allowance.
+    pub fn cleared_of(&self, chip: usize) -> Option<Watts> {
+        (self.epoch > 0).then(|| self.cleared[chip])
+    }
+
+    /// Render the ledger to stable text: byte-equality of two renders is
+    /// the fleet's behavioural-identity test, exactly like `Tape::render`.
+    pub fn render_ledger(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in &self.ledger {
+            let _ = write!(
+                out,
+                "epoch {} at {} {} W {:?} D {:?} A {:?}->{:?} P {:?}",
+                r.epoch,
+                r.at.as_micros(),
+                r.state,
+                r.total_power.value(),
+                r.total_desired.value(),
+                r.allowance_before.value(),
+                r.allowance_after.value(),
+                r.price_per_watt,
+            );
+            for (i, c) in r.chips.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    " | {} u {:?} a {:?} b {:?} m {:?} w {:?}",
+                    i,
+                    c.utility,
+                    c.allowance.value(),
+                    c.bid.value(),
+                    c.savings_after.value(),
+                    c.cleared.value(),
+                );
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Clear one epoch: run the fleet agent's allowance update, distribute,
+    /// collect bids, discover the watt price, and clamp per-chip TDPs.
+    /// `bids[i]` is chip `i`'s reported bid (or `None` for managers without
+    /// one) plus its static spec; `powers[i]` its measured draw. Returns
+    /// the index of the appended ledger record.
+    ///
+    /// All arithmetic is serial in chip order — the clearing is
+    /// bit-deterministic regardless of how the chips were stepped.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bids` and `powers` disagree in length or the chip count
+    /// changes between epochs.
+    pub fn clear(
+        &mut self,
+        at: SimTime,
+        bids: &[(Option<FleetBid>, ChipSpec)],
+        powers: &[Watts],
+    ) -> usize {
+        assert_eq!(bids.len(), powers.len(), "one power reading per chip");
+        let n = bids.len();
+        assert!(n > 0, "cannot clear an empty fleet");
+        if self.epoch == 0 {
+            self.savings.resize(n, Money::ZERO);
+            self.cleared.resize(n, Watts::ZERO);
+        } else {
+            assert_eq!(self.savings.len(), n, "fleet membership is fixed");
+        }
+        self.epoch += 1;
+
+        let total_power: Watts = powers.iter().copied().sum();
+        let desired_of = |i: usize| -> Watts {
+            match bids[i].0 {
+                Some(b) => b.desired,
+                None => powers[i],
+            }
+        };
+        let total_desired: Watts = (0..n).map(desired_of).sum();
+
+        // Fleet agent: classify against cap/threshold, then the §3.2.3 Δ
+        // with desired watts as demand and the cap as supply.
+        self.state = if total_power.value() > self.cap.value() {
+            PowerState::Emergency
+        } else if total_power.value() >= self.threshold.value() {
+            PowerState::Threshold
+        } else {
+            PowerState::Normal
+        };
+        let before = self.allowance;
+        let delta = match self.state {
+            PowerState::Normal => {
+                if total_desired.value() > self.cap.value() && total_desired.value() > 0.0 {
+                    let rate = ((total_desired.value() - self.cap.value()) / total_desired.value())
+                        .min(MAX_DELTA_RATE);
+                    before * rate
+                } else {
+                    Money::ZERO
+                }
+            }
+            PowerState::Threshold => Money::ZERO,
+            PowerState::Emergency => {
+                if self.emergency_cooldown > 0 {
+                    Money::ZERO
+                } else {
+                    let rate = ((self.cap.value() - total_power.value()) / self.cap.value())
+                        .clamp(-MAX_DELTA_RATE, -MIN_EMERGENCY_CUT_RATE);
+                    before * rate
+                }
+            }
+        };
+        if self.state == PowerState::Emergency && delta.value() < 0.0 {
+            self.emergency_cooldown = Self::EMERGENCY_COOLDOWN_EPOCHS;
+        } else if self.emergency_cooldown > 0 {
+            self.emergency_cooldown -= 1;
+        }
+        let floor = self.min_bid * n as f64;
+        self.allowance = (before + delta).max(floor);
+
+        // Distribution by relative utility, then bids and the clearing.
+        let utility_of = |i: usize| -> f64 {
+            let value = bids[i].0.map_or(0.0, |b| b.value_per_watt);
+            value.max(self.utility_floor) / bids[i].1.electricity_price
+        };
+        let utility_sum: f64 = (0..n).map(utility_of).sum();
+        let mut rows = Vec::with_capacity(n);
+        let mut total_bids = Money::ZERO;
+        for i in 0..n {
+            let utility = utility_of(i);
+            let a = self.allowance * (utility / utility_sum);
+            let desired = desired_of(i);
+            let m = self.savings[i];
+            let spend = if desired.value() > self.cleared[i].value() {
+                m
+            } else {
+                Money::ZERO
+            };
+            let bid = (a + spend).max(self.min_bid);
+            total_bids += bid;
+            rows.push(ChipEpoch {
+                value_per_watt: bids[i].0.map_or(0.0, |b| b.value_per_watt),
+                utility,
+                power: powers[i],
+                desired,
+                allowance: a,
+                spend,
+                bid,
+                savings_before: m,
+                savings_after: Money::ZERO, // filled below
+                cleared_raw: Watts::ZERO,   // filled below
+                cleared: Watts::ZERO,       // filled below
+            });
+        }
+        let price = total_bids.value() / self.cap.value();
+        for (i, row) in rows.iter_mut().enumerate() {
+            row.cleared_raw = Watts(row.bid.value() / price);
+            row.cleared = Watts(
+                row.cleared_raw
+                    .value()
+                    .clamp(bids[i].1.tdp_min.value(), bids[i].1.tdp_max.value()),
+            );
+            row.savings_after = (row.savings_before + row.allowance - row.bid)
+                .clamp(Money::ZERO, row.allowance * self.savings_cap_factor);
+            self.savings[i] = row.savings_after;
+            self.cleared[i] = row.cleared;
+        }
+
+        self.ledger.push(EpochRecord {
+            epoch: self.epoch,
+            at,
+            state: self.state,
+            total_power,
+            total_desired,
+            allowance_before: before,
+            allowance_after: self.allowance,
+            price_per_watt: price,
+            chips: rows,
+        });
+        self.ledger.len() - 1
+    }
+
+    /// Re-derive every clearing identity from the recorded epoch inputs and
+    /// report breaches beyond [`Self::EPS`] into `auditor` — the fleet-level
+    /// money-conservation audit. Checks, per epoch:
+    ///
+    /// * the allowance Δ respects the slew bounds (or hit the floor),
+    /// * Σ `a_i` returns the distributed allowance,
+    /// * every bid is within `[MIN_BID, a_i + m_i]`,
+    /// * Σ `b_i / P` returns the cap exactly (price-discovery identity),
+    /// * every cleared TDP lies within its chip's `[tdp_min, tdp_max]`,
+    /// * every savings account obeys the conservation clamp.
+    pub fn audit_epoch(&self, rec: &EpochRecord, auditor: &mut Auditor) {
+        let eps_money = Self::EPS * rec.allowance_after.value().abs().max(1.0);
+        let a0 = rec.allowance_before.value();
+        let delta = rec.allowance_after.value() - a0;
+        let floor = self.min_bid.value() * rec.chips.len() as f64;
+        let slew_ok = delta.abs() <= MAX_DELTA_RATE * a0.abs() + eps_money
+            || (rec.allowance_after.value() - floor).abs() <= eps_money;
+        if !slew_ok {
+            auditor.report(
+                "fleet-allowance-slew",
+                format!(
+                    "epoch {}: Δ {delta} exceeds the slew bound on A {a0}",
+                    rec.epoch
+                ),
+            );
+        }
+        let distributed: f64 = rec.chips.iter().map(|c| c.allowance.value()).sum();
+        if (distributed - rec.allowance_after.value()).abs() > eps_money {
+            auditor.report(
+                "fleet-allowance-distribution",
+                format!(
+                    "epoch {}: Σ a_i = {distributed} but A = {}",
+                    rec.epoch,
+                    rec.allowance_after.value()
+                ),
+            );
+        }
+        if rec.price_per_watt <= 0.0 || !rec.price_per_watt.is_finite() {
+            auditor.report(
+                "fleet-price-positive",
+                format!("epoch {}: watt price {}", rec.epoch, rec.price_per_watt),
+            );
+            return;
+        }
+        let cleared_raw_sum: f64 = rec.chips.iter().map(|c| c.cleared_raw.value()).sum();
+        if (cleared_raw_sum - self.cap.value()).abs() > Self::EPS * self.cap.value().max(1.0) {
+            auditor.report(
+                "fleet-clearing-identity",
+                format!(
+                    "epoch {}: Σ b_i/P = {cleared_raw_sum} W but cap = {}",
+                    rec.epoch, self.cap
+                ),
+            );
+        }
+        for (i, c) in rec.chips.iter().enumerate() {
+            let eps = Self::EPS * c.allowance.value().abs().max(1.0);
+            if c.bid.value() < self.min_bid.value() - eps {
+                auditor.report(
+                    "fleet-bid-floor",
+                    format!(
+                        "epoch {}: chip {i} bid {} < floor {}",
+                        rec.epoch, c.bid, self.min_bid
+                    ),
+                );
+            }
+            // Funds bound: the MIN_BID floor is exchange-granted (a chip
+            // whose allowance share is below the floor still bids it), so
+            // the bound is max(a + m, floor).
+            let funds = (c.allowance.value() + c.savings_before.value()).max(self.min_bid.value());
+            if c.bid.value() > funds + eps {
+                auditor.report(
+                    "fleet-overspend",
+                    format!(
+                        "epoch {}: chip {i} bid {} > funds {}",
+                        rec.epoch,
+                        c.bid,
+                        c.allowance + c.savings_before
+                    ),
+                );
+            }
+            let expect = (c.savings_before + c.allowance - c.bid)
+                .clamp(Money::ZERO, c.allowance * self.savings_cap_factor);
+            if (c.savings_after.value() - expect.value()).abs() > eps {
+                auditor.report(
+                    "fleet-money-conservation",
+                    format!(
+                        "epoch {}: chip {i} savings {} != clamp(m+a−b) {}",
+                        rec.epoch, c.savings_after, expect
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Run [`FleetExchange::audit_epoch`] over the whole ledger into a
+    /// fresh report (closing the books after a run).
+    pub fn audit_ledger(&self, auditor: &mut Auditor) {
+        for rec in &self.ledger {
+            auditor.begin_quantum(rec.at, rec.epoch);
+            self.audit_epoch(rec, auditor);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bid(value: f64, power: f64, desired: f64) -> Option<FleetBid> {
+        Some(FleetBid {
+            value_per_watt: value,
+            power: Watts(power),
+            desired: Watts(desired),
+        })
+    }
+
+    fn spec() -> ChipSpec {
+        ChipSpec::uniform(Watts(1.0), Watts(100.0))
+    }
+
+    #[test]
+    fn budget_flows_to_the_higher_value_chip() {
+        let mut ex = FleetExchange::new(Watts(20.0));
+        // Both chips want more than they have; chip 0 extracts twice the
+        // value per watt. Clear a few epochs and compare allowances.
+        for _ in 0..5 {
+            let idx = ex.clear(
+                SimTime::ZERO,
+                &[(bid(4.0, 9.0, 14.0), spec()), (bid(2.0, 9.0, 14.0), spec())],
+                &[Watts(9.0), Watts(9.0)],
+            );
+            let rec = &ex.ledger()[idx];
+            assert!(rec.chips[0].cleared > rec.chips[1].cleared);
+        }
+        let last = ex.ledger().last().expect("cleared");
+        // Cleared watts are proportional to utility before clamping.
+        let ratio = last.chips[0].cleared_raw.value() / last.chips[1].cleared_raw.value();
+        assert!((ratio - 2.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cheap_electricity_wins_budget_ties() {
+        let mut ex = FleetExchange::new(Watts(20.0));
+        let cheap = ChipSpec {
+            electricity_price: 0.5,
+            ..spec()
+        };
+        let idx = ex.clear(
+            SimTime::ZERO,
+            &[(bid(2.0, 9.0, 14.0), cheap), (bid(2.0, 9.0, 14.0), spec())],
+            &[Watts(9.0), Watts(9.0)],
+        );
+        let rec = &ex.ledger()[idx];
+        assert!(rec.chips[0].cleared > rec.chips[1].cleared);
+    }
+
+    #[test]
+    fn emergency_cuts_the_allowance_then_cools_down() {
+        let mut ex = FleetExchange::new(Watts(10.0));
+        let a0 = ex.allowance();
+        // 14 W against a 10 W cap: emergency, proportional cut.
+        ex.clear(
+            SimTime::ZERO,
+            &[(bid(1.0, 14.0, 14.0), spec())],
+            &[Watts(14.0)],
+        );
+        assert_eq!(ex.state(), PowerState::Emergency);
+        assert!(ex.allowance() < a0);
+        let a1 = ex.allowance();
+        // Still over, but the cooldown freezes further cuts for 2 epochs.
+        ex.clear(
+            SimTime::ZERO,
+            &[(bid(1.0, 13.0, 13.0), spec())],
+            &[Watts(13.0)],
+        );
+        assert_eq!(ex.allowance(), a1, "cooldown freezes the allowance");
+    }
+
+    #[test]
+    fn allowance_grows_only_while_desire_exceeds_the_cap() {
+        let mut ex = FleetExchange::new(Watts(100.0));
+        let a0 = ex.allowance();
+        ex.clear(
+            SimTime::ZERO,
+            &[(bid(1.0, 30.0, 150.0), spec())],
+            &[Watts(30.0)],
+        );
+        assert!(ex.allowance() > a0, "unmet desire grows the allowance");
+        let a1 = ex.allowance();
+        ex.clear(
+            SimTime::ZERO,
+            &[(bid(1.0, 30.0, 30.0), spec())],
+            &[Watts(30.0)],
+        );
+        assert_eq!(ex.allowance(), a1, "sated fleet freezes the allowance");
+    }
+
+    #[test]
+    fn the_books_close_over_a_noisy_run() {
+        let mut ex = FleetExchange::new(Watts(30.0));
+        let specs = [
+            ChipSpec {
+                electricity_price: 0.8,
+                ..spec()
+            },
+            spec(),
+            ChipSpec {
+                electricity_price: 1.3,
+                ..spec()
+            },
+        ];
+        // Deterministic pseudo-noise (no RNG in tests).
+        for k in 0..50u64 {
+            let f = |i: u64| 6.0 + ((k * 7 + i * 13) % 17) as f64;
+            let bids = [
+                (bid(1.0 + (k % 5) as f64, f(0), f(0) * 1.4), specs[0]),
+                (bid(2.0, f(1), f(1) * 0.9), specs[1]),
+                (None, specs[2]),
+            ];
+            let powers = [Watts(f(0)), Watts(f(1)), Watts(f(2))];
+            ex.clear(SimTime(k), &bids, &powers);
+        }
+        let mut aud = Auditor::new();
+        ex.audit_ledger(&mut aud);
+        assert!(aud.is_clean(), "{}", aud.render());
+        assert_eq!(aud.quanta_audited(), 50);
+    }
+
+    #[test]
+    fn ledger_renders_deterministically() {
+        let run = || {
+            let mut ex = FleetExchange::new(Watts(20.0));
+            for k in 0..10u64 {
+                ex.clear(
+                    SimTime(k * 1000),
+                    &[(bid(3.0, 9.0, 12.0), spec()), (bid(1.0, 8.0, 8.0), spec())],
+                    &[Watts(9.0), Watts(8.0)],
+                );
+            }
+            ex.render_ledger()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert_eq!(a.lines().count(), 10);
+    }
+
+    #[test]
+    fn cleared_watts_respect_the_per_chip_band() {
+        let mut ex = FleetExchange::new(Watts(50.0));
+        let tight = ChipSpec::uniform(Watts(4.0), Watts(6.0));
+        let idx = ex.clear(
+            SimTime::ZERO,
+            &[(bid(10.0, 20.0, 40.0), tight), (bid(0.1, 5.0, 5.0), tight)],
+            &[Watts(20.0), Watts(5.0)],
+        );
+        let rec = &ex.ledger()[idx];
+        for c in &rec.chips {
+            assert!(c.cleared.value() >= 4.0 && c.cleared.value() <= 6.0);
+        }
+    }
+}

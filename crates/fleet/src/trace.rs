@@ -1,0 +1,141 @@
+//! Fleet-wide observability bridges: turn the exchange ledger and every
+//! chip's telemetry into the `ppm-obs` fleet exporters' inputs — one
+//! Chrome trace with a labelled track pair per chip plus an exchange
+//! counter track, and one wide chip-tagged CSV joined on the simulated
+//! timeline.
+//!
+//! These are glue, not new formats: the per-chip content goes through the
+//! exact same emitters the single-chip exporters use, so a fleet trace of
+//! one chip shows the same counters and spans a standalone trace would.
+
+use std::io::{self, Write};
+
+use ppm_obs::export::{write_fleet_chrome_trace, write_fleet_csv, CounterSample};
+use ppm_obs::recorder::SeriesRecorder;
+use ppm_sched::executor::PowerManager;
+
+use crate::exchange::FleetExchange;
+use crate::Fleet;
+
+/// The exchange ledger as a counter track: one sample per trading epoch
+/// carrying the cap, measured fleet power, desired fleet power, the
+/// allowance after the Δ update, and the discovered watt price. Feed it to
+/// [`write_fleet_chrome_trace`] alongside the chip recorders.
+pub fn exchange_counter_track(ex: &FleetExchange) -> Vec<CounterSample> {
+    ex.ledger()
+        .iter()
+        .map(|rec| CounterSample {
+            t_us: rec.at.as_micros(),
+            series: vec![
+                ("cap_w".to_string(), ex.cap().value()),
+                ("total_power_w".to_string(), rec.total_power.value()),
+                ("desired_w".to_string(), rec.total_desired.value()),
+                ("allowance".to_string(), rec.allowance_after.value()),
+                ("price_per_watt".to_string(), rec.price_per_watt),
+            ],
+        })
+        .collect()
+}
+
+/// Every chip's recorder, in chip order. Chips without telemetry enabled
+/// are absent — and if *any* chip lacks telemetry the indices would no
+/// longer be chip indices, so this returns `None` unless every chip
+/// recorded.
+pub fn fleet_recorders<M: PowerManager>(fleet: &Fleet<M>) -> Option<Vec<&SeriesRecorder>> {
+    fleet
+        .chips()
+        .iter()
+        .map(|c| c.sim().telemetry().map(|t| &t.recorder))
+        .collect()
+}
+
+/// Write the whole fleet as one Chrome trace: chip-tagged counter/span
+/// track pairs (via the shared single-chip emitter) plus the exchange
+/// counter track when the fleet trades. Fails with `InvalidInput` if any
+/// chip ran without telemetry.
+pub fn write_trace<M: PowerManager, W: Write>(
+    fleet: &Fleet<M>,
+    w: &mut W,
+    stride: usize,
+) -> io::Result<()> {
+    let recs = fleet_recorders(fleet).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "every chip needs telemetry enabled to export a fleet trace",
+        )
+    })?;
+    let exchange = fleet
+        .exchange()
+        .map(exchange_counter_track)
+        .unwrap_or_default();
+    write_fleet_chrome_trace(&recs, &exchange, w, stride)
+}
+
+/// Write the whole fleet as one wide chip-tagged CSV joined on the
+/// simulated timeline (`t_s,c0_…,c1_…`). Fails with `InvalidInput` if any
+/// chip ran without telemetry or the recorders hold different row counts.
+pub fn write_csv<M: PowerManager, W: Write>(fleet: &Fleet<M>, w: &mut W) -> io::Result<()> {
+    let recs = fleet_recorders(fleet).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "every chip needs telemetry enabled to export a fleet CSV",
+        )
+    })?;
+    write_fleet_csv(&recs, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::synthetic_fleet;
+    use ppm_platform::units::{SimDuration, Watts};
+
+    fn traced_fleet() -> Fleet<ppm_core::manager::PpmManager> {
+        let mut fleet = synthetic_fleet(2, 4, 2, 4, Some(Watts(8.0)), None);
+        for chip in fleet.chips_mut() {
+            chip.sim_mut().set_telemetry(ppm_obs::Telemetry::new(4096));
+        }
+        fleet.run_for(SimDuration::from_millis(300));
+        fleet
+    }
+
+    #[test]
+    fn fleet_trace_carries_every_chip_and_the_exchange() {
+        let fleet = traced_fleet();
+        let track = exchange_counter_track(fleet.exchange().expect("exchange"));
+        assert_eq!(track.len(), 3, "one sample per trading epoch");
+        assert!(track[0].series.iter().any(|(k, _)| k == "price_per_watt"));
+
+        let mut buf = Vec::new();
+        write_trace(&fleet, &mut buf, 1).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"chip 0 time-series (simulated time)\""));
+        assert!(text.contains("\"chip 1 time-series (simulated time)\""));
+        assert!(text.contains("\"fleet exchange (per-epoch clearing)\""));
+        assert!(text.contains("\"name\":\"exchange\""));
+    }
+
+    #[test]
+    fn fleet_csv_is_one_row_per_quantum_across_chips() {
+        let fleet = traced_fleet();
+        let mut buf = Vec::new();
+        write_csv(&fleet, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // 300 ms at the 1 ms quantum → 300 rows plus the header.
+        assert_eq!(lines.len(), 1 + 300);
+        assert!(lines[0].starts_with("t_s,c0_chip_power_w,"));
+        assert!(lines[0].contains(",c1_chip_power_w,"));
+        let cols = lines[0].split(',').count();
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), cols);
+        }
+    }
+
+    #[test]
+    fn missing_telemetry_is_an_error_not_a_partial_export() {
+        let fleet = synthetic_fleet(2, 4, 2, 4, Some(Watts(8.0)), None);
+        let err = write_trace(&fleet, &mut Vec::new(), 1).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+}

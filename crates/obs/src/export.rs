@@ -52,66 +52,118 @@ fn cell(v: f64) -> String {
     }
 }
 
-/// Write the held rows as CSV, oldest first: the header, then one row per
-/// recorded quantum.
-pub fn write_csv<W: Write>(rec: &SeriesRecorder, w: &mut W) -> io::Result<()> {
-    writeln!(w, "{}", csv_header(rec))?;
+/// Append row `i`'s cells — everything after `t_s` — to `line`. Shared by
+/// the single-recorder CSV and the fleet join, so the two stay
+/// column-for-column consistent.
+fn csv_row_cells(rec: &SeriesRecorder, i: usize, line: &mut String) {
     let (n_cl, n_co, n_t) = rec.shape();
-    let mut line = String::new();
-    for i in rec.row_indices() {
-        line.clear();
-        line.push_str(&format!("{}", rec.t_us[i] as f64 / 1e6));
+    for v in [
+        rec.chip_power_w[i],
+        rec.tdp_headroom_w[i],
+        rec.hottest_c[i],
+        rec.allowance[i],
+        rec.money_supply[i],
+        rec.market_fast_hit[i],
+        rec.market_dirty_stages[i],
+        rec.market_workers[i],
+    ] {
+        line.push(',');
+        line.push_str(&cell(v));
+    }
+    for v in [
+        rec.sensor_fallbacks[i],
+        rec.dvfs_retries[i],
+        rec.migration_retries[i],
+        rec.tasks_orphaned[i],
+    ] {
+        line.push_str(&format!(",{v}"));
+    }
+    for p in 0..Phase::COUNT {
+        line.push_str(&format!(",{}", rec.phase_ns[p][i]));
+    }
+    for c in 0..n_cl {
         for v in [
-            rec.chip_power_w[i],
-            rec.tdp_headroom_w[i],
-            rec.hottest_c[i],
-            rec.allowance[i],
-            rec.money_supply[i],
-            rec.market_fast_hit[i],
-            rec.market_dirty_stages[i],
-            rec.market_workers[i],
+            rec.cluster_freq_mhz[c][i],
+            rec.cluster_volt_mv[c][i],
+            rec.cluster_power_w[c][i],
+            rec.cluster_temp_c[c][i],
         ] {
             line.push(',');
             line.push_str(&cell(v));
         }
+    }
+    for c in 0..n_co {
+        for v in [rec.core_supply[c][i], rec.core_price[c][i]] {
+            line.push(',');
+            line.push_str(&cell(v));
+        }
+    }
+    for t in 0..n_t {
         for v in [
-            rec.sensor_fallbacks[i],
-            rec.dvfs_retries[i],
-            rec.migration_retries[i],
-            rec.tasks_orphaned[i],
+            rec.task_share[t][i],
+            rec.task_granted[t][i],
+            rec.task_hr[t][i],
+            rec.task_hr_norm[t][i],
         ] {
-            line.push_str(&format!(",{v}"));
+            line.push(',');
+            line.push_str(&cell(v));
         }
-        for p in 0..Phase::COUNT {
-            line.push_str(&format!(",{}", rec.phase_ns[p][i]));
+    }
+}
+
+/// Write the held rows as CSV, oldest first: the header, then one row per
+/// recorded quantum.
+pub fn write_csv<W: Write>(rec: &SeriesRecorder, w: &mut W) -> io::Result<()> {
+    writeln!(w, "{}", csv_header(rec))?;
+    let mut line = String::new();
+    for i in rec.row_indices() {
+        line.clear();
+        line.push_str(&format!("{}", rec.t_us[i] as f64 / 1e6));
+        csv_row_cells(rec, i, &mut line);
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// The header for a fleet CSV: one shared `t_s`, then every chip's columns
+/// tagged `c{chip}_`. Chips may have different shapes — each contributes
+/// its own column group, so a heterogeneous fleet still joins cleanly.
+pub fn fleet_csv_header(recs: &[&SeriesRecorder]) -> String {
+    let mut h = String::from("t_s");
+    for (chip, rec) in recs.iter().enumerate() {
+        for col in csv_header(rec).split(',').skip(1) {
+            h.push_str(&format!(",c{chip}_{col}"));
         }
-        for c in 0..n_cl {
-            for v in [
-                rec.cluster_freq_mhz[c][i],
-                rec.cluster_volt_mv[c][i],
-                rec.cluster_power_w[c][i],
-                rec.cluster_temp_c[c][i],
-            ] {
-                line.push(',');
-                line.push_str(&cell(v));
-            }
-        }
-        for c in 0..n_co {
-            for v in [rec.core_supply[c][i], rec.core_price[c][i]] {
-                line.push(',');
-                line.push_str(&cell(v));
-            }
-        }
-        for t in 0..n_t {
-            for v in [
-                rec.task_share[t][i],
-                rec.task_granted[t][i],
-                rec.task_hr[t][i],
-                rec.task_hr_norm[t][i],
-            ] {
-                line.push(',');
-                line.push_str(&cell(v));
-            }
+    }
+    h
+}
+
+/// Write a fleet of recorders as one wide CSV joined on the simulated
+/// timeline: row `k` holds quantum `k` of every chip side by side, columns
+/// tagged `c{chip}_`. All recorders must hold the same number of rows
+/// (they do when the chips ran in lock-step under one [`Fleet`] epoch
+/// loop); mismatched row counts are an `InvalidInput` error rather than a
+/// silently misaligned join.
+///
+/// [`Fleet`]: https://docs.rs/ppm-fleet
+pub fn write_fleet_csv<W: Write>(recs: &[&SeriesRecorder], w: &mut W) -> io::Result<()> {
+    let Some(first) = recs.first() else {
+        return Ok(());
+    };
+    if recs.iter().any(|r| r.rows() != first.rows()) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "fleet recorders hold different row counts; cannot join on time",
+        ));
+    }
+    writeln!(w, "{}", fleet_csv_header(recs))?;
+    let indices: Vec<Vec<usize>> = recs.iter().map(|r| r.row_indices().collect()).collect();
+    let mut line = String::new();
+    for (k, &row) in indices[0].iter().enumerate() {
+        line.clear();
+        line.push_str(&format!("{}", first.t_us[row] as f64 / 1e6));
+        for (chip, rec) in recs.iter().enumerate() {
+            csv_row_cells(rec, indices[chip][k], &mut line);
         }
         writeln!(w, "{line}")?;
     }
@@ -218,9 +270,9 @@ pub fn write_jsonl<W: Write>(rec: &SeriesRecorder, w: &mut W) -> io::Result<()> 
     Ok(())
 }
 
-/// One Chrome counter event: `name` at `ts_us` with the finite `(series,
-/// value)` pairs. Emits nothing when every value is NaN.
-fn counter(out: &mut Vec<String>, ts_us: f64, name: &str, series: &[(String, f64)]) {
+/// One Chrome counter event on `pid`: `name` at `ts_us` with the finite
+/// `(series, value)` pairs. Emits nothing when every value is NaN.
+fn counter(out: &mut Vec<String>, pid: usize, ts_us: f64, name: &str, series: &[(String, f64)]) {
     let finite: Vec<&(String, f64)> = series.iter().filter(|(_, v)| v.is_finite()).collect();
     if finite.is_empty() {
         return;
@@ -231,7 +283,7 @@ fn counter(out: &mut Vec<String>, ts_us: f64, name: &str, series: &[(String, f64
         .collect::<Vec<_>>()
         .join(",");
     out.push(format!(
-        "{{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":{ts_us},\"name\":\"{name}\",\"args\":{{{args}}}}}"
+        "{{\"ph\":\"C\",\"pid\":{pid},\"tid\":0,\"ts\":{ts_us},\"name\":\"{name}\",\"args\":{{{args}}}}}"
     ));
 }
 
@@ -252,7 +304,6 @@ pub fn write_chrome_trace<W: Write>(
     stride: usize,
 ) -> io::Result<()> {
     let stride = stride.max(1);
-    let (n_cl, n_co, n_t) = rec.shape();
     let mut ev: Vec<String> = vec![
         "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\
          \"args\":{\"name\":\"ppm time-series (simulated time)\"}}"
@@ -267,13 +318,38 @@ pub fn write_chrome_trace<W: Write>(
          \"args\":{\"name\":\"manager sub-phases\"}}"
             .to_string(),
     ];
+    recorder_events(rec, &mut ev, stride, 0, 1);
+    writeln!(
+        w,
+        "{{\"displayTimeUnit\":\"ms\",\"otherData\":{{\"rows\":{},\"dropped\":{},\"stride\":{stride}}},\"traceEvents\":[",
+        rec.rows(),
+        rec.dropped(),
+    )?;
+    for (k, e) in ev.iter().enumerate() {
+        let sep = if k + 1 == ev.len() { "" } else { "," };
+        writeln!(w, "{e}{sep}")?;
+    }
+    writeln!(w, "]}}")
+}
+
+/// Emit one recorder's counter events (on `pid_counters`) and phase spans
+/// (on `pid_spans`) into `ev`. The per-row body shared by the single-chip
+/// and fleet trace writers.
+fn recorder_events(
+    rec: &SeriesRecorder,
+    ev: &mut Vec<String>,
+    stride: usize,
+    pid_counters: usize,
+    pid_spans: usize,
+) {
+    let (n_cl, n_co, n_t) = rec.shape();
     for (k, i) in rec.row_indices().enumerate() {
         if k % stride != 0 {
             continue;
         }
         let ts = rec.t_us[i] as f64;
 
-        // Counters (pid 0, simulated timeline).
+        // Counters (simulated timeline).
         let mut power = vec![("chip".to_string(), rec.chip_power_w[i])];
         let mut temp = vec![("hottest".to_string(), rec.hottest_c[i])];
         let mut freq = Vec::new();
@@ -282,17 +358,19 @@ pub fn write_chrome_trace<W: Write>(
             temp.push((format!("cl{c}"), rec.cluster_temp_c[c][i]));
             freq.push((format!("cl{c}"), rec.cluster_freq_mhz[c][i]));
         }
-        counter(&mut ev, ts, "power_w", &power);
-        counter(&mut ev, ts, "temp_c", &temp);
-        counter(&mut ev, ts, "freq_mhz", &freq);
+        counter(ev, pid_counters, ts, "power_w", &power);
+        counter(ev, pid_counters, ts, "temp_c", &temp);
+        counter(ev, pid_counters, ts, "freq_mhz", &freq);
         counter(
-            &mut ev,
+            ev,
+            pid_counters,
             ts,
             "tdp_headroom_w",
             &[("headroom".to_string(), rec.tdp_headroom_w[i])],
         );
         counter(
-            &mut ev,
+            ev,
+            pid_counters,
             ts,
             "money",
             &[
@@ -301,7 +379,8 @@ pub fn write_chrome_trace<W: Write>(
             ],
         );
         counter(
-            &mut ev,
+            ev,
+            pid_counters,
             ts,
             "market_fast_path",
             &[
@@ -312,21 +391,22 @@ pub fn write_chrome_trace<W: Write>(
         let price: Vec<(String, f64)> = (0..n_co)
             .map(|c| (format!("core{c}"), rec.core_price[c][i]))
             .collect();
-        counter(&mut ev, ts, "price", &price);
+        counter(ev, pid_counters, ts, "price", &price);
         let supply: Vec<(String, f64)> = (0..n_co)
             .map(|c| (format!("core{c}"), rec.core_supply[c][i]))
             .collect();
-        counter(&mut ev, ts, "supply_pu", &supply);
+        counter(ev, pid_counters, ts, "supply_pu", &supply);
         let hr: Vec<(String, f64)> = (0..n_t)
             .map(|t| (format!("task{t}"), rec.task_hr_norm[t][i]))
             .collect();
-        counter(&mut ev, ts, "hr_norm", &hr);
+        counter(ev, pid_counters, ts, "hr_norm", &hr);
         let share: Vec<(String, f64)> = (0..n_t)
             .map(|t| (format!("task{t}"), rec.task_share[t][i]))
             .collect();
-        counter(&mut ev, ts, "share_pu", &share);
+        counter(ev, pid_counters, ts, "share_pu", &share);
         counter(
-            &mut ev,
+            ev,
+            pid_counters,
             ts,
             "degradation",
             &[
@@ -343,7 +423,7 @@ pub fn write_chrome_trace<W: Write>(
             ],
         );
 
-        // Phase spans (pid 1). Executor phases stack left-to-right from the
+        // Phase spans. Executor phases stack left-to-right from the
         // quantum start; sub-phases start where the plan span starts.
         let mut cursor = ts;
         let mut plan_start = ts;
@@ -363,7 +443,7 @@ pub fn write_chrome_trace<W: Write>(
             }
             let dur = ns as f64 / 1000.0;
             ev.push(format!(
-                "{{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":{cursor},\"dur\":{dur},\"name\":\"{}\"}}",
+                "{{\"ph\":\"X\",\"pid\":{pid_spans},\"tid\":0,\"ts\":{cursor},\"dur\":{dur},\"name\":\"{}\"}}",
                 p.name()
             ));
             cursor += dur;
@@ -383,17 +463,79 @@ pub fn write_chrome_trace<W: Write>(
             }
             let dur = ns as f64 / 1000.0;
             ev.push(format!(
-                "{{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":{sub_cursor},\"dur\":{dur},\"name\":\"{}\"}}",
+                "{{\"ph\":\"X\",\"pid\":{pid_spans},\"tid\":1,\"ts\":{sub_cursor},\"dur\":{dur},\"name\":\"{}\"}}",
                 p.name()
             ));
             sub_cursor += dur;
         }
     }
+}
+
+/// One sample on an extra counter track of a fleet trace — the exchange's
+/// per-epoch view (cap, total power, allowance, watt price), or any other
+/// series the caller wants alongside the chip tracks.
+#[derive(Debug, Clone)]
+pub struct CounterSample {
+    /// Simulated time of the sample, µs.
+    pub t_us: u64,
+    /// `(series name, value)` pairs; NaN values are omitted per event.
+    pub series: Vec<(String, f64)>,
+}
+
+/// Write one Chrome trace covering a whole fleet: chip `i`'s counters land
+/// on pid `2i` and its phase spans on pid `2i + 1` (so Perfetto shows one
+/// labelled track pair per chip), and the `exchange` samples land as a
+/// `"exchange"` counter track on their own process after the chips. The
+/// per-chip content is emitted by the same code path as
+/// [`write_chrome_trace`]; `stride` decimates chip rows but never exchange
+/// epochs (they are already sparse — one per trading epoch).
+pub fn write_fleet_chrome_trace<W: Write>(
+    chips: &[&SeriesRecorder],
+    exchange: &[CounterSample],
+    w: &mut W,
+    stride: usize,
+) -> io::Result<()> {
+    let stride = stride.max(1);
+    let mut ev: Vec<String> = Vec::new();
+    for (chip, rec) in chips.iter().enumerate() {
+        let pid_counters = 2 * chip;
+        let pid_spans = 2 * chip + 1;
+        ev.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid_counters},\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"chip {chip} time-series (simulated time)\"}}}}"
+        ));
+        ev.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid_spans},\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"chip {chip} quantum phases (wall ns on sim timeline)\"}}}}"
+        ));
+        ev.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid_spans},\"tid\":0,\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"executor\"}}}}"
+        ));
+        ev.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid_spans},\"tid\":1,\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"manager sub-phases\"}}}}"
+        ));
+        recorder_events(rec, &mut ev, stride, pid_counters, pid_spans);
+    }
+    let pid_ex = 2 * chips.len();
+    if !exchange.is_empty() {
+        ev.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid_ex},\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"fleet exchange (per-epoch clearing)\"}}}}"
+        ));
+        for s in exchange {
+            counter(&mut ev, pid_ex, s.t_us as f64, "exchange", &s.series);
+        }
+    }
+    let (rows, dropped) = chips.iter().fold((0u64, 0u64), |(r, d), rec| {
+        (r + rec.rows() as u64, d + rec.dropped())
+    });
     writeln!(
         w,
-        "{{\"displayTimeUnit\":\"ms\",\"otherData\":{{\"rows\":{},\"dropped\":{},\"stride\":{stride}}},\"traceEvents\":[",
-        rec.rows(),
-        rec.dropped(),
+        "{{\"displayTimeUnit\":\"ms\",\"otherData\":{{\"chips\":{},\"epochs\":{},\"rows\":{rows},\"dropped\":{dropped},\"stride\":{stride}}},\"traceEvents\":[",
+        chips.len(),
+        exchange.len(),
     )?;
     for (k, e) in ev.iter().enumerate() {
         let sep = if k + 1 == ev.len() { "" } else { "," };
@@ -492,6 +634,66 @@ mod tests {
         assert!(!text.contains("NaN"));
     }
 
+    /// A second, deliberately smaller chip: the fleet join must tolerate
+    /// heterogeneous shapes.
+    fn small_recorder() -> SeriesRecorder {
+        let mut rec = SeriesRecorder::new(8);
+        rec.ensure_shape(1, 2, 1);
+        for q in 0..3u64 {
+            let mut row = rec.push_row(q * 1000);
+            row.chip(1.5, 2.5, 38.0)
+                .cluster(0, 250.0, 900.0, 0.3, 37.0)
+                .core_supply(1, 0.2)
+                .task(0, 0.4, 0.4, 10.0, 0.9);
+        }
+        rec
+    }
+
+    #[test]
+    fn fleet_csv_joins_chips_on_the_shared_timeline() {
+        let a = sample_recorder();
+        let b = small_recorder();
+        let mut buf = Vec::new();
+        write_fleet_csv(&[&a, &b], &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + 3);
+        // 1 shared t_s + chip 0's 45 columns + chip 1's 35 columns.
+        let cols = lines[0].split(',').count();
+        assert_eq!(cols, 1 + 45 + 35);
+        assert!(lines[0].starts_with("t_s,c0_chip_power_w,"));
+        assert!(lines[0].contains(",c1_chip_power_w,"));
+        assert!(lines[0].contains(",c1_cl0_freq_mhz,"));
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), cols, "ragged row: {row}");
+        }
+    }
+
+    #[test]
+    fn fleet_csv_rejects_misaligned_recorders() {
+        let a = sample_recorder();
+        let mut b = small_recorder();
+        b.push_row(9_000); // a fourth row chip 0 never saw
+        let err = write_fleet_csv(&[&a, &b], &mut Vec::new()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn single_chip_csv_is_the_fleet_join_of_one() {
+        // The shared row emitter guarantees the fleet join of one chip is
+        // the standalone CSV with tagged headers — cell bytes identical.
+        let rec = sample_recorder();
+        let (mut lone, mut fleet) = (Vec::new(), Vec::new());
+        write_csv(&rec, &mut lone).unwrap();
+        write_fleet_csv(&[&rec], &mut fleet).unwrap();
+        let lone = String::from_utf8(lone).unwrap();
+        let fleet = String::from_utf8(fleet).unwrap();
+        assert_eq!(
+            lone.lines().skip(1).collect::<Vec<_>>(),
+            fleet.lines().skip(1).collect::<Vec<_>>(),
+        );
+    }
+
     #[test]
     fn jsonl_lines_parse_with_null_for_nan() {
         let rec = sample_recorder();
@@ -540,6 +742,64 @@ mod tests {
             }
         }
         // 3 rows × 4 measured phases each.
+        assert_eq!(spans, 12);
+    }
+
+    #[test]
+    fn fleet_trace_tags_chips_and_carries_the_exchange_track() {
+        let a = sample_recorder();
+        let b = small_recorder();
+        let exchange = vec![
+            CounterSample {
+                t_us: 0,
+                series: vec![
+                    ("cap_w".to_string(), 10.0),
+                    ("total_power_w".to_string(), 7.0),
+                    ("allowance".to_string(), 10.0),
+                    ("price_per_watt".to_string(), 1.02),
+                ],
+            },
+            CounterSample {
+                t_us: 2_000,
+                series: vec![
+                    ("cap_w".to_string(), 10.0),
+                    ("total_power_w".to_string(), 11.0),
+                    ("allowance".to_string(), 8.5),
+                    ("price_per_watt".to_string(), 1.31),
+                ],
+            },
+        ];
+        let mut buf = Vec::new();
+        write_fleet_chrome_trace(&[&a, &b], &exchange, &mut buf, 1).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let doc = json::parse(&text).expect("fleet trace parses as JSON");
+        assert_eq!(
+            doc.get("otherData").unwrap().get("chips").unwrap().as_num(),
+            Some(2.0)
+        );
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let mut chip_pids = std::collections::BTreeSet::new();
+        let mut exchange_counters = 0;
+        let mut spans = 0;
+        for e in events {
+            let pid = e.get("pid").unwrap().as_num().unwrap() as usize;
+            match e.get("ph").unwrap().as_str().unwrap() {
+                "C" if pid == 4 => {
+                    exchange_counters += 1;
+                    assert_eq!(e.get("name").unwrap().as_str(), Some("exchange"));
+                    assert!(e.get("args").unwrap().get("price_per_watt").is_some());
+                }
+                "C" => {
+                    chip_pids.insert(pid);
+                }
+                "X" => spans += 1,
+                _ => {}
+            }
+        }
+        // Each chip counts on its own even pid; chip 1 recorded no phases
+        // so all 12 spans are chip 0's, on pid 1.
+        assert_eq!(chip_pids.into_iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(exchange_counters, 2);
         assert_eq!(spans, 12);
     }
 

@@ -75,6 +75,15 @@ pub struct FaultConfig {
     pub clock_drift_prob: f64,
     /// Maximum lag, in quanta, of a drifted cluster clock.
     pub clock_drift_quanta_max: u32,
+    /// Probability (decided once, on the chip sensor's first read) that the
+    /// *chip-level* observation clock drifts: every chip-wide power reading
+    /// then lags the true capture by a fixed number of quanta. In a fleet
+    /// this ring-delays a whole chip's delivered observations — its manager
+    /// and its exchange bids fly on old data while the other chips stay
+    /// current.
+    pub chip_clock_drift_prob: f64,
+    /// Maximum lag, in quanta, of a drifted chip clock.
+    pub chip_clock_drift_quanta_max: u32,
     /// Per-quantum probability the executor dies mid-actuation: only a
     /// random prefix of the plan's actions reaches the hardware.
     pub partial_plan_prob: f64,
@@ -100,6 +109,8 @@ impl FaultConfig {
             max_task_crashes: 0,
             clock_drift_prob: 0.25,
             clock_drift_quanta_max: 2,
+            chip_clock_drift_prob: 0.25,
+            chip_clock_drift_quanta_max: 2,
             partial_plan_prob: 0.02,
         }
     }
@@ -122,6 +133,8 @@ impl FaultConfig {
             max_task_crashes: 2,
             clock_drift_prob: 0.50,
             clock_drift_quanta_max: 4,
+            chip_clock_drift_prob: 0.50,
+            chip_clock_drift_quanta_max: 4,
             partial_plan_prob: 0.08,
             ..FaultConfig::with_seed(seed)
         }
@@ -141,6 +154,7 @@ impl FaultConfig {
             && p01(self.migration_fail_prob)
             && p01(self.task_crash_prob)
             && p01(self.clock_drift_prob)
+            && p01(self.chip_clock_drift_prob)
             && p01(self.partial_plan_prob)
             && self.power_noise_sigma.is_finite()
             && self.power_noise_sigma >= 0.0
@@ -181,6 +195,8 @@ pub struct FaultStats {
     pub task_crashes: u64,
     /// Cluster power readings delivered late by a drifted agent clock.
     pub drifted_readings: u64,
+    /// Chip-wide power readings delivered late by a drifted chip clock.
+    pub chip_drifted_readings: u64,
     /// Plans truncated by a mid-actuation executor death.
     pub partial_plans: u64,
 }
@@ -196,6 +212,7 @@ impl FaultStats {
             + self.migrations_failed
             + self.task_crashes
             + self.drifted_readings
+            + self.chip_drifted_readings
             + self.partial_plans
     }
 }
@@ -208,12 +225,35 @@ struct DeferredDvfs {
     level: VfLevel,
 }
 
-/// One cluster agent's observation clock: lag 0 is an honest clock; a
-/// drifted clock delivers readings `lag` quanta late through a small ring.
+/// One observation clock (a cluster agent's, or the chip-wide sensor's):
+/// lag 0 is an honest clock; a drifted clock delivers readings `lag`
+/// quanta late through a small ring.
 #[derive(Debug, Clone, PartialEq)]
-struct ClusterClock {
+struct ObsClock {
     lag: u32,
     ring: std::collections::VecDeque<Watts>,
+}
+
+impl ObsClock {
+    /// Feed one fresh reading and return what the clock delivers: the
+    /// fresh value for honest clocks, an older sample (first sample during
+    /// warmup) for drifted ones. `late` is bumped on each late delivery.
+    fn deliver(&mut self, reading: Watts, late: &mut u64) -> Watts {
+        if self.lag == 0 {
+            return reading;
+        }
+        self.ring.push_back(reading);
+        if self.ring.len() > self.lag as usize + 1 {
+            self.ring.pop_front();
+        }
+        // Until the ring warms past one entry the front IS the fresh
+        // reading (the agent's first sample); only late deliveries count
+        // as injected faults.
+        if self.ring.len() > 1 {
+            *late += 1;
+        }
+        *self.ring.front().expect("ring just fed")
+    }
 }
 
 /// Seeded, replayable stream of fault decisions.
@@ -233,7 +273,10 @@ pub struct FaultPlan {
     deferred: Vec<DeferredDvfs>,
     /// Per-cluster observation clocks; `None` until the first read decides
     /// whether that cluster's clock drifts.
-    cluster_clocks: Vec<Option<ClusterClock>>,
+    cluster_clocks: Vec<Option<ObsClock>>,
+    /// The chip-wide observation clock; `None` until the chip sensor's
+    /// first read decides whether it drifts.
+    chip_clock: Option<ObsClock>,
     crashes_injected: u32,
     stats: FaultStats,
 }
@@ -248,6 +291,7 @@ impl FaultPlan {
             last_power: Vec::new(),
             deferred: Vec::new(),
             cluster_clocks: Vec::new(),
+            chip_clock: None,
             crashes_injected: 0,
             stats: FaultStats::default(),
         }
@@ -385,32 +429,45 @@ impl FaultPlan {
         if self.cluster_clocks.len() <= cluster {
             self.cluster_clocks.resize_with(cluster + 1, || None);
         }
-        let slot = &mut self.cluster_clocks[cluster];
-        if slot.is_none() {
+        if self.cluster_clocks[cluster].is_none() {
             let drifts = self.rng.gen_bool(self.config.clock_drift_prob);
             let lag: u32 = self
                 .rng
                 .gen_range(1..=self.config.clock_drift_quanta_max.max(1));
-            *slot = Some(ClusterClock {
+            self.cluster_clocks[cluster] = Some(ObsClock {
                 lag: if drifts { lag } else { 0 },
                 ring: std::collections::VecDeque::new(),
             });
         }
-        let clock = slot.as_mut().expect("clock just decided");
-        if clock.lag == 0 {
-            return reading;
+        let clock = self.cluster_clocks[cluster]
+            .as_mut()
+            .expect("clock just decided");
+        clock.deliver(reading, &mut self.stats.drifted_readings)
+    }
+
+    /// Apply the *chip-wide* observation clock drift to the chip power
+    /// reading — the per-chip analogue of [`FaultPlan::drift_cluster_power`]
+    /// (PR 6's per-cluster drift lifted one level): with probability
+    /// `chip_clock_drift_prob` (decided once, on the first read — two draws
+    /// then, none afterwards) the chip sensor's whole delivery path lags by
+    /// a fixed `1..=chip_clock_drift_quanta_max` quanta. Call once per
+    /// quantum, *after* [`FaultPlan::perturb_power`] on the chip sensor:
+    /// drift delays what the sensor reported, sensor faults included. In a
+    /// fleet this is the chip whose manager — and whose exchange bids —
+    /// run a few quanta behind the rest of the datacenter.
+    pub fn drift_chip_power(&mut self, reading: Watts) -> Watts {
+        if self.chip_clock.is_none() {
+            let drifts = self.rng.gen_bool(self.config.chip_clock_drift_prob);
+            let lag: u32 = self
+                .rng
+                .gen_range(1..=self.config.chip_clock_drift_quanta_max.max(1));
+            self.chip_clock = Some(ObsClock {
+                lag: if drifts { lag } else { 0 },
+                ring: std::collections::VecDeque::new(),
+            });
         }
-        clock.ring.push_back(reading);
-        if clock.ring.len() > clock.lag as usize + 1 {
-            clock.ring.pop_front();
-        }
-        // Until the ring warms past one entry the front IS the fresh
-        // reading (the agent's first sample); only late deliveries count
-        // as injected faults.
-        if clock.ring.len() > 1 {
-            self.stats.drifted_readings += 1;
-        }
-        *clock.ring.front().expect("ring just fed")
+        let clock = self.chip_clock.as_mut().expect("clock just decided");
+        clock.deliver(reading, &mut self.stats.chip_drifted_readings)
     }
 
     /// Decide whether the executor dies mid-actuation this quantum: with
@@ -475,6 +532,10 @@ mod tests {
             assert_eq!(
                 a.drift_cluster_power(i % 3, Watts(i as f64)),
                 b.drift_cluster_power(i % 3, Watts(i as f64))
+            );
+            assert_eq!(
+                a.drift_chip_power(Watts(i as f64)),
+                b.drift_chip_power(Watts(i as f64))
             );
             assert_eq!(a.plan_cut(1 + i % 4), b.plan_cut(1 + i % 4));
         }
@@ -627,6 +688,60 @@ mod tests {
         // Every read after the first replays an older sample while real
         // time moves on, so all 7 later reads count as late deliveries.
         assert_eq!(plan.stats().drifted_readings, 7);
+    }
+
+    #[test]
+    fn drifted_chip_clock_delivers_readings_late() {
+        let mut cfg = FaultConfig::with_seed(37);
+        cfg.chip_clock_drift_prob = 1.0;
+        cfg.chip_clock_drift_quanta_max = 3;
+        let mut plan = FaultPlan::new(cfg);
+        let delivered: Vec<f64> = (0..10)
+            .map(|q| plan.drift_chip_power(Watts(q as f64)).value())
+            .collect();
+        let lag = delivered
+            .iter()
+            .rposition(|&w| w == 0.0)
+            .expect("first sample replays during warmup");
+        assert!((1..=3).contains(&lag), "lag {lag} out of range");
+        for (q, &w) in delivered.iter().enumerate().skip(lag) {
+            assert_eq!(w, (q - lag) as f64, "quantum {q}");
+        }
+        assert_eq!(plan.stats().chip_drifted_readings, 9);
+        // Chip drift is accounted separately from cluster drift.
+        assert_eq!(plan.stats().drifted_readings, 0);
+    }
+
+    #[test]
+    fn honest_chip_clock_passes_readings_through() {
+        let mut cfg = FaultConfig::with_seed(41);
+        cfg.chip_clock_drift_prob = 0.0;
+        let mut plan = FaultPlan::new(cfg);
+        for q in 0..20 {
+            assert_eq!(plan.drift_chip_power(Watts(q as f64)), Watts(q as f64));
+        }
+        assert_eq!(plan.stats().chip_drifted_readings, 0);
+    }
+
+    #[test]
+    fn chip_and_cluster_clocks_drift_independently() {
+        // Same plan, chip drifting, clusters honest: cluster readings pass
+        // through untouched while the chip reading lags.
+        let mut cfg = FaultConfig::with_seed(43);
+        cfg.chip_clock_drift_prob = 1.0;
+        cfg.chip_clock_drift_quanta_max = 1;
+        cfg.clock_drift_prob = 0.0;
+        let mut plan = FaultPlan::new(cfg);
+        for q in 0..6 {
+            let chip = plan.drift_chip_power(Watts(10.0 + q as f64));
+            let cl = plan.drift_cluster_power(0, Watts(q as f64));
+            assert_eq!(cl, Watts(q as f64), "quantum {q}");
+            if q > 0 {
+                assert_eq!(chip, Watts(10.0 + (q - 1) as f64), "quantum {q}");
+            }
+        }
+        assert!(plan.stats().chip_drifted_readings > 0);
+        assert_eq!(plan.stats().drifted_readings, 0);
     }
 
     #[test]

@@ -15,6 +15,19 @@
 //!   --profile                profile manager phases, print the summary table
 //!   --faults SEED            inject deterministic sensor/actuator faults
 //!   --audit                  run the every-quantum invariant auditor
+//!
+//! ppm-sim fleet [OPTIONS]
+//!   --chips N                fleet width (default 4)
+//!   --cap WATTS              datacenter power cap, traded per epoch on the
+//!                            fleet exchange (no cap → no exchange)
+//!   --duration SECS          simulated seconds (default 10)
+//!   --clusters/--cores/--tasks   per-chip topology (default 4/2/6)
+//!   --threads N              chip-stepping worker threads (default 1)
+//!   --faults SEED            per-chip deterministic fault streams
+//!   --trace PATH             one Chrome trace: chip-tagged track pairs +
+//!                            the exchange counter track
+//!   --metrics PATH           one wide chip-tagged CSV joined on time
+//!   --ledger                 print the exchange ledger
 //! ```
 
 use std::fs::File;
@@ -152,7 +165,10 @@ const HELP: &str = "ppm-sim — simulate a power manager on a big.LITTLE chip
                            print its report (exit 1 on violations)
   --task SPEC              custom task instead of the workload set; repeatable.
                            SPEC: hr=30,demand=500[,speedup=1.8][,prio=1]
-                                 [,trace=0:1;30:1.5]  (trace uses ; separators)";
+                                 [,trace=0:1;30:1.5]  (trace uses ; separators)
+
+ppm-sim fleet ...          simulate N chips under one traded datacenter power
+                           cap (see `ppm-sim fleet --help`)";
 
 /// Parse one `--task` spec into a runnable task.
 fn parse_task(id: usize, spec: &str) -> Result<Task, String> {
@@ -349,7 +365,197 @@ fn simulate<M: PowerManager>(args: &Args, sys: System, mgr: M) -> Result<bool, S
     Ok(clean)
 }
 
+/// `ppm-sim fleet` arguments.
+struct FleetArgs {
+    chips: usize,
+    cap: Option<f64>,
+    duration: u64,
+    clusters: usize,
+    cores: usize,
+    tasks: usize,
+    threads: usize,
+    faults: Option<u64>,
+    trace: Option<String>,
+    metrics: Option<String>,
+    ledger: bool,
+}
+
+impl FleetArgs {
+    fn parse(mut it: impl Iterator<Item = String>) -> Result<FleetArgs, String> {
+        let mut args = FleetArgs {
+            chips: 4,
+            cap: None,
+            duration: 10,
+            clusters: 4,
+            cores: 2,
+            tasks: 6,
+            threads: 1,
+            faults: None,
+            trace: None,
+            metrics: None,
+            ledger: false,
+        };
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+            let num = |name: &str, v: Result<String, String>| {
+                v?.parse::<u64>().map_err(|e| format!("{name}: {e}"))
+            };
+            match flag.as_str() {
+                "--chips" => args.chips = num("--chips", value("--chips"))? as usize,
+                "--cap" => {
+                    args.cap = Some(value("--cap")?.parse().map_err(|e| format!("--cap: {e}"))?)
+                }
+                "--duration" => args.duration = num("--duration", value("--duration"))?,
+                "--clusters" => args.clusters = num("--clusters", value("--clusters"))? as usize,
+                "--cores" => args.cores = num("--cores", value("--cores"))? as usize,
+                "--tasks" => args.tasks = num("--tasks", value("--tasks"))? as usize,
+                "--threads" => args.threads = num("--threads", value("--threads"))?.max(1) as usize,
+                "--faults" => args.faults = Some(num("--faults", value("--faults"))?),
+                "--trace" => args.trace = Some(value("--trace")?),
+                "--metrics" => args.metrics = Some(value("--metrics")?),
+                "--ledger" => args.ledger = true,
+                "--help" | "-h" => {
+                    println!("{}", FLEET_HELP);
+                    exit(0);
+                }
+                other => return Err(format!("unknown fleet flag `{other}` (try --help)")),
+            }
+        }
+        if args.chips == 0 {
+            return Err("--chips must be at least 1".into());
+        }
+        Ok(args)
+    }
+}
+
+const FLEET_HELP: &str = "ppm-sim fleet — N chip simulations under one datacenter power cap
+  --chips N                fleet width (default 4)
+  --cap WATTS              datacenter power cap; each trading epoch the fleet
+                           exchange turns it into per-chip TDP allowances
+                           (omit the cap to run chips uncoordinated)
+  --duration SECS          simulated seconds (default 10)
+  --clusters V             clusters per chip (default 4)
+  --cores C                cores per cluster (default 2)
+  --tasks T                tasks per chip (default 6)
+  --threads N              chip-stepping worker threads (default 1; chip
+                           trajectories are bit-identical at any count)
+  --faults SEED            inject per-chip deterministic fault streams
+  --trace PATH             write one Chrome trace_event JSON: a counter/span
+                           track pair per chip plus the exchange counter track
+  --metrics PATH           write one wide chip-tagged CSV (t_s,c0_...,c1_...)
+  --ledger                 print the exchange ledger (one line per epoch)
+
+The fleet always runs with the per-chip auditors and, when a cap is given,
+the exchange book audit; any violation exits 1.";
+
+/// Run the `fleet` subcommand: a heterogeneous synthetic fleet, audited,
+/// with optional fleet-wide trace/CSV exports. Returns audit cleanliness.
+fn run_fleet(args: &FleetArgs) -> Result<bool, String> {
+    use ppm::fleet::scenario::synthetic_fleet;
+    use ppm::fleet::trace as fleet_trace;
+
+    let mut fleet = synthetic_fleet(
+        args.chips,
+        args.clusters,
+        args.cores,
+        args.tasks,
+        args.cap.map(Watts),
+        args.faults.map(FaultConfig::with_seed),
+    )
+    .with_threads(args.threads);
+    if args.trace.is_some() || args.metrics.is_some() {
+        for chip in fleet.chips_mut() {
+            // One row per 1 ms quantum, sized so the ring never wraps.
+            chip.sim_mut()
+                .set_telemetry(Telemetry::new(args.duration as usize * 1000 + 8));
+        }
+    }
+    fleet.run_for(SimDuration::from_secs(args.duration));
+
+    println!(
+        "# fleet summary ({} chips x V{} C{} T{}, {} s, {} thread(s))",
+        args.chips, args.clusters, args.cores, args.tasks, args.duration, args.threads
+    );
+    if let Some(ex) = fleet.exchange() {
+        println!(
+            "cap               : {} ({} epochs traded, state {})",
+            ex.cap(),
+            ex.epochs(),
+            ex.state(),
+        );
+        println!("allowance         : {}", ex.allowance());
+    }
+    for (i, chip) in fleet.chips().iter().enumerate() {
+        let m = chip.sim().metrics();
+        let tdp = match chip.sim().system().tdp() {
+            Some(w) => format!("{w}"),
+            None => "uncapped".to_string(),
+        };
+        println!(
+            "chip {i:<3} avg {} tdp {} miss {:>5.1}% elec ${:.2}/W",
+            m.average_power(),
+            tdp,
+            m.any_miss_fraction() * 100.0,
+            chip.spec().electricity_price,
+        );
+    }
+    let faults: u64 = fleet
+        .chips()
+        .iter()
+        .filter_map(|c| c.sim().faults().map(|f| f.stats().total()))
+        .sum();
+    if args.faults.is_some() {
+        println!("faults injected   : {faults} across the fleet");
+    }
+    if args.ledger {
+        if let Some(ex) = fleet.exchange() {
+            print!("\n# exchange ledger\n{}", ex.render_ledger());
+        }
+    }
+
+    let roll = fleet.audit_rollup();
+    println!("\n# fleet audit\n{}", roll.render());
+
+    if let Some(path) = &args.metrics {
+        let mut f = io::BufWriter::new(
+            File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        );
+        fleet_trace::write_csv(&fleet, &mut f).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("fleet metrics     : {path}");
+    }
+    if let Some(path) = &args.trace {
+        let mut f = io::BufWriter::new(
+            File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        );
+        let rows = fleet
+            .chips()
+            .iter()
+            .filter_map(|c| c.sim().telemetry().map(|t| t.recorder.rows()))
+            .sum::<usize>();
+        // Decimate counter rows so huge fleets stay loadable in Perfetto.
+        let stride = (rows / 100_000).max(1);
+        fleet_trace::write_trace(&fleet, &mut f, stride)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("fleet trace       : {path} (stride {stride})");
+    }
+    Ok(roll.is_clean())
+}
+
 fn main() {
+    let mut raw = std::env::args().skip(1).peekable();
+    if raw.peek().map(String::as_str) == Some("fleet") {
+        raw.next();
+        let result = FleetArgs::parse(raw).and_then(|args| run_fleet(&args));
+        match result {
+            Err(e) => {
+                eprintln!("error: {e}");
+                exit(2);
+            }
+            Ok(false) => exit(1),
+            Ok(true) => return,
+        }
+    }
+    drop(raw);
     let args = match Args::parse() {
         Ok(a) => a,
         Err(e) => {

@@ -18,6 +18,9 @@
 //!   stated future work, replacing off-line profiling).
 //! * [`obs`] — the zero-overhead telemetry layer: per-quantum time-series
 //!   recorder, manager phase profiler, and Chrome-trace/CSV/JSONL exporters.
+//! * [`fleet`] — the multi-chip layer: N chip simulations under one
+//!   datacenter power cap, traded per epoch on a price-theory
+//!   power-budget exchange (the §3.2 money machinery one level up).
 //!
 //! ## Quick start
 //!
@@ -50,6 +53,7 @@
 
 pub use ppm_baselines as baselines;
 pub use ppm_core as core;
+pub use ppm_fleet as fleet;
 pub use ppm_obs as obs;
 pub use ppm_platform as platform;
 pub use ppm_predict as predict;
@@ -69,6 +73,7 @@ mod tests {
         let _sets = crate::workload::sets::table6_sets();
         let _nice = crate::sched::Nice::DEFAULT;
         let _hl = crate::baselines::hl::HlConfig::new();
+        let _ex = crate::fleet::FleetExchange::new(crate::platform::units::Watts(10.0));
         assert!(!crate::VERSION.is_empty());
     }
 }

@@ -153,6 +153,22 @@ impl Auditor {
         });
     }
 
+    /// Fold another auditor's report into this one, prefixing each detail
+    /// with `label` so the source stays identifiable. Used by fleet-level
+    /// rollups that close the books across an exchange plus every chip's
+    /// own auditor in one report.
+    pub fn absorb(&mut self, label: &str, other: &Auditor) {
+        self.quanta += other.quanta;
+        for v in other.violations() {
+            self.violations.push(Violation {
+                at: v.at,
+                snapshot_digest: v.snapshot_digest,
+                invariant: v.invariant,
+                detail: format!("{label}: {}", v.detail),
+            });
+        }
+    }
+
     /// Human-readable report: a summary line plus one line per violation.
     pub fn render(&self) -> String {
         let mut out = String::new();

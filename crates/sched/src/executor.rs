@@ -682,6 +682,23 @@ impl System {
     }
 }
 
+/// A chip's bid into a fleet-level power-budget exchange: the §3.2 money
+/// machinery one level up. A chip that converts watts into heart-rate well
+/// has high equilibrium PU prices relative to its power draw; the exchange
+/// routes budget toward such chips (see `ppm-fleet`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetBid {
+    /// Marginal utility: the chip market's equilibrium price mass per
+    /// observed watt (heart-rate value a marginal watt buys here).
+    pub value_per_watt: f64,
+    /// The chip's last observed power draw (its sensor `W`).
+    pub power: Watts,
+    /// The power the chip would like next epoch: its draw scaled by the
+    /// market's demand/supply imbalance (a starved chip asks for more, a
+    /// sated one for less).
+    pub desired: Watts,
+}
+
 /// A power-management policy plugged into the executor.
 ///
 /// The boundary is *snapshot-in / plan-out*: once per quantum, *before* the
@@ -739,6 +756,21 @@ pub trait PowerManager {
     /// [`Auditor::report`]. Called only when an auditor is attached; the
     /// default does nothing.
     fn audit(&mut self, _snap: &SystemSnapshot, _auditor: &mut Auditor) {}
+
+    /// The chip's current [`FleetBid`] into a fleet-level power-budget
+    /// exchange, derived from the policy's own equilibrium (for the PPM,
+    /// its discovered per-core prices). Policies without a market keep the
+    /// default `None`; the exchange treats them as floor-utility bidders.
+    fn fleet_bid(&self) -> Option<FleetBid> {
+        None
+    }
+
+    /// Adopt `tdp` as the chip power budget for the coming epoch (the
+    /// fleet exchange's cleared allowance). Returns whether the policy
+    /// adopted it; the default declines, leaving the budget untouched.
+    fn set_power_budget(&mut self, _tdp: Watts) -> bool {
+        false
+    }
 }
 
 /// A no-op manager: fixed mapping, fixed (initial) frequencies, fair
@@ -872,6 +904,13 @@ impl<M: PowerManager> Simulation<M> {
         self.telemetry.as_ref()
     }
 
+    /// Attach a telemetry sink in place — [`Simulation::with_telemetry`]
+    /// for simulations already owned by a containing structure (a fleet
+    /// chip, for instance).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
     /// Detach and return the telemetry sink (for exporting after a run).
     pub fn take_telemetry(&mut self) -> Option<Telemetry> {
         self.telemetry.take()
@@ -912,6 +951,24 @@ impl<M: PowerManager> Simulation<M> {
         &mut self.manager
     }
 
+    /// The execution quantum (fleet drivers align their epochs to it).
+    pub fn quantum(&self) -> SimDuration {
+        self.quantum
+    }
+
+    /// The per-epoch TDP update path a fleet exchange drives: offer `tdp`
+    /// to the manager ([`PowerManager::set_power_budget`]); when the
+    /// manager adopts it, the system's TDP-violation accounting follows.
+    /// Returns whether the budget was adopted.
+    pub fn set_power_budget(&mut self, tdp: Watts) -> bool {
+        if self.manager.set_power_budget(tdp) {
+            self.system.set_tdp_accounting(tdp);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Advance the simulation by `duration`.
     pub fn run_for(&mut self, duration: SimDuration) {
         if !self.initialized {
@@ -940,14 +997,21 @@ impl<M: PowerManager> Simulation<M> {
             } else {
                 None
             };
-            // Snapshot in, plan out, apply in one place.
-            self.snap.capture(&self.system);
+            // Snapshot in, plan out, apply in one place. Without a fault
+            // plan nothing perturbs the snapshot's copies between captures,
+            // so the dynamic sections may be digest-gated like the task
+            // section; faulted runs keep the always-re-read path.
+            self.snap.capture_gated(&self.system, self.faults.is_none());
             if let Some(f) = &mut self.faults {
                 // Observation faults: perturb only what the manager sees.
                 // Cluster readings additionally pass through each agent's
                 // (possibly drifted) observation clock, so a drifted
-                // cluster flies on sensor data from a few quanta ago.
-                self.snap.chip_power = f.perturb_power(0, self.snap.chip_power);
+                // cluster flies on sensor data from a few quanta ago; the
+                // chip-wide reading passes through the chip's own clock,
+                // which in a fleet delays this whole chip's delivered
+                // observations — manager decisions and exchange bids both.
+                let chip = f.perturb_power(0, self.snap.chip_power);
+                self.snap.chip_power = f.drift_chip_power(chip);
                 for ci in 0..self.snap.clusters.len() {
                     let p = self.snap.clusters[ci].power;
                     let p = f.perturb_power(1 + ci, p);

@@ -10,12 +10,15 @@
 //!
 //! Capture reuses all buffers: after the first few quanta (static topology
 //! vectors are built once) a steady-state capture performs **zero heap
-//! allocation** — see `tests/zero_alloc.rs`. The task section — the only
-//! per-capture cost that scales with task count — is additionally gated on
-//! a live-state sub-digest, so a capture whose task telemetry has not moved
-//! skips the rebuild entirely; chip scalars and core/cluster dynamics are
-//! always re-read because observation faults perturb the snapshot's copies
-//! in place after capture.
+//! allocation** — see `tests/zero_alloc.rs`. Every dynamic section is
+//! additionally gated on a live-state sub-digest, so a capture whose
+//! telemetry has not moved skips the refresh entirely. The chip-scalar,
+//! core, and cluster gates only engage when the caller vouches that the
+//! snapshot's copies were not perturbed since the previous capture
+//! ([`SystemSnapshot::capture_gated`] with `sections_trusted`) — the
+//! executor passes that exactly when no `FaultPlan` is attached, because
+//! observation faults rewrite chip power, cluster powers, and `hottest`
+//! in place after capture; faulted runs keep the always-re-read path.
 
 use ppm_platform::cluster::ClusterId;
 use ppm_platform::core::{CoreClass, CoreId};
@@ -216,6 +219,9 @@ pub struct SystemSnapshot {
     prev_sections: Option<[u64; 4]>,
     /// How many captures actually rebuilt the task section (stat).
     task_rebuilds: u64,
+    /// How many captures refreshed any of the chip/core/cluster dynamic
+    /// sections (stat; untrusted captures always count).
+    dynamic_refreshes: u64,
 }
 
 impl SystemSnapshot {
@@ -224,12 +230,25 @@ impl SystemSnapshot {
         SystemSnapshot::default()
     }
 
-    /// Capture `sys` into this snapshot, reusing all buffers.
+    /// Capture `sys` into this snapshot, reusing all buffers. Equivalent
+    /// to [`SystemSnapshot::capture_gated`] with `sections_trusted` false
+    /// — the safe default for callers that may mutate the snapshot's
+    /// copies between captures.
     pub fn capture(&mut self, sys: &System) {
+        self.capture_gated(sys, false);
+    }
+
+    /// Capture `sys`, additionally gating the chip-scalar, core, and
+    /// cluster refreshes on live-state sub-digests when `sections_trusted`
+    /// is true. Trusted means: nothing mutated this snapshot's copies
+    /// since the previous `capture*` call (the executor vouches for that
+    /// exactly when no fault plan is attached — observation faults rewrite
+    /// chip power, cluster powers, and `hottest` in place). The task
+    /// section is always digest-gated; its live values are never perturbed
+    /// in place. All gates share [`ChangeMask`]'s 64-bit collision caveat.
+    pub fn capture_gated(&mut self, sys: &System, sections_trusted: bool) {
         let chip = sys.chip();
         self.now = sys.now();
-        self.chip_power = sys.chip_power();
-        self.hottest = sys.thermal().map(|t| t.hottest());
 
         // Static topology: built once, then only dynamic fields refresh.
         if self.clusters.len() != chip.clusters().len() {
@@ -263,17 +282,59 @@ impl SystemSnapshot {
                 })
                 .collect();
         }
-        for (snap, cl) in self.clusters.iter_mut().zip(chip.clusters()) {
-            snap.level = cl.level().0;
-            snap.effective_target = cl.effective_target().0;
-            snap.off = cl.is_off();
-            snap.supply_per_core = cl.supply_per_core();
-            snap.power = sys.cluster_power(cl.id());
+        // Dynamic sections: the live-side digests double as the section
+        // digests below (they hash exactly the fields a refresh would
+        // store, in exactly the same order), so a trusted capture whose
+        // digest matches the previous one skips the refresh entirely — the
+        // snapshot already holds those bytes.
+        let chip_digest = Self::live_chip_digest(sys);
+        let cores_digest = Self::live_cores_digest(sys);
+        let clusters_digest = Self::live_clusters_digest(sys);
+        let trusted_prev = if sections_trusted {
+            self.prev_sections
+        } else {
+            None
+        };
+        let chip_clean = trusted_prev.is_some_and(|p| p[0] == chip_digest);
+        let cores_clean = trusted_prev.is_some_and(|p| p[2] == cores_digest);
+        let clusters_clean = trusted_prev.is_some_and(|p| p[3] == clusters_digest);
+        if !(chip_clean && cores_clean && clusters_clean) {
+            self.dynamic_refreshes += 1;
         }
-        for (snap, d) in self.cores.iter_mut().zip(chip.cores()) {
-            snap.utilization = sys.core_utilization(d.id());
-            snap.supply = chip.core_supply(d.id());
+        if !chip_clean {
+            self.chip_power = sys.chip_power();
+            self.hottest = sys.thermal().map(|t| t.hottest());
         }
+        if !clusters_clean {
+            for (snap, cl) in self.clusters.iter_mut().zip(chip.clusters()) {
+                snap.level = cl.level().0;
+                snap.effective_target = cl.effective_target().0;
+                snap.off = cl.is_off();
+                snap.supply_per_core = cl.supply_per_core();
+                snap.power = sys.cluster_power(cl.id());
+            }
+        }
+        if !cores_clean {
+            for (snap, d) in self.cores.iter_mut().zip(chip.cores()) {
+                snap.utilization = sys.core_utilization(d.id());
+                snap.supply = chip.core_supply(d.id());
+            }
+        }
+        debug_assert_eq!(
+            chip_digest,
+            self.chip_digest(),
+            "live and snapshot chip digests drifted apart"
+        );
+        debug_assert_eq!(
+            cores_digest,
+            self.cores_digest(),
+            "live and snapshot core digests drifted apart"
+        );
+        debug_assert_eq!(
+            clusters_digest,
+            self.clusters_digest(),
+            "live and snapshot cluster digests drifted apart"
+        );
 
         // Task section: the rebuild walks every task through half a dozen
         // telemetry accessors, so it is gated on a digest of the *live*
@@ -317,12 +378,7 @@ impl SystemSnapshot {
             "live and snapshot task digests drifted apart"
         );
 
-        let sections = [
-            self.chip_digest(),
-            tasks_digest,
-            self.cores_digest(),
-            self.clusters_digest(),
-        ];
+        let sections = [chip_digest, tasks_digest, cores_digest, clusters_digest];
         self.changed = match self.prev_sections {
             Some(prev) => ChangeMask {
                 chip: sections[0] != prev[0],
@@ -341,6 +397,13 @@ impl SystemSnapshot {
         self.task_rebuilds
     }
 
+    /// How many captures so far refreshed any of the chip-scalar, core, or
+    /// cluster dynamic sections (untrusted captures always refresh; see
+    /// [`SystemSnapshot::capture_gated`]).
+    pub fn dynamic_refreshes(&self) -> u64 {
+        self.dynamic_refreshes
+    }
+
     // Per-section FNV-1a sub-digests: chip scalars, tasks, cores, clusters.
     // `now` is excluded (see [`ChangeMask`]); otherwise these cover the same
     // fields as [`SystemSnapshot::digest`], which stays untouched so tape
@@ -357,6 +420,50 @@ impl SystemSnapshot {
             None => chip.u64(0),
         }
         chip.finish()
+    }
+
+    /// Chip-scalar digest streamed straight from the live system —
+    /// [`Self::chip_digest`] is its snapshot-side twin.
+    fn live_chip_digest(sys: &System) -> u64 {
+        let mut h = Fnv::new();
+        h.f64(sys.chip_power().value());
+        match sys.thermal().map(|t| t.hottest()) {
+            Some(c) => {
+                h.u64(1);
+                h.f64(c.value());
+            }
+            None => h.u64(0),
+        }
+        h.finish()
+    }
+
+    /// Core-section digest streamed straight from the live system —
+    /// [`Self::cores_digest`] is its snapshot-side twin.
+    fn live_cores_digest(sys: &System) -> u64 {
+        let chip = sys.chip();
+        let mut h = Fnv::new();
+        h.u64(chip.cores().len() as u64);
+        for d in chip.cores() {
+            h.f64(sys.core_utilization(d.id()));
+            h.f64(chip.core_supply(d.id()).value());
+        }
+        h.finish()
+    }
+
+    /// Cluster-section digest streamed straight from the live system —
+    /// [`Self::clusters_digest`] is its snapshot-side twin.
+    fn live_clusters_digest(sys: &System) -> u64 {
+        let chip = sys.chip();
+        let mut h = Fnv::new();
+        h.u64(chip.clusters().len() as u64);
+        for cl in chip.clusters() {
+            h.u64(cl.level().0 as u64);
+            h.u64(cl.effective_target().0 as u64);
+            h.u64(u64::from(cl.is_off()));
+            h.f64(cl.supply_per_core().value());
+            h.f64(sys.cluster_power(cl.id()).value());
+        }
+        h.finish()
     }
 
     /// Task-section digest streamed straight from the live system, hashing
@@ -695,6 +802,43 @@ mod tests {
             "membership change forces a rebuild"
         );
         assert_eq!(snap.tasks.len(), 2);
+    }
+
+    #[test]
+    fn trusted_recapture_skips_the_dynamic_refresh() {
+        let mut sys = sys_with_tasks(2);
+        let mut snap = SystemSnapshot::new();
+        snap.capture_gated(&sys, true);
+        assert_eq!(
+            snap.dynamic_refreshes(),
+            1,
+            "first capture always refreshes"
+        );
+        let frozen = format!("{:?} {:?}", snap.cores, snap.clusters);
+
+        snap.capture_gated(&sys, true);
+        snap.capture_gated(&sys, true);
+        assert_eq!(
+            snap.dynamic_refreshes(),
+            1,
+            "steady trusted recaptures are gated"
+        );
+        assert_eq!(format!("{:?} {:?}", snap.cores, snap.clusters), frozen);
+
+        sys.power_off(ClusterId(1));
+        snap.capture_gated(&sys, true);
+        assert_eq!(snap.dynamic_refreshes(), 2, "gating forces a refresh");
+        assert!(snap.cluster(ClusterId(1)).off);
+    }
+
+    #[test]
+    fn untrusted_recapture_always_refreshes() {
+        let sys = sys_with_tasks(1);
+        let mut snap = SystemSnapshot::new();
+        snap.capture(&sys);
+        snap.capture(&sys);
+        snap.capture_gated(&sys, false);
+        assert_eq!(snap.dynamic_refreshes(), 3);
     }
 
     #[test]

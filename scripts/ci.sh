@@ -47,4 +47,14 @@ echo ">>> bench_obs (recorder overhead trajectory -> BENCH_obs.json)"
 cargo run --release --quiet -p ppm-bench --bin bench_obs -- "$obs_tmp/BENCH_obs.json"
 cargo run --release --quiet -p ppm-obs --bin obs_validate -- "$obs_tmp/BENCH_obs.json"
 
+echo ">>> fleet smoke (pinned-seed faulted fleet, exchange books + chip auditors clean)"
+cargo run --release --quiet -p ppm --bin ppm-sim -- fleet \
+  --chips 4 --cap 12 --duration 5 --faults 165 --threads 2 \
+  --trace "$obs_tmp/fleet.trace.json" --metrics "$obs_tmp/fleet.csv" > /dev/null
+cargo run --release --quiet -p ppm-bench --bin bench_fleet -- --check quick
+
+echo ">>> bench_fleet (fleet stepping throughput -> BENCH_fleet.json)"
+cargo run --release --quiet -p ppm-bench --bin bench_fleet -- "$obs_tmp/BENCH_fleet.json"
+cargo run --release --quiet -p ppm-obs --bin obs_validate -- "$obs_tmp/BENCH_fleet.json"
+
 echo "ci: all green"

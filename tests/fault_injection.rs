@@ -139,6 +139,30 @@ fn clock_drift_and_partial_plans_stay_clean_with_sharding() {
     );
 }
 
+/// Per-chip observation clock drift, cranked up: the chip-wide power
+/// reading is guaranteed to lag the true capture by up to 4 quanta, so the
+/// manager's power-state machine — and, in a fleet, its exchange bids —
+/// run entirely on old data. The drift must actually fire (late deliveries
+/// counted separately from cluster drift) and the run must audit clean:
+/// physics is untouched, so the TDP envelope still holds.
+#[test]
+fn chip_clock_drift_stays_clean() {
+    let seed = fault_seed();
+    let mut config = FaultConfig::with_seed(seed);
+    config.chip_clock_drift_prob = 1.0;
+    config.chip_clock_drift_quanta_max = 4;
+    let run = audited(Scheme::Ppm, Some(Watts(4.0)), config, 8);
+    assert!(
+        run.violations.is_empty(),
+        "PPM chip drift (seed {seed}):\n{}",
+        run.audit_report
+    );
+    assert!(
+        run.fault_stats.chip_drifted_readings > 0,
+        "no chip-wide reading was ever delivered late"
+    );
+}
+
 /// Strategy over arbitrary *valid* fault configurations: every probability
 /// is a probability, DVFS fail+defer stays a distribution, magnitudes stay
 /// finite. `FaultConfig::is_valid` is the contract this must satisfy.
@@ -148,8 +172,13 @@ fn arb_fault_config() -> impl Strategy<Value = FaultConfig> {
         (0.0f64..0.15, 0.0f64..0.10),
         (0.0f64..0.02, 0.0f64..30.0),
         (0.0f64..0.45, 0.0f64..0.45, 0u32..=8),
-        (0.0f64..0.40, 0.0f64..0.0005, 0u32..=2),
-        (0.0f64..=1.0, 0u32..=4, 0.0f64..0.25),
+        // The vendored proptest implements `Strategy` for tuples up to
+        // arity 6, so the tail groups nest one level deeper.
+        (
+            (0.0f64..0.40, 0.0f64..0.0005, 0u32..=2),
+            (0.0f64..=1.0, 0u32..=4, 0.0f64..0.25),
+            (0.0f64..=1.0, 0u32..=4),
+        ),
     )
         .prop_map(
             |(
@@ -157,8 +186,11 @@ fn arb_fault_config() -> impl Strategy<Value = FaultConfig> {
                 (stale_reading_prob, dropped_reading_prob),
                 (thermal_spike_prob, thermal_spike_magnitude),
                 (dvfs_fail_prob, dvfs_defer_prob, dvfs_defer_quanta_max),
-                (migration_fail_prob, task_crash_prob, max_task_crashes),
-                (clock_drift_prob, clock_drift_quanta_max, partial_plan_prob),
+                (
+                    (migration_fail_prob, task_crash_prob, max_task_crashes),
+                    (clock_drift_prob, clock_drift_quanta_max, partial_plan_prob),
+                    (chip_clock_drift_prob, chip_clock_drift_quanta_max),
+                ),
             )| FaultConfig {
                 seed,
                 power_noise_sigma,
@@ -175,6 +207,8 @@ fn arb_fault_config() -> impl Strategy<Value = FaultConfig> {
                 max_task_crashes,
                 clock_drift_prob,
                 clock_drift_quanta_max,
+                chip_clock_drift_prob,
+                chip_clock_drift_quanta_max,
                 partial_plan_prob,
             },
         )

@@ -1,0 +1,127 @@
+//! Fleet integration suite: the N=1 byte-identity guarantee against the
+//! committed golden tapes, and cross-thread fleet determinism.
+//!
+//! The fleet layer's contract is that lifting a chip into a [`Fleet`]
+//! changes *nothing* about its trajectory unless an exchange actually
+//! trades: an exchange-less fleet of one chip must replay every committed
+//! golden tape byte for byte, and a trading fleet must produce identical
+//! chip tapes and an identical exchange ledger regardless of how many
+//! threads step the chips.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ppm::fleet::scenario::synthetic_fleet;
+use ppm::platform::faults::FaultConfig;
+use ppm::platform::units::{SimDuration, Watts};
+use ppm::workload::sets::set_by_name;
+use ppm_bench::{run_workload_hardened, Harness, Scheme};
+
+/// Same cells as `tests/goldens.rs`.
+const SETS: [&str; 3] = ["l1", "m2", "h3"];
+const DURATION: SimDuration = SimDuration(8_000_000);
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/goldens")
+}
+
+/// All 18 committed golden tapes (fig4_fig5 and fig6, three sets, three
+/// schemes), replayed through a one-chip exchange-less fleet: byte
+/// identity against the fixtures the standalone runs wrote. No
+/// `UPDATE_GOLDENS` path on purpose — the fleet must never need its own
+/// fixtures.
+#[test]
+fn lone_chip_fleet_replays_all_golden_tapes() {
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        return; // fixtures are (re)written by tests/goldens.rs
+    }
+    let mut replayed = 0;
+    for (fig, tdp) in [("fig4_fig5", None), ("fig6", Some(Watts(4.0)))] {
+        for set_name in SETS {
+            for scheme in Scheme::ALL {
+                let name = format!("{fig}_{set_name}_{}.tape", scheme.name().to_lowercase());
+                let path = goldens_dir().join(&name);
+                let committed = fs::read_to_string(&path).unwrap_or_else(|e| {
+                    panic!("missing golden {name} ({e}); run UPDATE_GOLDENS=1")
+                });
+                let set = set_by_name(set_name).expect("known workload set");
+                let h = run_workload_hardened(
+                    &set,
+                    scheme,
+                    tdp,
+                    DURATION,
+                    Harness {
+                        tape: true,
+                        lone_chip_fleet: true,
+                        ..Harness::default()
+                    },
+                );
+                let fresh = format!("{:?}\n{}", h.summary, h.tape);
+                assert_eq!(
+                    committed, fresh,
+                    "N=1 fleet diverged from the standalone golden {name}"
+                );
+                replayed += 1;
+            }
+        }
+    }
+    assert_eq!(replayed, 18, "all golden cells must be covered");
+}
+
+/// Cross-thread fleet determinism: the same seeded fleet — heterogeneous
+/// chips, faults, a binding cap — produces bit-identical chip tapes and an
+/// identical exchange ledger whether chips step serially or on four
+/// threads; a different fault seed produces a different run.
+#[test]
+fn trading_fleet_is_deterministic_across_threads() {
+    let run = |threads: usize, seed: u64| {
+        let mut fleet = synthetic_fleet(
+            3,
+            4,
+            2,
+            5,
+            Some(Watts(10.0)),
+            Some(FaultConfig::with_seed(seed)),
+        )
+        .with_threads(threads);
+        fleet.run_for(SimDuration::from_millis(600));
+        let ledger = fleet.exchange().expect("exchange").render_ledger();
+        let powers: Vec<String> = fleet
+            .chips()
+            .iter()
+            .map(|c| format!("{}", c.sim().system().chip_power()))
+            .collect();
+        let roll = fleet.audit_rollup();
+        assert!(roll.is_clean(), "{}", roll.render());
+        (ledger, powers)
+    };
+    let (ledger_serial, powers_serial) = run(1, 165);
+    let (ledger_threaded, powers_threaded) = run(4, 165);
+    assert_eq!(ledger_serial, ledger_threaded);
+    assert_eq!(powers_serial, powers_threaded);
+    assert!(!ledger_serial.is_empty());
+
+    let (other_seed_ledger, _) = run(1, 9_000);
+    assert_ne!(
+        ledger_serial, other_seed_ledger,
+        "different fault seeds must visibly change the fleet trajectory"
+    );
+}
+
+/// The cleared allowance is actually in force chip-side: after a trade,
+/// every chip's system reports the exchange's cleared TDP.
+#[test]
+fn traded_tdps_land_on_every_chip() {
+    let mut fleet = synthetic_fleet(4, 4, 2, 6, Some(Watts(12.0)), None);
+    fleet.run_for(SimDuration::from_millis(300));
+    let ex = fleet.exchange().expect("exchange");
+    assert_eq!(ex.epochs(), 3);
+    for i in 0..fleet.len() {
+        let cleared = ex.cleared_of(i).expect("cleared");
+        assert_eq!(
+            fleet.chip(i).sim().system().tdp(),
+            Some(cleared),
+            "chip {i} did not adopt its traded allowance"
+        );
+    }
+}
