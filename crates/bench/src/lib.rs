@@ -32,8 +32,16 @@ use ppm_platform::units::{SimDuration, Watts};
 use ppm_sched::audit::Violation;
 use ppm_sched::executor::{AllocationPolicy, NullManager, PowerManager, Simulation, System};
 use ppm_sched::metrics::RunMetrics;
+use ppm_workload::request::OpenLoopSnap;
 use ppm_workload::sets::WorkloadSet;
 use ppm_workload::task::{Priority, TaskId};
+
+/// Resolve a workload-set name across both catalogues: the Table 6
+/// closed-loop sets first, then the open-loop request families
+/// (`ol1`/`ol2`/`ol3`, with `openloop` aliasing `ol1`).
+pub fn resolve_set(name: &str) -> Option<WorkloadSet> {
+    ppm_workload::sets::set_by_name(name).or_else(|| ppm_workload::openloop_set_by_name(name))
+}
 
 /// The power-management schemes the harness can run: the three of the
 /// comparative study (§5.3) plus a do-nothing control.
@@ -85,6 +93,12 @@ pub struct RunSummary {
     pub above_tdp: f64,
     /// Migration counts `(intra, inter)`.
     pub migrations: (u64, u64),
+    /// Worst end-of-run p99-latency-to-SLO ratio across open-loop tasks
+    /// (`0.0` when the set is closed-loop; `≤ 1.0` means every tail met
+    /// its SLO).
+    pub worst_p99_over_slo: f64,
+    /// Requests shed by bounded open-loop queues, summed over tasks.
+    pub shed: u64,
 }
 
 /// Default per-run simulated duration (the paper's traces span 300 s; the
@@ -182,6 +196,9 @@ pub struct HardenedRun {
     /// Recorded telemetry (present iff [`Harness::telemetry`] or
     /// [`Harness::profile`]).
     pub telemetry: Option<ppm_obs::Telemetry>,
+    /// End-of-run request-queue state for every open-loop task, in task-id
+    /// order (empty for closed-loop sets).
+    pub open_loop: Vec<(TaskId, OpenLoopSnap)>,
 }
 
 /// Execute `set` under `scheme` with the given [`Harness`] attachments.
@@ -209,7 +226,8 @@ pub fn run_workload_hardened(
         sys.set_tdp_accounting(t);
     }
 
-    let (metrics, tape, violations, audit_report, fault_stats, telemetry) = match scheme {
+    let (metrics, tape, violations, audit_report, fault_stats, telemetry, open_loop) = match scheme
+    {
         Scheme::Ppm => {
             let mut config = match tdp {
                 Some(t) => PpmConfig::tc2_with_tdp(t),
@@ -249,6 +267,17 @@ pub fn run_workload_hardened(
             metrics.time_above_tdp.as_secs_f64() / metrics.total_time().as_secs_f64()
         },
         migrations: (metrics.migrations_intra, metrics.migrations_inter),
+        worst_p99_over_slo: open_loop
+            .iter()
+            .map(|(_, o)| {
+                if o.slo_ms > 0.0 {
+                    o.p99_ms / o.slo_ms
+                } else {
+                    0.0
+                }
+            })
+            .fold(0.0, f64::max),
+        shed: open_loop.iter().map(|(_, o)| o.shed).sum(),
     };
     HardenedRun {
         summary,
@@ -257,6 +286,7 @@ pub fn run_workload_hardened(
         audit_report,
         fault_stats,
         telemetry,
+        open_loop,
     }
 }
 
@@ -280,6 +310,7 @@ fn run<M: PowerManager + Send>(
     String,
     FaultStats,
     Option<ppm_obs::Telemetry>,
+    Vec<(TaskId, OpenLoopSnap)>,
 ) {
     let mut sim = Simulation::new(sys, manager).with_warmup(DEFAULT_WARMUP);
     if harness.tape {
@@ -320,6 +351,14 @@ fn run<M: PowerManager + Send>(
         .unwrap_or_default();
     let fault_stats = sim.faults().map(|f| f.stats()).unwrap_or_default();
     let telemetry = sim.take_telemetry();
+    // Queue/latency state lives on the tasks, which `into_metrics` consumes
+    // — snapshot it first.
+    let open_loop: Vec<(TaskId, OpenLoopSnap)> = {
+        let sys = sim.system();
+        sys.task_iter()
+            .filter_map(|id| sys.task(id).open_loop_snap().map(|o| (id, o)))
+            .collect()
+    };
     (
         sim.into_system().into_metrics(),
         tape,
@@ -327,6 +366,7 @@ fn run<M: PowerManager + Send>(
         audit_report,
         fault_stats,
         telemetry,
+        open_loop,
     )
 }
 

@@ -98,6 +98,14 @@ pub enum Event {
         /// Retry attempt (1-based, bounded).
         attempt: u8,
     },
+    /// An open-loop task's bounded request queue overflowed and shed its
+    /// oldest requests since the previous round.
+    RequestShed {
+        /// The task.
+        task: TaskId,
+        /// Requests dropped since the last `RequestShed` for this task.
+        dropped: u64,
+    },
 }
 
 impl fmt::Display for Event {
@@ -142,6 +150,9 @@ impl fmt::Display for Event {
             } => write!(f, "{cluster} retry level {} (attempt {attempt})", level.0),
             Event::MigrationRetry { task, to, attempt } => {
                 write!(f, "{task} retry -> {to} (attempt {attempt})")
+            }
+            Event::RequestShed { task, dropped } => {
+                write!(f, "{task} shed {dropped} queued request(s)")
             }
         }
     }

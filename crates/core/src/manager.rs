@@ -119,6 +119,9 @@ pub struct PpmManager {
     /// corresponding [`Event`]s are pushed (so telemetry and hardened-run
     /// totals never replay the event stream).
     degradation: Degradation,
+    /// Cumulative shed count last logged per open-loop task, dense by task
+    /// id (grows only on admission — steady state is indexed reads).
+    shed_seen: Vec<u64>,
 }
 
 impl PpmManager {
@@ -164,6 +167,7 @@ impl PpmManager {
             audited_round: 0,
             audit_clean_streak: 0,
             degradation: Degradation::default(),
+            shed_seen: Vec::new(),
         }
     }
 
@@ -863,6 +867,27 @@ impl PpmManager {
         }
         for &(cluster, step) in &decision.dvfs {
             self.events.push(now, Event::Dvfs { cluster, step });
+        }
+        // Open-loop back-pressure: log the per-task shed delta since the
+        // previous round, so overload shows up in the decision log exactly
+        // once per burst rather than once per dropped request.
+        for t in &snap.tasks {
+            if let Some(o) = t.open_loop {
+                if t.id.0 >= self.shed_seen.len() {
+                    self.shed_seen.resize(t.id.0 + 1, 0);
+                }
+                let prev = self.shed_seen[t.id.0];
+                if o.shed > prev {
+                    self.events.push(
+                        now,
+                        Event::RequestShed {
+                            task: t.id,
+                            dropped: o.shed - prev,
+                        },
+                    );
+                    self.shed_seen[t.id.0] = o.shed;
+                }
+            }
         }
         self.apply(snap, plan, &decision);
         let state = decision.state;

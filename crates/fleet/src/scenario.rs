@@ -125,6 +125,71 @@ pub fn synthetic_fleet(
     fleet
 }
 
+/// Like [`synthetic_fleet`], but every chip serves **open-loop request
+/// traffic**: chip `i` runs a `t`-task bursty on/off family (the `ol2`
+/// shape) re-seeded per chip, so the exchange prices tail-latency risk
+/// across sites instead of heart-rate slack. Chip grades, tariffs, TDP
+/// bounds, auditors and per-chip fault re-seeding match
+/// [`synthetic_fleet`] exactly.
+///
+/// Deterministic: same arguments, same fleet, bit-identical runs.
+pub fn openloop_fleet(
+    chips: usize,
+    v: usize,
+    c: usize,
+    t: usize,
+    cap: Option<Watts>,
+    faults: Option<FaultConfig>,
+) -> Fleet<PpmManager> {
+    assert!(chips > 0, "fleet needs at least one chip");
+    let mut fleet = match cap {
+        Some(w) => Fleet::new().with_exchange(w).with_fleet_auditor(),
+        None => Fleet::new(),
+    };
+    for i in 0..chips {
+        let spread = if chips > 1 {
+            i as f64 / (chips - 1) as f64
+        } else {
+            0.0
+        };
+        let chip = graded_chip(v, c, 0.75 + 0.5 * spread);
+        let peak = chip_peak(&chip);
+        let mut sys = System::new(chip, AllocationPolicy::Market);
+        let family = ppm_workload::OpenLoopFamily {
+            tasks: t,
+            ..ppm_workload::bursty_template()
+        };
+        let seed = ppm_workload::OpenLoopFamily::PINNED_SEED
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
+        let set = ppm_workload::openloop_family("ol2-fleet", family, seed);
+        for task in set.spawn(0, Priority::NORMAL) {
+            sys.add_task(task, CoreId(0));
+        }
+        place_on_little(&mut sys);
+        let initial_tdp = peak * 0.5;
+        let mut sim = Simulation::new(sys, PpmManager::new(PpmConfig::tc2_with_tdp(initial_tdp)))
+            .with_auditor();
+        if let Some(base) = &faults {
+            let cfg = FaultConfig {
+                seed: base
+                    .seed
+                    .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)),
+                ..base.clone()
+            };
+            sim = sim.with_faults(FaultPlan::new(cfg));
+        }
+        fleet.add_chip(
+            sim,
+            ChipSpec {
+                electricity_price: 0.8 + 0.5 * spread,
+                tdp_min: peak * 0.1,
+                tdp_max: peak,
+            },
+        );
+    }
+    fleet
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +252,17 @@ mod tests {
             fleet.exchange().expect("exchange").render_ledger()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn openloop_fleet_trades_and_stays_clean() {
+        let mut fleet = openloop_fleet(2, 4, 2, 4, Some(Watts(8.0)), None);
+        fleet.run_for(SimDuration::from_millis(500));
+        let roll = fleet.audit_rollup();
+        assert!(roll.is_clean(), "{}", roll.render());
+        // The chips really are serving requests, not heartbeat loops.
+        let sys = fleet.chip(0).sim().system();
+        assert!(sys.task_iter().all(|id| sys.task(id).open_loop().is_some()));
     }
 
     #[test]

@@ -37,7 +37,8 @@ pub fn csv_header(rec: &SeriesRecorder) -> String {
     }
     for t in 0..n_t {
         h.push_str(&format!(
-            ",task{t}_share_pu,task{t}_granted_pu,task{t}_hr,task{t}_hr_norm"
+            ",task{t}_share_pu,task{t}_granted_pu,task{t}_hr,task{t}_hr_norm,\
+             task{t}_queue,task{t}_p99_ms,task{t}_slo_ms,task{t}_shed"
         ));
     }
     h
@@ -104,11 +105,24 @@ fn csv_row_cells(rec: &SeriesRecorder, i: usize, line: &mut String) {
             rec.task_granted[t][i],
             rec.task_hr[t][i],
             rec.task_hr_norm[t][i],
+            rec.task_queue[t][i],
+            rec.task_p99_ms[t][i],
+            rec.task_slo_ms[t][i],
+            rec.task_shed[t][i],
         ] {
             line.push(',');
             line.push_str(&cell(v));
         }
     }
+}
+
+/// Append row `i` as one full CSV line (`t_s` plus every cell) to `line`.
+/// Shared by [`write_csv`] and the incremental
+/// [`TelemetryStream`](crate::stream::TelemetryStream), so streamed output
+/// is byte-identical to a post-run export.
+pub(crate) fn csv_row(rec: &SeriesRecorder, i: usize, line: &mut String) {
+    line.push_str(&format!("{}", rec.t_us[i] as f64 / 1e6));
+    csv_row_cells(rec, i, line);
 }
 
 /// Write the held rows as CSV, oldest first: the header, then one row per
@@ -118,8 +132,7 @@ pub fn write_csv<W: Write>(rec: &SeriesRecorder, w: &mut W) -> io::Result<()> {
     let mut line = String::new();
     for i in rec.row_indices() {
         line.clear();
-        line.push_str(&format!("{}", rec.t_us[i] as f64 / 1e6));
-        csv_row_cells(rec, i, &mut line);
+        csv_row(rec, i, &mut line);
         writeln!(w, "{line}")?;
     }
     Ok(())
@@ -182,10 +195,22 @@ fn jnum(v: f64) -> String {
 /// Write the held rows as JSONL: one self-describing JSON object per
 /// quantum (entity columns as arrays), oldest first.
 pub fn write_jsonl<W: Write>(rec: &SeriesRecorder, w: &mut W) -> io::Result<()> {
-    let (n_cl, n_co, n_t) = rec.shape();
+    let mut line = String::new();
     for i in rec.row_indices() {
-        let mut line = String::from("{");
-        line.push_str(&format!("\"t_s\":{}", rec.t_us[i] as f64 / 1e6));
+        line.clear();
+        jsonl_row(rec, i, &mut line);
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Append row `i` as one JSONL object to `line`. Shared by [`write_jsonl`]
+/// and the incremental [`TelemetryStream`](crate::stream::TelemetryStream).
+pub(crate) fn jsonl_row(rec: &SeriesRecorder, i: usize, line: &mut String) {
+    let (n_cl, n_co, n_t) = rec.shape();
+    line.push('{');
+    line.push_str(&format!("\"t_s\":{}", rec.t_us[i] as f64 / 1e6));
+    {
         for (k, v) in [
             ("chip_power_w", rec.chip_power_w[i]),
             ("tdp_headroom_w", rec.tdp_headroom_w[i]),
@@ -225,49 +250,36 @@ pub fn write_jsonl<W: Write>(rec: &SeriesRecorder, w: &mut W) -> io::Result<()> 
             line.push(']');
         };
         arr(
-            &mut line,
+            line,
             "cluster_freq_mhz",
             &|c| rec.cluster_freq_mhz[c][i],
             n_cl,
         );
         arr(
-            &mut line,
+            line,
             "cluster_volt_mv",
             &|c| rec.cluster_volt_mv[c][i],
             n_cl,
         );
         arr(
-            &mut line,
+            line,
             "cluster_power_w",
             &|c| rec.cluster_power_w[c][i],
             n_cl,
         );
-        arr(
-            &mut line,
-            "cluster_temp_c",
-            &|c| rec.cluster_temp_c[c][i],
-            n_cl,
-        );
-        arr(
-            &mut line,
-            "core_supply_pu",
-            &|c| rec.core_supply[c][i],
-            n_co,
-        );
-        arr(&mut line, "core_price", &|c| rec.core_price[c][i], n_co);
-        arr(&mut line, "task_share_pu", &|t| rec.task_share[t][i], n_t);
-        arr(
-            &mut line,
-            "task_granted_pu",
-            &|t| rec.task_granted[t][i],
-            n_t,
-        );
-        arr(&mut line, "task_hr", &|t| rec.task_hr[t][i], n_t);
-        arr(&mut line, "task_hr_norm", &|t| rec.task_hr_norm[t][i], n_t);
-        line.push('}');
-        writeln!(w, "{line}")?;
+        arr(line, "cluster_temp_c", &|c| rec.cluster_temp_c[c][i], n_cl);
+        arr(line, "core_supply_pu", &|c| rec.core_supply[c][i], n_co);
+        arr(line, "core_price", &|c| rec.core_price[c][i], n_co);
+        arr(line, "task_share_pu", &|t| rec.task_share[t][i], n_t);
+        arr(line, "task_granted_pu", &|t| rec.task_granted[t][i], n_t);
+        arr(line, "task_hr", &|t| rec.task_hr[t][i], n_t);
+        arr(line, "task_hr_norm", &|t| rec.task_hr_norm[t][i], n_t);
+        arr(line, "task_queue", &|t| rec.task_queue[t][i], n_t);
+        arr(line, "task_p99_ms", &|t| rec.task_p99_ms[t][i], n_t);
+        arr(line, "task_slo_ms", &|t| rec.task_slo_ms[t][i], n_t);
+        arr(line, "task_shed", &|t| rec.task_shed[t][i], n_t);
     }
-    Ok(())
+    line.push('}');
 }
 
 /// One Chrome counter event on `pid`: `name` at `ts_us` with the finite
@@ -625,8 +637,8 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 1 + 3);
         let cols = lines[0].split(',').count();
-        // 13 scalars + 11 phases + 2·4 cluster + 3·2 core + 2·4 task = 46.
-        assert_eq!(cols, 46);
+        // 13 scalars + 11 phases + 2·4 cluster + 3·2 core + 2·8 task = 54.
+        assert_eq!(cols, 54);
         for row in &lines[1..] {
             assert_eq!(row.split(',').count(), cols, "ragged row: {row}");
         }
@@ -658,9 +670,9 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 1 + 3);
-        // 1 shared t_s + chip 0's 45 columns + chip 1's 35 columns.
+        // 1 shared t_s + chip 0's 53 columns + chip 1's 39 columns.
         let cols = lines[0].split(',').count();
-        assert_eq!(cols, 1 + 45 + 35);
+        assert_eq!(cols, 1 + 53 + 39);
         assert!(lines[0].starts_with("t_s,c0_chip_power_w,"));
         assert!(lines[0].contains(",c1_chip_power_w,"));
         assert!(lines[0].contains(",c1_cl0_freq_mhz,"));

@@ -15,6 +15,8 @@
 //! - [`export`] — Chrome `trace_event` JSON (Perfetto-loadable), CSV and
 //!   JSONL time-series, and a human-readable summary table. [`json`] is
 //!   the minimal parser the validation tooling uses on those artifacts.
+//!   [`stream::TelemetryStream`] flushes the same rows incrementally to
+//!   disk during the run, so an undersized ring loses no history.
 //!
 //! The contract that makes this "zero-overhead": the simulator carries an
 //! `Option<Telemetry>`; when `None`, every instrumentation site is a
@@ -28,10 +30,12 @@ pub mod export;
 pub mod json;
 pub mod profiler;
 pub mod recorder;
+pub mod stream;
 
 pub use crate::export::{csv_header, summary_table, write_chrome_trace, write_csv, write_jsonl};
 pub use crate::profiler::{lap, Hist, Phase, PhaseProfiler, HIST_BUCKETS};
 pub use crate::recorder::{PolicySample, RowWriter, SeriesRecorder};
+pub use crate::stream::{StreamFormat, StreamStats, TelemetryStream};
 
 /// The telemetry sink a simulation carries: the time-series recorder, the
 /// phase profiler, and the policy-sample scratch the manager fills.

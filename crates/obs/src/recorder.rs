@@ -123,6 +123,10 @@ pub struct SeriesRecorder {
     pub(crate) task_granted: Vec<Col>,
     pub(crate) task_hr: Vec<Col>,
     pub(crate) task_hr_norm: Vec<Col>,
+    pub(crate) task_queue: Vec<Col>,
+    pub(crate) task_p99_ms: Vec<Col>,
+    pub(crate) task_slo_ms: Vec<Col>,
+    pub(crate) task_shed: Vec<Col>,
 }
 
 impl SeriesRecorder {
@@ -163,6 +167,10 @@ impl SeriesRecorder {
             task_granted: Vec::new(),
             task_hr: Vec::new(),
             task_hr_norm: Vec::new(),
+            task_queue: Vec::new(),
+            task_p99_ms: Vec::new(),
+            task_slo_ms: Vec::new(),
+            task_shed: Vec::new(),
         }
     }
 
@@ -193,6 +201,10 @@ impl SeriesRecorder {
             grow(&mut self.task_granted, tasks, self.cap);
             grow(&mut self.task_hr, tasks, self.cap);
             grow(&mut self.task_hr_norm, tasks, self.cap);
+            grow(&mut self.task_queue, tasks, self.cap);
+            grow(&mut self.task_p99_ms, tasks, self.cap);
+            grow(&mut self.task_slo_ms, tasks, self.cap);
+            grow(&mut self.task_shed, tasks, self.cap);
             self.n_tasks = tasks;
         }
     }
@@ -230,6 +242,10 @@ impl SeriesRecorder {
             &mut self.task_granted,
             &mut self.task_hr,
             &mut self.task_hr_norm,
+            &mut self.task_queue,
+            &mut self.task_p99_ms,
+            &mut self.task_slo_ms,
+            &mut self.task_shed,
         ] {
             for col in cols.iter_mut() {
                 col[i] = f64::NAN;
@@ -365,6 +381,26 @@ impl RowWriter<'_> {
             self.rec.task_granted[t][self.i] = granted;
             self.rec.task_hr[t][self.i] = hr;
             self.rec.task_hr_norm[t][self.i] = hr_norm;
+        }
+        self
+    }
+
+    /// One open-loop task's request-queue state: queue depth, windowed p99
+    /// latency, its SLO (both ms), and the cumulative shed count. Closed-loop
+    /// tasks skip the call and the columns stay `NaN`.
+    pub fn task_latency(
+        &mut self,
+        t: usize,
+        queue: f64,
+        p99_ms: f64,
+        slo_ms: f64,
+        shed: f64,
+    ) -> &mut Self {
+        if t < self.rec.n_tasks {
+            self.rec.task_queue[t][self.i] = queue;
+            self.rec.task_p99_ms[t][self.i] = p99_ms;
+            self.rec.task_slo_ms[t][self.i] = slo_ms;
+            self.rec.task_shed[t][self.i] = shed;
         }
         self
     }

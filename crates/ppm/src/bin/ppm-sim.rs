@@ -67,6 +67,10 @@ struct Args {
     trace: Option<String>,
     /// Write the per-quantum time-series (`.jsonl` → JSON lines, else CSV).
     metrics: Option<String>,
+    /// Stream the time-series to disk *during* the run (`--stream`): the
+    /// ring flushes incrementally, so the file holds every quantum even
+    /// when the in-memory ring is far smaller than the run.
+    stream: Option<String>,
     /// Profile manager phases and print the percentile summary table.
     profile: bool,
     /// Fault-injection seed (`--faults`): perturb sensors and actuators
@@ -91,6 +95,7 @@ impl Args {
             sample: None,
             trace: None,
             metrics: None,
+            stream: None,
             profile: false,
             faults: None,
             audit: false,
@@ -131,6 +136,7 @@ impl Args {
                 }
                 "--trace" => args.trace = Some(value("--trace")?),
                 "--metrics" => args.metrics = Some(value("--metrics")?),
+                "--stream" => args.stream = Some(value("--stream")?),
                 "--profile" => args.profile = true,
                 "--help" | "-h" => {
                     println!("{}", HELP);
@@ -145,7 +151,9 @@ impl Args {
 
 const HELP: &str = "ppm-sim — simulate a power manager on a big.LITTLE chip
   --scheme ppm|hpm|hl      power manager (default ppm)
-  --workload NAME          Table 6 set: l1..l3, m1..m3, h1..h3 (default m1)
+  --workload NAME          Table 6 set: l1..l3, m1..m3, h1..h3 (default m1),
+                           or an open-loop request family: ol1 (Poisson),
+                           ol2 (bursty), ol3 (diurnal); `openloop` = ol1
   --chip tc2|tegra         platform preset (default tc2)
   --duration SECS          simulated seconds (default 60)
   --tdp WATTS              enable a power cap
@@ -156,6 +164,9 @@ const HELP: &str = "ppm-sim — simulate a power manager on a big.LITTLE chip
                            (open in Perfetto or chrome://tracing)
   --metrics PATH           write the per-quantum time-series; `.jsonl`
                            extension selects JSON lines, anything else CSV
+  --stream PATH            stream the time-series to PATH *during* the run
+                           (same formats/columns as --metrics); keeps every
+                           quantum even with a small in-memory ring
   --profile                time manager phases (bid, price discovery, DVFS,
                            LBT, ...) and print a p50/p95/p99 summary table
   --faults SEED            inject deterministic sensor/actuator faults
@@ -229,7 +240,10 @@ fn build_system(args: &Args, policy: AllocationPolicy) -> Result<System, String>
     let mut sys = System::new(chip, policy);
     sys.attach_thermal(ThermalModel::mobile(clusters));
     if args.tasks.is_empty() {
+        // Both catalogues: the Table 6 closed-loop sets first, then the
+        // open-loop request families (`openloop` aliases `ol1`).
         let set = set_by_name(&args.workload)
+            .or_else(|| ppm::workload::openloop_set_by_name(&args.workload))
             .ok_or_else(|| format!("unknown workload `{}`", args.workload))?;
         for t in set.spawn(0, Priority::NORMAL) {
             sys.add_task(t, CoreId(0));
@@ -261,6 +275,15 @@ fn simulate<M: PowerManager>(args: &Args, sys: System, mgr: M) -> Result<bool, S
             tel = tel.with_profiling();
         }
         sim = sim.with_telemetry(tel);
+    } else if args.stream.is_some() {
+        // Streaming needs a recorder but not a run-sized one: the ring is
+        // deliberately small and the stream preserves every row anyway.
+        sim = sim.with_telemetry(Telemetry::new(256));
+    }
+    if let Some(path) = &args.stream {
+        let stream = ppm::obs::TelemetryStream::create(path, 64)
+            .map_err(|e| format!("cannot create {path}: {e}"))?;
+        sim = sim.with_stream(stream);
     }
     if let Some(every) = args.sample {
         println!("time_s,power_w,hottest_c,task_hr_normalized...");
@@ -314,6 +337,31 @@ fn simulate<M: PowerManager>(args: &Args, sys: System, mgr: M) -> Result<bool, S
         m.migrations_intra, m.migrations_inter
     );
     println!("V-F transitions   : {}", m.vf_transitions);
+    {
+        let s = sim.system();
+        let snaps: Vec<_> = s
+            .task_ids()
+            .iter()
+            .filter_map(|&t| s.task(t).open_loop_snap())
+            .collect();
+        if !snaps.is_empty() {
+            let worst = snaps
+                .iter()
+                .map(|o| {
+                    if o.slo_ms > 0.0 {
+                        o.p99_ms / o.slo_ms
+                    } else {
+                        0.0
+                    }
+                })
+                .fold(0.0, f64::max);
+            let shed: u64 = snaps.iter().map(|o| o.shed).sum();
+            println!(
+                "open-loop p99/SLO : worst {worst:.3} across {} tasks, {shed} requests shed",
+                snaps.len()
+            );
+        }
+    }
     if let Some(f) = sim.faults() {
         let s = f.stats();
         println!(
@@ -331,6 +379,15 @@ fn simulate<M: PowerManager>(args: &Args, sys: System, mgr: M) -> Result<bool, S
         clean = a.violations().is_empty();
     }
 
+    if let Some(result) = sim.finish_stream() {
+        let stats = result.map_err(|e| format!("stream write failed: {e}"))?;
+        if let Some(path) = &args.stream {
+            println!(
+                "stream            : {path} ({} rows, {} flushes, {} lost)",
+                stats.rows, stats.flushes, stats.lost
+            );
+        }
+    }
     if let Some(tel) = sim.take_telemetry() {
         if let Some(path) = &args.metrics {
             let mut f = io::BufWriter::new(

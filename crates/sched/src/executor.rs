@@ -608,8 +608,16 @@ impl System {
                 }
                 let hr = e.task.heart_rate();
                 let range = e.task.spec().target_range();
-                let below = range.misses_below(hr);
-                let outside = !range.contains(hr);
+                // Open-loop tasks miss on their p99-vs-SLO signal (for them
+                // "outside" and "below" coincide: only too-slow is a QoS
+                // breach); closed-loop tasks keep heart-rate semantics, and
+                // `misses_qos` is exactly `misses_below` for them.
+                let below = e.task.misses_qos();
+                let outside = if e.task.open_loop().is_some() {
+                    below
+                } else {
+                    !range.contains(hr)
+                };
                 any_below |= below;
                 self.metrics.record_task(TaskId(i), dt, below, outside);
             }
@@ -812,6 +820,9 @@ pub struct Simulation<M> {
     /// `None`, every instrumentation site below is one branch on this
     /// option — the zero-overhead-off contract.
     telemetry: Option<Telemetry>,
+    /// Optional incremental telemetry export (see
+    /// [`Simulation::with_stream`]); pumped right after each recorded row.
+    stream: Option<ppm_obs::TelemetryStream>,
 }
 
 impl<M: PowerManager> Simulation<M> {
@@ -836,6 +847,7 @@ impl<M: PowerManager> Simulation<M> {
             faulted: ActuationPlan::new(),
             auditor: None,
             telemetry: None,
+            stream: None,
         }
     }
 
@@ -914,6 +926,24 @@ impl<M: PowerManager> Simulation<M> {
     /// Detach and return the telemetry sink (for exporting after a run).
     pub fn take_telemetry(&mut self) -> Option<Telemetry> {
         self.telemetry.take()
+    }
+
+    /// Stream the telemetry time-series to disk incrementally: after every
+    /// recorded row the stream is pumped, and whole flush windows of rows
+    /// leave the ring for the writer thread before wrap-around can claim
+    /// them. Requires a telemetry sink to be attached (the stream reads its
+    /// recorder); pair with [`Simulation::finish_stream`] after the run.
+    pub fn with_stream(mut self, stream: ppm_obs::TelemetryStream) -> Simulation<M> {
+        self.stream = Some(stream);
+        self
+    }
+
+    /// Flush the stream's unflushed tail, join its writer thread, and
+    /// report totals. `None` when no stream was attached.
+    pub fn finish_stream(&mut self) -> Option<std::io::Result<ppm_obs::StreamStats>> {
+        let stream = self.stream.take()?;
+        let tel = self.telemetry.as_ref()?;
+        Some(stream.finish(&tel.recorder))
     }
 
     /// The actuation tape recorded so far, when enabled.
@@ -1119,6 +1149,9 @@ impl<M: PowerManager> Simulation<M> {
             if let Some(tel) = &mut self.telemetry {
                 self.manager.sample_policy(&mut tel.policy);
                 record_telemetry_row(&self.system, tel, self.snap.now);
+                if let Some(stream) = &mut self.stream {
+                    stream.pump(&tel.recorder);
+                }
             }
             if let Some(p) = self.trace_period {
                 if self.system.now() >= self.next_trace {
@@ -1196,6 +1229,15 @@ fn record_telemetry_row(sys: &System, tel: &mut Telemetry, at: SimTime) {
                 e.task.heart_rate(),
                 e.task.normalized_heart_rate(),
             );
+            if let Some(ol) = e.task.open_loop_snap() {
+                row.task_latency(
+                    i,
+                    f64::from(ol.queue_depth),
+                    ol.p99_ms,
+                    ol.slo_ms,
+                    ol.shed as f64,
+                );
+            }
         }
     }
 }

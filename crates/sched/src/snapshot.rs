@@ -24,6 +24,7 @@ use ppm_platform::cluster::ClusterId;
 use ppm_platform::core::{CoreClass, CoreId};
 use ppm_platform::thermal::Celsius;
 use ppm_platform::units::{ProcessingUnits, SimTime, Watts};
+use ppm_workload::request::OpenLoopSnap;
 use ppm_workload::task::TaskId;
 
 use crate::executor::System;
@@ -57,6 +58,8 @@ pub struct TaskSnap {
     pub demand_big: ProcessingUnits,
     /// Measured cost per heartbeat, when telemetry is warm.
     pub cost_per_beat: Option<f64>,
+    /// Request-queue state, for open-loop tasks only.
+    pub open_loop: Option<OpenLoopSnap>,
 }
 
 impl TaskSnap {
@@ -366,9 +369,12 @@ impl SystemSnapshot {
                     heart_rate: task.heart_rate(),
                     target_rate: task.spec().target_range().target(),
                     demand: task.demand(class, class),
-                    demand_little: task.spec().profiled_demand(CoreClass::Little),
-                    demand_big: task.spec().profiled_demand(CoreClass::Big),
+                    // Pressure-scaled for open-loop tasks (== raw profile
+                    // for closed-loop, so committed digests are untouched).
+                    demand_little: task.planning_demand(CoreClass::Little),
+                    demand_big: task.planning_demand(CoreClass::Big),
                     cost_per_beat: task.measured_cost_per_beat(),
+                    open_loop: task.open_loop_snap(),
                 }
             }));
         }
@@ -490,14 +496,23 @@ impl SystemSnapshot {
             h.f64(task.heart_rate());
             h.f64(task.spec().target_range().target());
             h.f64(task.demand(class, class).value());
-            h.f64(task.spec().profiled_demand(CoreClass::Little).value());
-            h.f64(task.spec().profiled_demand(CoreClass::Big).value());
+            h.f64(task.planning_demand(CoreClass::Little).value());
+            h.f64(task.planning_demand(CoreClass::Big).value());
             match task.measured_cost_per_beat() {
                 Some(c) => {
                     h.u64(1);
                     h.f64(c);
                 }
                 None => h.u64(0),
+            }
+            // Hashed only when present so closed-loop digests (and the
+            // committed golden tapes built from them) are byte-unchanged.
+            if let Some(o) = task.open_loop_snap() {
+                h.u64(1);
+                h.u64(u64::from(o.queue_depth));
+                h.f64(o.p99_ms);
+                h.f64(o.slo_ms);
+                h.u64(o.shed);
             }
         }
         h.finish()
@@ -525,6 +540,13 @@ impl SystemSnapshot {
                     h.f64(c);
                 }
                 None => h.u64(0),
+            }
+            if let Some(o) = t.open_loop {
+                h.u64(1);
+                h.u64(u64::from(o.queue_depth));
+                h.f64(o.p99_ms);
+                h.f64(o.slo_ms);
+                h.u64(o.shed);
             }
         }
         h.finish()
@@ -616,6 +638,13 @@ impl SystemSnapshot {
                     h.f64(c);
                 }
                 None => h.u64(0),
+            }
+            if let Some(o) = t.open_loop {
+                h.u64(1);
+                h.u64(u64::from(o.queue_depth));
+                h.f64(o.p99_ms);
+                h.f64(o.slo_ms);
+                h.u64(o.shed);
             }
         }
         for c in &self.cores {

@@ -21,6 +21,7 @@ use ppm_platform::units::{ProcessingUnits, Watts};
 use crate::heartbeat::HeartRateRange;
 use crate::perclass::PerClass;
 use crate::phase::{Phase, PhaseSequence};
+use crate::request::OpenLoopSpec;
 
 /// The eight benchmark programs of Table 5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -171,6 +172,9 @@ pub struct BenchmarkSpec {
     /// pipeline-fed applications that cannot run ahead of their input
     /// stream (`None` = compute-bound, consumes any supply).
     rate_cap: Option<f64>,
+    /// Open-loop request traffic attached to this variant (`None` = the
+    /// classic closed-loop heartbeat benchmark).
+    open_loop: Option<OpenLoopSpec>,
 }
 
 impl BenchmarkSpec {
@@ -228,6 +232,7 @@ impl BenchmarkSpec {
             cpb,
             phases,
             rate_cap,
+            open_loop: None,
         })
     }
 
@@ -263,7 +268,21 @@ impl BenchmarkSpec {
             cpb: PerClass::new(cpb_little, cpb_little / speedup),
             phases,
             rate_cap,
+            open_loop: None,
         }
+    }
+
+    /// Attach open-loop request traffic: the task serves this arrival
+    /// stream instead of free-running, and its QoS signal becomes p99
+    /// latency against the spec's SLO.
+    pub fn with_open_loop(mut self, open_loop: OpenLoopSpec) -> BenchmarkSpec {
+        self.open_loop = Some(open_loop);
+        self
+    }
+
+    /// The attached open-loop traffic spec, if any.
+    pub fn open_loop(&self) -> Option<&OpenLoopSpec> {
+        self.open_loop.as_ref()
     }
 
     /// Two equal-length phases swinging the cost `±swing` around nominal.

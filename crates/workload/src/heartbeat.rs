@@ -100,7 +100,11 @@ pub fn demand_from_heart_rate(
     supply: ProcessingUnits,
     fallback: ProcessingUnits,
 ) -> ProcessingUnits {
-    if current_hr <= 1e-9 || !supply.is_positive() {
+    // Degenerate inputs cannot be inverted: a vanishing observed rate, no
+    // supply, or a (numerically) zero-target range — e.g. one produced by
+    // `scaled` with a denormal factor — all fall back instead of dividing
+    // through a near-zero quantity.
+    if current_hr <= 1e-9 || !supply.is_positive() || range.target() <= 1e-9 {
         return fallback;
     }
     ProcessingUnits(range.target() * supply.value() / current_hr)
@@ -297,5 +301,46 @@ mod tests {
     #[should_panic(expected = "range must be ordered")]
     fn reversed_range_panics() {
         let _ = HeartRateRange::new(30.0, 24.0);
+    }
+
+    #[test]
+    fn zero_width_range_is_well_defined() {
+        // min == max is a legal, fully pinned QoS goal.
+        let r = HeartRateRange::new(30.0, 30.0);
+        assert_eq!(r.target(), 30.0);
+        assert!(r.contains(30.0));
+        assert!(!r.contains(30.0 + 1e-9));
+        assert!(r.misses_below(29.999_999));
+        assert!(!r.misses_below(30.0));
+        // Scaling preserves the zero width.
+        let s = r.scaled(0.5);
+        assert_eq!(s.min(), s.max());
+        assert_eq!(s.target(), 15.0);
+    }
+
+    #[test]
+    fn zero_width_range_converts_demand_without_division_hazard() {
+        let r = HeartRateRange::new(30.0, 30.0);
+        let d = demand_from_heart_rate(&r, 15.0, ProcessingUnits(500.0), ProcessingUnits(1.0));
+        assert!((d.value() - 1000.0).abs() < 1e-9, "{d}");
+    }
+
+    #[test]
+    fn degenerate_scaled_range_falls_back_instead_of_dividing() {
+        // A denormal scale factor collapses the target to (numerically)
+        // zero; the conversion must clamp to the fallback, not divide by it.
+        let r = HeartRateRange::new(1.0, 2.0).scaled(1e-12);
+        assert!(r.target() <= 1e-9);
+        let fb = ProcessingUnits(777.0);
+        assert_eq!(
+            demand_from_heart_rate(&r, 10.0, ProcessingUnits(500.0), fb),
+            fb
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn scaled_by_zero_panics() {
+        let _ = HeartRateRange::new(24.0, 30.0).scaled(0.0);
     }
 }

@@ -23,19 +23,26 @@
 
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod benchmarks;
 pub mod generator;
 pub mod heartbeat;
 pub mod perclass;
 pub mod phase;
+pub mod request;
 pub mod sets;
 pub mod task;
 pub mod trace;
 
+pub use crate::arrivals::{ArrivalKind, ArrivalProcess};
 pub use crate::benchmarks::{Benchmark, BenchmarkSpec, Input};
+pub use crate::generator::{
+    bursty_template, openloop_family, openloop_set_by_name, openloop_sets, OpenLoopFamily,
+};
 pub use crate::heartbeat::{HeartRateRange, HeartbeatMonitor};
 pub use crate::perclass::PerClass;
 pub use crate::phase::{Phase, PhaseSequence};
+pub use crate::request::{OpenLoopSnap, OpenLoopSpec, OpenLoopState, RequestQueue, SloMonitor};
 pub use crate::sets::{table6_sets, WorkloadClass, WorkloadSet, TC2_LITTLE_CAPACITY};
 pub use crate::task::{Priority, Task, TaskId};
 pub use crate::trace::{DemandTrace, TraceSegment};

@@ -14,6 +14,7 @@ use ppm_platform::units::{Cycles, ProcessingUnits, SimTime};
 use crate::benchmarks::BenchmarkSpec;
 use crate::heartbeat::HeartbeatMonitor;
 use crate::phase::PhaseSequence;
+use crate::request::{OpenLoopSnap, OpenLoopState};
 
 /// Identifier of a task, unique within one simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -63,12 +64,16 @@ pub struct Task {
     phases: PhaseSequence,
     monitor: HeartbeatMonitor,
     total_cycles: Cycles,
+    /// Open-loop request state when the spec carries traffic (boxed: the
+    /// common closed-loop task stays small).
+    open_loop: Option<Box<OpenLoopState>>,
 }
 
 impl Task {
     /// Instantiate `spec` as task `id` with `priority`.
     pub fn new(id: TaskId, spec: BenchmarkSpec, priority: Priority) -> Task {
         let phases = spec.phase_sequence();
+        let open_loop = spec.open_loop().map(|ol| Box::new(OpenLoopState::new(*ol)));
         Task {
             id,
             spec,
@@ -76,6 +81,7 @@ impl Task {
             phases,
             monitor: HeartbeatMonitor::new(),
             total_cycles: Cycles::ZERO,
+            open_loop,
         }
     }
 
@@ -149,6 +155,9 @@ impl Task {
     /// Walks phase boundaries so a cheap-phase tail and an expensive-phase
     /// head within one quantum are both priced correctly.
     pub fn execute(&mut self, cycles: Cycles, class: CoreClass, now: SimTime) -> f64 {
+        if self.open_loop.is_some() {
+            return self.execute_open_loop(cycles, class, now);
+        }
         let mut remaining = cycles.value();
         let mut beats = 0.0;
         // Bounded: each iteration either exhausts the cycles or crosses one
@@ -175,9 +184,51 @@ impl Task {
         beats
     }
 
+    /// Open-loop variant of [`Task::execute`]: admit due arrivals, then
+    /// serve queued requests through the same phase walk — but never run
+    /// ahead of the queue, and only bill the cycles actually spent so the
+    /// measured cost-per-beat stays honest under light traffic.
+    fn execute_open_loop(&mut self, cycles: Cycles, class: CoreClass, now: SimTime) -> f64 {
+        if let Some(ol) = &mut self.open_loop {
+            ol.admit_until(now);
+        }
+        let work_cap = self.open_loop.as_ref().map_or(0.0, |ol| ol.queued_beats());
+        let mut remaining = cycles.value();
+        let mut beats = 0.0;
+        for _ in 0..64 {
+            if remaining <= 0.0 || beats >= work_cap {
+                break;
+            }
+            let cost = self.current_cost(class);
+            let possible = (remaining / cost).min(work_cap - beats);
+            let left_in_phase = self.phases.remaining_in_current();
+            if possible <= left_in_phase {
+                self.phases.advance(possible);
+                beats += possible;
+                remaining -= possible * cost;
+            } else {
+                self.phases.advance(left_in_phase);
+                beats += left_in_phase;
+                remaining -= left_in_phase * cost;
+            }
+        }
+        let used = (cycles.value() - remaining).max(0.0);
+        if let Some(ol) = &mut self.open_loop {
+            ol.serve(beats, now);
+        }
+        self.total_cycles += cycles;
+        self.monitor.record(now, beats, used);
+        beats
+    }
+
     /// Record the passage of time without progress (starved or migrating),
-    /// so the heart-rate window decays.
+    /// so the heart-rate window decays. Open-loop traffic keeps arriving
+    /// while the task is starved — exactly the point of open-loop load.
     pub fn record_idle(&mut self, now: SimTime) {
+        if let Some(ol) = &mut self.open_loop {
+            ol.admit_until(now);
+            ol.serve(0.0, now);
+        }
         self.monitor.record(now, 0.0, 0.0);
     }
 
@@ -192,14 +243,23 @@ impl Task {
     /// When the measurement was taken on a different core class than
     /// `class`, the profiled cost ratio rescales it.
     pub fn demand(&self, class: CoreClass, measured_on: CoreClass) -> ProcessingUnits {
-        let profiled = self.spec.profiled_demand(class);
-        let Some(cost) = self.monitor.cost_per_beat() else {
-            return profiled;
+        let base = 'base: {
+            let profiled = self.spec.profiled_demand(class);
+            let Some(cost) = self.monitor.cost_per_beat() else {
+                break 'base profiled;
+            };
+            let scale =
+                self.spec.cycles_per_heartbeat(class) / self.spec.cycles_per_heartbeat(measured_on);
+            let d = ProcessingUnits(self.spec.target_range().target() * cost * scale / 1e6);
+            d.min(self.max_reasonable_demand(class))
         };
-        let scale =
-            self.spec.cycles_per_heartbeat(class) / self.spec.cycles_per_heartbeat(measured_on);
-        let d = ProcessingUnits(self.spec.target_range().target() * cost * scale / 1e6);
-        d.min(self.max_reasonable_demand(class))
+        // Open-loop tasks bid tail latency into the market: demand scales
+        // with the p99/SLO pressure ratio (clamped), so a task blowing its
+        // SLO outbids one coasting far under it.
+        match &self.open_loop {
+            Some(ol) => base * ol.pressure(),
+            None => base,
+        }
     }
 
     /// Analytic demand on `class` for the *current* phase: the supply that
@@ -224,10 +284,40 @@ impl Task {
         )
     }
 
-    /// True when the current heart rate is below the reference range — the
-    /// QoS-miss condition of Figures 4 and 6.
+    /// True when the task misses its QoS goal: heart rate below the
+    /// reference range (Figures 4 and 6) for closed-loop tasks, p99
+    /// latency above the SLO for open-loop tasks (once enough completions
+    /// exist to trust the tail).
     pub fn misses_qos(&self) -> bool {
-        self.spec.target_range().misses_below(self.heart_rate())
+        match &self.open_loop {
+            Some(ol) => ol.monitor().completed() >= 20 && ol.monitor().misses_slo(),
+            None => self.spec.target_range().misses_below(self.heart_rate()),
+        }
+    }
+
+    /// Off-line-profiled demand on `class`, scaled by the SLO pressure for
+    /// open-loop tasks: the per-class *planning* input the LBT speculates
+    /// with. Without the pressure term the load balancer would plan from
+    /// nominal demand while the market grants pressure-inflated bids — and
+    /// never wake a big cluster for a task drowning in queued requests.
+    /// Identical to the raw profile for closed-loop tasks.
+    pub fn planning_demand(&self, class: CoreClass) -> ProcessingUnits {
+        let base = self.spec.profiled_demand(class);
+        match &self.open_loop {
+            Some(ol) => base * ol.pressure(),
+            None => base,
+        }
+    }
+
+    /// Live open-loop state, when the spec carries request traffic.
+    pub fn open_loop(&self) -> Option<&OpenLoopState> {
+        self.open_loop.as_deref()
+    }
+
+    /// Copyable open-loop vitals for the system snapshot (`None` for
+    /// closed-loop tasks, so existing snapshot digests are untouched).
+    pub fn open_loop_snap(&self) -> Option<OpenLoopSnap> {
+        self.open_loop.as_ref().map(|ol| ol.snap())
     }
 
     /// Heart rate normalised to the target (1.0 = exactly on target), as
@@ -342,6 +432,77 @@ mod tests {
         let d = t.demand(CoreClass::Little, CoreClass::Little);
         let cap = ProcessingUnits(2.0 * 200.0); // 2x worst-phase demand
         assert!(d <= cap, "demand {d} exceeds cap {cap}");
+    }
+
+    #[test]
+    fn open_loop_task_keeps_up_given_enough_supply() {
+        let mut t = open_loop_task();
+        // The 500 PU profiled demand only matches the *mean* offered load;
+        // holding a p99 needs queueing headroom well above it (the Weibull
+        // service tail alone stretches a 40 ms mean request past 120 ms).
+        let supply = ProcessingUnits(2500.0);
+        let dt = SimDuration::from_millis(1);
+        let mut now = SimTime::ZERO;
+        for _ in 0..5000 {
+            now += dt;
+            t.execute(supply.cycles_over(dt), CoreClass::Little, now);
+        }
+        let ol = t.open_loop().expect("open-loop state");
+        assert!(ol.served() > 100, "served {}", ol.served());
+        assert_eq!(ol.shed_total(), 0);
+        assert!(!t.misses_qos(), "{}", ol.monitor());
+        // Arrival-bound: the beat throughput tracks λ·service_beats
+        // (100 hb/s ± Poisson window noise), far below what 2500 PU of
+        // supply could sustain on a closed loop (500 hb/s).
+        assert!(
+            t.heart_rate() > 50.0 && t.heart_rate() < 160.0,
+            "hr {}",
+            t.heart_rate()
+        );
+        let snap = t.open_loop_snap().expect("snap");
+        assert!(snap.p99_ms < snap.slo_ms);
+    }
+
+    #[test]
+    fn starved_open_loop_task_sheds_and_bids_up() {
+        let mut t = open_loop_task();
+        let supply = ProcessingUnits(100.0); // a fifth of the offered load
+        let dt = SimDuration::from_millis(1);
+        let mut now = SimTime::ZERO;
+        for _ in 0..20_000 {
+            now += dt;
+            t.execute(supply.cycles_over(dt), CoreClass::Little, now);
+        }
+        let ol = t.open_loop().expect("open-loop state");
+        assert!(ol.shed_total() > 0, "saturated queue must shed");
+        assert!(t.misses_qos(), "{}", ol.monitor());
+        // SLO pressure doubles the bid relative to the closed-loop demand.
+        let closed = Task::new(TaskId(9), t.spec().clone(), Priority::NORMAL);
+        let base = closed.demand(CoreClass::Little, CoreClass::Little);
+        let d = t.demand(CoreClass::Little, CoreClass::Little);
+        assert!(d > base, "pressured {d} vs base {base}");
+    }
+
+    fn open_loop_task() -> Task {
+        use crate::arrivals::ArrivalKind;
+        use crate::phase::Phase;
+        use crate::request::OpenLoopSpec;
+        let ol = OpenLoopSpec::new(
+            ArrivalKind::Poisson { rate: 25.0 },
+            7,
+            4.0,
+            1.5,
+            SimDuration::from_millis(100),
+        );
+        let spec = BenchmarkSpec::custom(
+            crate::heartbeat::HeartRateRange::new(95.0, 105.0),
+            ProcessingUnits(500.0),
+            1.8,
+            vec![Phase::new(f64::MAX, 1.0)],
+            None,
+        )
+        .with_open_loop(ol);
+        Task::new(TaskId(0), spec, Priority::NORMAL)
     }
 
     #[test]

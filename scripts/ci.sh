@@ -57,4 +57,13 @@ echo ">>> bench_fleet (fleet stepping throughput -> BENCH_fleet.json)"
 cargo run --release --quiet -p ppm-bench --bin bench_fleet -- "$obs_tmp/BENCH_fleet.json"
 cargo run --release --quiet -p ppm-obs --bin obs_validate -- "$obs_tmp/BENCH_fleet.json"
 
+echo ">>> open-loop smoke (pinned-seed request traffic: auditor clean, stream whole)"
+cargo run --release --quiet -p ppm --bin ppm-sim -- \
+  --scheme ppm --workload openloop --duration 10 --audit \
+  --stream "$obs_tmp/openloop.jsonl" > /dev/null
+cargo run --release --quiet -p ppm-obs --bin obs_validate -- "$obs_tmp/openloop.jsonl"
+
+echo ">>> bench_openloop --check (tape digest pinned, p99 within SLO, 1/2/4 workers bit-identical)"
+cargo run --release --quiet -p ppm-bench --bin bench_openloop -- --check
+
 echo "ci: all green"

@@ -268,3 +268,69 @@ fn e2e_actuation_tapes_are_identical_across_threads() {
         );
     }
 }
+
+/// One open-loop cell — seeded request arrivals, per-request Weibull
+/// service draws, queue dynamics, SLO pressure feeding the bids — reduced
+/// to bytes, with the market sharded over `workers` threads.
+fn openloop_tape(workers: usize) -> (String, String) {
+    let set = ppm_bench::resolve_set("ol2").expect("ol2");
+    let run = ppm_bench::run_workload_hardened(
+        &set,
+        ppm_bench::Scheme::Ppm,
+        Some(Watts(4.0)),
+        SimDuration::from_secs(8),
+        ppm_bench::Harness {
+            tape: true,
+            market_workers: workers,
+            ..ppm_bench::Harness::default()
+        },
+    );
+    (format!("{:?}", run.summary), run.tape)
+}
+
+#[test]
+fn openloop_runs_are_identical_across_worker_counts() {
+    // Request traffic adds three fresh nondeterminism hazards — arrival
+    // sampling, service-demand sampling, and the pressure feedback loop —
+    // and none may leak thread count into the trajectory: the same seed
+    // must produce byte-identical tapes at 1, 2, and 4 market workers.
+    let reference = openloop_tape(1);
+    for workers in [2usize, 4] {
+        let got = openloop_tape(workers);
+        assert_eq!(reference.0, got.0, "summary diverged at {workers} workers");
+        assert_eq!(reference.1, got.1, "tape diverged at {workers} workers");
+    }
+    assert!(!reference.1.is_empty(), "open-loop run recorded nothing");
+}
+
+#[test]
+fn openloop_arrival_tapes_are_seeded_and_seed_sensitive() {
+    use ppm::workload::{bursty_template, ArrivalProcess, OpenLoopFamily};
+    let kind = bursty_template().arrivals;
+    let a = ArrivalProcess::tape_digest(kind, OpenLoopFamily::PINNED_SEED, 256);
+    let b = ArrivalProcess::tape_digest(kind, OpenLoopFamily::PINNED_SEED, 256);
+    assert_eq!(a, b, "same seed must reproduce the same arrival tape");
+    let c = ArrivalProcess::tape_digest(kind, OpenLoopFamily::PINNED_SEED ^ 1, 256);
+    assert_ne!(a, c, "a different seed must change the arrival tape");
+}
+
+#[test]
+fn openloop_family_seed_changes_the_whole_run() {
+    use ppm::workload::{bursty_template, openloop_family};
+    let tape = |seed: u64| {
+        let set = openloop_family("olx", bursty_template(), seed);
+        let (summary, tape) = ppm_bench::run_workload_taped(
+            &set,
+            ppm_bench::Scheme::Ppm,
+            Some(Watts(4.0)),
+            SimDuration::from_secs(6),
+        );
+        format!("{summary:?}\n{tape}")
+    };
+    assert_eq!(tape(11), tape(11), "same family seed must replay exactly");
+    assert_ne!(
+        tape(11),
+        tape(12),
+        "the family seed must actually steer arrivals and service draws"
+    );
+}

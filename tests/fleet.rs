@@ -125,3 +125,48 @@ fn traded_tdps_land_on_every_chip() {
         );
     }
 }
+
+/// An N=4 open-loop fleet epoch: four heterogeneous chips each serving a
+/// seeded bursty request family, trading under a shared cap, every chip's
+/// auditor clean. Also pins cross-thread determinism for request traffic
+/// at the fleet level: serial and 4-thread stepping must agree on the
+/// ledger and every chip's power trajectory.
+#[test]
+fn openloop_fleet_epoch_is_auditor_clean() {
+    use ppm::fleet::scenario::openloop_fleet;
+    let run = |threads: usize| {
+        let mut fleet = openloop_fleet(4, 4, 2, 4, Some(Watts(10.0)), None).with_threads(threads);
+        fleet.run_for(SimDuration::from_millis(600));
+        let roll = fleet.audit_rollup();
+        assert!(roll.is_clean(), "{}", roll.render());
+        let ledger = fleet.exchange().expect("exchange").render_ledger();
+        let powers: Vec<String> = fleet
+            .chips()
+            .iter()
+            .map(|c| format!("{}", c.sim().system().chip_power()))
+            .collect();
+        (ledger, powers)
+    };
+    let (ledger_serial, powers_serial) = run(1);
+    let (ledger_threaded, powers_threaded) = run(4);
+    assert!(!ledger_serial.is_empty(), "the cap must actually trade");
+    assert_eq!(ledger_serial, ledger_threaded);
+    assert_eq!(powers_serial, powers_threaded);
+}
+
+/// The acceptance-scale open-loop configuration: one full trading epoch
+/// over 256 V64/C8 chips each serving 16 bursty request tasks,
+/// auditor-clean on every chip.
+#[test]
+#[ignore = "large: 256 chips x 64 clusters x 8 cores of request traffic; run in release"]
+fn openloop_fleet_256_chips_is_auditor_clean() {
+    use ppm::core::manager::PpmManager;
+    use ppm::fleet::scenario::openloop_fleet;
+    use ppm::fleet::Fleet;
+    let mut fleet = openloop_fleet(256, 64, 8, 16, Some(Watts(4000.0)), None);
+    fleet = fleet.with_threads(std::thread::available_parallelism().map_or(1, |n| n.get()));
+    fleet.run_for(Fleet::<PpmManager>::DEFAULT_EPOCH);
+    assert_eq!(fleet.exchange().expect("exchange").epochs(), 1);
+    let roll = fleet.audit_rollup();
+    assert!(roll.is_clean(), "{}", roll.render());
+}

@@ -44,11 +44,14 @@ fn cell(set_name: &str, scheme: Scheme, tdp: Option<Watts>) -> String {
 
 fn check(fig: &str, set_name: &str, scheme: Scheme, tdp: Option<Watts>) {
     let name = format!("{fig}_{set_name}_{}.tape", scheme.name().to_lowercase());
-    let path = goldens_dir().join(&name);
-    let fresh = cell(set_name, scheme, tdp);
+    check_bytes(&name, &cell(set_name, scheme, tdp));
+}
+
+fn check_bytes(name: &str, fresh: &str) {
+    let path = goldens_dir().join(name);
     if std::env::var_os("UPDATE_GOLDENS").is_some() {
         fs::create_dir_all(goldens_dir()).expect("create tests/goldens");
-        fs::write(&path, &fresh).expect("write golden");
+        fs::write(&path, fresh).expect("write golden");
         return;
     }
     let committed = fs::read_to_string(&path)
@@ -87,6 +90,22 @@ fn fig6_tapes_match_the_goldens() {
         for scheme in Scheme::ALL {
             check("fig6", set, scheme, Some(Watts(4.0)));
         }
+    }
+}
+
+/// The four open-loop `ol2` cells — PPM, HPM, HL, and the unmanaged Null
+/// control — under the fig6 4 W cap: seeded request arrivals, Weibull
+/// service draws, queue dynamics, and the SLO-pressure feedback all
+/// reduced to committed bytes, so any drift in the request machinery
+/// fails CI the same way manager drift does.
+#[test]
+fn openloop_tapes_match_the_goldens() {
+    for scheme in [Scheme::Ppm, Scheme::Hpm, Scheme::Hl, Scheme::Null] {
+        let name = format!("openloop_ol2_{}.tape", scheme.name().to_lowercase());
+        let set = ppm_bench::resolve_set("ol2").expect("ol2");
+        let (summary, tape) =
+            ppm_bench::run_workload_taped(&set, scheme, Some(Watts(4.0)), DURATION);
+        check_bytes(&name, &format!("{summary:?}\n{tape}"));
     }
 }
 
