@@ -1,5 +1,6 @@
 //! Recorder overhead: wall-clock ns per simulated quantum with telemetry
-//! off, on, and on + phase profiling, over a PPM run of the m1 workload.
+//! off, on, on + phase profiling, on + windowed aggregation, and on +
+//! aggregation + burn-rate alerting, over a PPM run of the m1 workload.
 //! Writes a JSON record (`BENCH_obs.json`) so the zero-overhead-off claim
 //! has a measured trajectory to compare against.
 //!
@@ -22,7 +23,7 @@ struct Mode {
     harness: fn() -> Harness,
 }
 
-const MODES: [Mode; 3] = [
+const MODES: [Mode; 5] = [
     Mode {
         name: "off",
         harness: Harness::default,
@@ -39,6 +40,22 @@ const MODES: [Mode; 3] = [
         harness: || Harness {
             telemetry: true,
             profile: true,
+            ..Harness::default()
+        },
+    },
+    Mode {
+        name: "telemetry+aggregate",
+        harness: || Harness {
+            telemetry: true,
+            aggregate: true,
+            ..Harness::default()
+        },
+    },
+    Mode {
+        name: "telemetry+agg+alerts",
+        harness: || Harness {
+            telemetry: true,
+            alerts: true,
             ..Harness::default()
         },
     },

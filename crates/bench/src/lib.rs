@@ -157,6 +157,12 @@ pub struct Harness {
     pub telemetry: bool,
     /// Also profile manager phases (implies `telemetry`).
     pub profile: bool,
+    /// Fold every recorded row into tumbling windowed rollups (implies
+    /// `telemetry`; window = [`ppm_obs::DEFAULT_AGG_WINDOW_US`]).
+    pub aggregate: bool,
+    /// Evaluate the default burn-rate alert rules over the rollups
+    /// (implies `aggregate`).
+    pub alerts: bool,
     /// Threads the PPM market fans out over (`0` keeps the config default,
     /// i.e. serial; `n > 1` attaches a persistent pool of `n − 1` workers —
     /// DESIGN.md §13). Ignored by the non-market schemes.
@@ -193,8 +199,9 @@ pub struct HardenedRun {
     pub audit_report: String,
     /// Fault counters (zeroes unless [`Harness::faults`]).
     pub fault_stats: FaultStats,
-    /// Recorded telemetry (present iff [`Harness::telemetry`] or
-    /// [`Harness::profile`]).
+    /// Recorded telemetry (present iff [`Harness::telemetry`],
+    /// [`Harness::profile`], [`Harness::aggregate`], or
+    /// [`Harness::alerts`]).
     pub telemetry: Option<ppm_obs::Telemetry>,
     /// End-of-run request-queue state for every open-loop task, in task-id
     /// order (empty for closed-loop sets).
@@ -322,10 +329,16 @@ fn run<M: PowerManager + Send>(
     if let Some(fc) = harness.faults.clone() {
         sim = sim.with_faults(FaultPlan::new(fc));
     }
-    if harness.telemetry || harness.profile {
+    if harness.telemetry || harness.profile || harness.aggregate || harness.alerts {
         let mut tel = ppm_obs::Telemetry::new(telemetry_capacity(duration));
         if harness.profile {
             tel = tel.with_profiling();
+        }
+        if harness.aggregate || harness.alerts {
+            tel = tel.with_aggregation(ppm_obs::DEFAULT_AGG_WINDOW_US);
+        }
+        if harness.alerts {
+            tel = tel.with_alerts();
         }
         sim = sim.with_telemetry(tel);
     }

@@ -12,6 +12,7 @@ use std::io::{self, Write};
 
 use ppm_obs::export::{write_fleet_chrome_trace, write_fleet_csv, CounterSample};
 use ppm_obs::recorder::SeriesRecorder;
+use ppm_obs::{AggSnapshot, AlertSnapshot, ScrapeSnapshot};
 use ppm_sched::executor::PowerManager;
 
 use crate::exchange::FleetExchange;
@@ -69,6 +70,83 @@ pub fn write_trace<M: PowerManager, W: Write>(
         .map(exchange_counter_track)
         .unwrap_or_default();
     write_fleet_chrome_trace(&recs, &exchange, w, stride)
+}
+
+/// Merge every chip's live aggregation windows and alert state into one
+/// fleet-wide scrape snapshot: per-chip sections labelled `chip {i}` plus
+/// a `fleet` rollup composed with [`AggSnapshot::absorb`] — the same
+/// shape [`Fleet::audit_rollup`] gives the auditors. Chips without
+/// aggregation attached simply contribute nothing; an unobserved fleet
+/// yields the default (empty) snapshot.
+pub fn fleet_scrape_snapshot<M: PowerManager>(fleet: &Fleet<M>) -> ScrapeSnapshot {
+    let mut chips: Vec<AggSnapshot> = Vec::new();
+    let mut alerts: Option<AlertSnapshot> = None;
+    let mut at_us = 0;
+    for (i, chip) in fleet.chips().iter().enumerate() {
+        let Some(tel) = chip.sim().telemetry() else {
+            continue;
+        };
+        if let Some(agg) = &tel.aggregate {
+            chips.push(agg.snapshot(&format!("chip {i}")));
+            at_us = at_us.max(agg.now_us());
+        }
+        if let Some(engine) = &tel.alerts {
+            let snap = engine.snapshot();
+            match &mut alerts {
+                Some(merged) => merged.absorb(&snap),
+                None => alerts = Some(snap),
+            }
+        }
+    }
+    if chips.is_empty() && alerts.is_none() {
+        return ScrapeSnapshot::default();
+    }
+    let window_us = chips
+        .first()
+        .map_or(ppm_obs::DEFAULT_AGG_WINDOW_US, |c| c.window_us);
+    let mut rollup = AggSnapshot::empty("fleet", window_us);
+    for chip in &chips {
+        rollup.absorb(chip);
+    }
+    ScrapeSnapshot {
+        at_us,
+        fleet: Some(rollup),
+        chips,
+        alerts,
+    }
+}
+
+/// Merge every chip's alert engine into one fleet tape: the rendered
+/// per-chip tapes concatenated under `chip {i}` headings, so a fleet run
+/// prints the same transition lines each standalone chip would.
+pub fn fleet_alert_tape<M: PowerManager>(fleet: &Fleet<M>) -> Option<String> {
+    let mut out = String::new();
+    for (i, chip) in fleet.chips().iter().enumerate() {
+        let Some(engine) = chip.sim().telemetry().and_then(|t| t.alerts.as_ref()) else {
+            continue;
+        };
+        out.push_str(&format!("chip {i}:\n"));
+        for line in engine.render().lines() {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// True when any chip's alert engine has fired at least once over the run
+/// (used by `ppm-sim fleet --alerts` to pick its exit status).
+pub fn fleet_alerts_fired<M: PowerManager>(fleet: &Fleet<M>) -> bool {
+    fleet
+        .chips()
+        .iter()
+        .filter_map(|c| c.sim().telemetry().and_then(|t| t.alerts.as_ref()))
+        .any(|engine| engine.fired_total() > 0)
 }
 
 /// Write the whole fleet as one wide chip-tagged CSV joined on the
@@ -130,6 +208,47 @@ mod tests {
         for row in &lines[1..] {
             assert_eq!(row.split(',').count(), cols);
         }
+    }
+
+    #[test]
+    fn fleet_scrape_snapshot_merges_chip_windows_and_alerts() {
+        let mut fleet = synthetic_fleet(2, 4, 2, 4, Some(Watts(8.0)), None);
+        for chip in fleet.chips_mut() {
+            chip.sim_mut().set_telemetry(
+                ppm_obs::Telemetry::new(4096)
+                    .with_aggregation(100_000)
+                    .with_alerts(),
+            );
+        }
+        fleet.run_for(SimDuration::from_millis(300));
+
+        let snap = fleet_scrape_snapshot(&fleet);
+        assert_eq!(snap.chips.len(), 2);
+        assert_eq!(snap.chips[0].label, "chip 0");
+        let rollup = snap.fleet.as_ref().expect("fleet rollup");
+        // 300 ms over 100 ms windows: the first two close, the third is live.
+        assert_eq!(snap.chips[0].windows_closed, 2);
+        assert_eq!(rollup.windows_closed, 2);
+        assert_eq!(
+            rollup.totals.quanta,
+            snap.chips.iter().map(|c| c.totals.quanta).sum::<u64>()
+        );
+        let alerts = snap.alerts.as_ref().expect("alert rollup");
+        assert_eq!(alerts.rules.len(), ppm_obs::BurnRule::defaults().len());
+
+        let tape = fleet_alert_tape(&fleet).expect("alert tape");
+        assert!(tape.contains("chip 0:"));
+        assert!(tape.contains("chip 1:"));
+        assert!(!fleet_alerts_fired(&fleet), "healthy fleet stays silent");
+    }
+
+    #[test]
+    fn unobserved_fleet_scrapes_empty() {
+        let fleet = synthetic_fleet(2, 4, 2, 4, Some(Watts(8.0)), None);
+        let snap = fleet_scrape_snapshot(&fleet);
+        assert!(snap.fleet.is_none() && snap.chips.is_empty() && snap.alerts.is_none());
+        assert!(fleet_alert_tape(&fleet).is_none());
+        assert!(!fleet_alerts_fired(&fleet));
     }
 
     #[test]

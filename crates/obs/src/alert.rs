@@ -1,0 +1,585 @@
+//! Deterministic multi-window burn-rate alerting (DESIGN.md §16).
+//!
+//! SRE-style alerting over the windowed rollups of [`crate::aggregate`]:
+//! each rule watches one error signal (SLO-bad quanta, request sheds,
+//! over-TDP quanta, degradation events), expresses a budget for it, and
+//! fires only when the **burn rate** — observed rate over budgeted rate —
+//! exceeds a threshold in *both* a fast window (the last few rollups,
+//! for reaction speed) and a slow window (a longer tail, to reject
+//! blips). This is the classic multi-window multi-burn-rate shape from
+//! the Google SRE workbook, evaluated **purely in simulated time**: the
+//! engine consumes closed windows whose extent is sim time, so the same
+//! seed produces byte-identical alert tapes regardless of wall-clock
+//! speed, market worker count, or fleet thread count.
+//!
+//! Cost contract: the engine is preallocated at construction (signal
+//! ring, rule states, a bounded event tape) and evaluation performs no
+//! allocation — state *transitions* write into the reserved event tape,
+//! and overflow beyond its capacity is counted, not grown.
+
+use crate::aggregate::WindowRollup;
+use std::fmt::Write as _;
+
+/// The error signals a rule can watch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// Fraction of quanta where any open-loop task's p99 exceeded its
+    /// SLO (the attainment signal PR 8 introduced).
+    SloBurn,
+    /// Requests shed by bounded queues, per simulated second.
+    ShedRate,
+    /// Fraction of quanta spent above the TDP (headroom < 0).
+    TdpHeadroom,
+    /// Degradation events (sensor fallbacks, DVFS/migration retries,
+    /// orphaned tasks) per simulated second.
+    Degradation,
+}
+
+impl AlertKind {
+    /// All kinds, in evaluation and rendering order.
+    pub const ALL: [AlertKind; 4] = [
+        AlertKind::SloBurn,
+        AlertKind::ShedRate,
+        AlertKind::TdpHeadroom,
+        AlertKind::Degradation,
+    ];
+
+    /// Stable snake_case name (label value in the scrape exposition).
+    pub fn name(self) -> &'static str {
+        match self {
+            AlertKind::SloBurn => "slo_burn",
+            AlertKind::ShedRate => "shed_rate",
+            AlertKind::TdpHeadroom => "tdp_headroom",
+            AlertKind::Degradation => "degradation",
+        }
+    }
+}
+
+/// One burn-rate rule: `signal rate / budget > threshold` in both the
+/// fast and the slow lookback for the rule to fire.
+#[derive(Debug, Clone, Copy)]
+pub struct BurnRule {
+    /// The watched signal.
+    pub kind: AlertKind,
+    /// Budgeted rate: a fraction of quanta for [`AlertKind::SloBurn`] /
+    /// [`AlertKind::TdpHeadroom`], events per simulated second for the
+    /// others. Must be positive.
+    pub budget: f64,
+    /// Fast lookback, in closed windows (reaction speed).
+    pub fast_windows: usize,
+    /// Slow lookback, in closed windows (blip rejection). Must be at
+    /// least `fast_windows`; the rule stays silent until this many
+    /// windows have closed.
+    pub slow_windows: usize,
+    /// Burn-rate threshold both lookbacks must exceed.
+    pub threshold: f64,
+}
+
+impl BurnRule {
+    /// The default rule set: page-grade thresholds over 1 s windows.
+    ///
+    /// | alert | budget | fast | slow | threshold |
+    /// |---|---|---|---|---|
+    /// | `slo_burn` | 0.1 % of quanta | 2 | 6 | 10× |
+    /// | `shed_rate` | 1 shed/s | 2 | 6 | 5× |
+    /// | `tdp_headroom` | 2 % of quanta | 2 | 6 | 10× |
+    /// | `degradation` | 2 events/s | 2 | 6 | 5× |
+    pub fn defaults() -> Vec<BurnRule> {
+        vec![
+            BurnRule {
+                kind: AlertKind::SloBurn,
+                budget: 0.001,
+                fast_windows: 2,
+                slow_windows: 6,
+                threshold: 10.0,
+            },
+            BurnRule {
+                kind: AlertKind::ShedRate,
+                budget: 1.0,
+                fast_windows: 2,
+                slow_windows: 6,
+                threshold: 5.0,
+            },
+            BurnRule {
+                kind: AlertKind::TdpHeadroom,
+                budget: 0.02,
+                fast_windows: 2,
+                slow_windows: 6,
+                threshold: 10.0,
+            },
+            BurnRule {
+                kind: AlertKind::Degradation,
+                budget: 2.0,
+                fast_windows: 2,
+                slow_windows: 6,
+                threshold: 5.0,
+            },
+        ]
+    }
+}
+
+/// One state transition on the alert tape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlertEvent {
+    /// Sim time of the window close that caused the transition (µs).
+    pub at_us: u64,
+    /// Which rule.
+    pub kind: AlertKind,
+    /// `true` = started firing, `false` = resolved.
+    pub firing: bool,
+    /// Fast-window burn rate at the transition.
+    pub fast_burn: f64,
+    /// Slow-window burn rate at the transition.
+    pub slow_burn: f64,
+    /// The rule's threshold (for self-contained rendering).
+    pub threshold: f64,
+}
+
+/// Per-window error-signal sample kept in the engine's ring.
+#[derive(Debug, Clone, Copy, Default)]
+struct WindowSignal {
+    quanta: u64,
+    slo_bad: u64,
+    over_tdp: u64,
+    shed: u64,
+    degradation: u64,
+    dur_us: u64,
+}
+
+/// Live evaluation state of one rule (also what the scrape exposes).
+#[derive(Debug, Clone, Copy)]
+pub struct RuleState {
+    /// Currently firing?
+    pub firing: bool,
+    /// Latest fast-window burn rate (NaN until `slow_windows` closed).
+    pub fast_burn: f64,
+    /// Latest slow-window burn rate (NaN until `slow_windows` closed).
+    pub slow_burn: f64,
+}
+
+/// Cap on the retained event tape; transitions beyond it are counted in
+/// [`AlertEngine::events_dropped`], never allocated.
+pub const EVENTS_CAP: usize = 256;
+
+/// The burn-rate engine: feed it every closed window, read the tape.
+#[derive(Debug, Clone)]
+pub struct AlertEngine {
+    rules: Vec<BurnRule>,
+    states: Vec<RuleState>,
+    ring: Box<[WindowSignal]>,
+    head: usize,
+    len: usize,
+    events: Vec<AlertEvent>,
+    events_dropped: u64,
+    fired_total: u64,
+}
+
+impl AlertEngine {
+    /// An engine over `rules`.
+    ///
+    /// # Panics
+    /// If a rule has a non-positive budget, a zero fast window, or a
+    /// slow window shorter than its fast window.
+    pub fn new(rules: Vec<BurnRule>) -> AlertEngine {
+        let mut cap = 1;
+        for r in &rules {
+            assert!(r.budget > 0.0, "burn-rate budget must be positive");
+            assert!(r.fast_windows > 0, "fast window must be non-zero");
+            assert!(
+                r.slow_windows >= r.fast_windows,
+                "slow window shorter than fast window"
+            );
+            cap = cap.max(r.slow_windows);
+        }
+        let states = rules
+            .iter()
+            .map(|_| RuleState {
+                firing: false,
+                fast_burn: f64::NAN,
+                slow_burn: f64::NAN,
+            })
+            .collect();
+        AlertEngine {
+            rules,
+            states,
+            ring: vec![WindowSignal::default(); cap].into_boxed_slice(),
+            head: 0,
+            len: 0,
+            events: Vec::with_capacity(EVENTS_CAP),
+            events_dropped: 0,
+            fired_total: 0,
+        }
+    }
+
+    /// The rules under evaluation.
+    pub fn rules(&self) -> &[BurnRule] {
+        &self.rules
+    }
+
+    /// Live state per rule, indexed like [`AlertEngine::rules`].
+    pub fn states(&self) -> &[RuleState] {
+        &self.states
+    }
+
+    /// The event tape (bounded at [`EVENTS_CAP`]).
+    pub fn events(&self) -> &[AlertEvent] {
+        &self.events
+    }
+
+    /// Transitions that did not fit the tape.
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
+    }
+
+    /// Rules currently firing.
+    pub fn firing_count(&self) -> u64 {
+        self.states.iter().filter(|s| s.firing).count() as u64
+    }
+
+    /// Fire transitions over the whole run (monotone; nonzero means the
+    /// run was not alert-clean even if everything later resolved).
+    pub fn fired_total(&self) -> u64 {
+        self.fired_total
+    }
+
+    /// Signal rate over the last `n` ring entries for `kind`:
+    /// quanta-fraction signals divide by quanta, rate signals divide by
+    /// simulated seconds.
+    fn rate(&self, kind: AlertKind, n: usize) -> f64 {
+        let mut quanta = 0u64;
+        let mut dur_us = 0u64;
+        let mut events = 0u64;
+        for k in 0..n.min(self.len) {
+            let idx = (self.head + self.ring.len() - 1 - k) % self.ring.len();
+            let w = &self.ring[idx];
+            quanta += w.quanta;
+            dur_us += w.dur_us;
+            events += match kind {
+                AlertKind::SloBurn => w.slo_bad,
+                AlertKind::TdpHeadroom => w.over_tdp,
+                AlertKind::ShedRate => w.shed,
+                AlertKind::Degradation => w.degradation,
+            };
+        }
+        match kind {
+            AlertKind::SloBurn | AlertKind::TdpHeadroom => {
+                if quanta == 0 {
+                    0.0
+                } else {
+                    events as f64 / quanta as f64
+                }
+            }
+            AlertKind::ShedRate | AlertKind::Degradation => {
+                if dur_us == 0 {
+                    0.0
+                } else {
+                    events as f64 / (dur_us as f64 / 1e6)
+                }
+            }
+        }
+    }
+
+    /// Fold one closed window in and re-evaluate every rule. No
+    /// allocation: transitions write into the preallocated tape (or bump
+    /// the drop counter once it is full).
+    pub fn observe_window(&mut self, w: &WindowRollup) {
+        self.ring[self.head] = WindowSignal {
+            quanta: w.stats.quanta,
+            slo_bad: w.stats.slo_bad_quanta,
+            over_tdp: w.stats.over_tdp_quanta,
+            shed: w.stats.shed,
+            degradation: w.stats.degradation,
+            dur_us: w.end_us - w.start_us,
+        };
+        self.head = (self.head + 1) % self.ring.len();
+        self.len = (self.len + 1).min(self.ring.len());
+
+        for i in 0..self.rules.len() {
+            let r = self.rules[i];
+            if self.len < r.slow_windows {
+                continue; // not enough history yet — stay silent
+            }
+            let fast = self.rate(r.kind, r.fast_windows) / r.budget;
+            let slow = self.rate(r.kind, r.slow_windows) / r.budget;
+            let firing = fast > r.threshold && slow > r.threshold;
+            let state = &mut self.states[i];
+            state.fast_burn = fast;
+            state.slow_burn = slow;
+            if firing != state.firing {
+                state.firing = firing;
+                if firing {
+                    self.fired_total += 1;
+                }
+                if self.events.len() < self.events.capacity() {
+                    self.events.push(AlertEvent {
+                        at_us: w.end_us,
+                        kind: r.kind,
+                        firing,
+                        fast_burn: fast,
+                        slow_burn: slow,
+                        threshold: r.threshold,
+                    });
+                } else {
+                    self.events_dropped += 1;
+                }
+            }
+        }
+    }
+
+    /// Render the alert tape: one deterministic line per transition plus
+    /// a summary head, the analogue of `Auditor::render` for alerts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "alert tape: {} transition(s), {} rule(s) firing at end, {} fired over the run{}",
+            self.events.len(),
+            self.firing_count(),
+            self.fired_total,
+            if self.events_dropped > 0 {
+                " (tape truncated)"
+            } else {
+                ""
+            }
+        );
+        for e in &self.events {
+            let _ = writeln!(
+                out,
+                "[{:9.3}s] {:8} {:12} fast={:.2}x slow={:.2}x (threshold {:.2}x)",
+                e.at_us as f64 / 1e6,
+                if e.firing { "FIRING" } else { "RESOLVED" },
+                e.kind.name(),
+                e.fast_burn,
+                e.slow_burn,
+                e.threshold,
+            );
+        }
+        out
+    }
+
+    /// A detached copy of rule states for scraping (allocates; off the
+    /// hot path).
+    pub fn snapshot(&self) -> AlertSnapshot {
+        AlertSnapshot {
+            rules: self
+                .rules
+                .iter()
+                .zip(self.states.iter())
+                .map(|(r, s)| RuleStatus {
+                    name: r.kind.name(),
+                    firing: s.firing,
+                    fast_burn: s.fast_burn,
+                    slow_burn: s.slow_burn,
+                    threshold: r.threshold,
+                })
+                .collect(),
+            events_total: self.events.len() as u64 + self.events_dropped,
+            fired_total: self.fired_total,
+        }
+    }
+}
+
+/// Scrape view of one rule.
+#[derive(Debug, Clone)]
+pub struct RuleStatus {
+    /// Rule name (`slo_burn`, …).
+    pub name: &'static str,
+    /// Currently firing?
+    pub firing: bool,
+    /// Latest fast burn (NaN until evaluable).
+    pub fast_burn: f64,
+    /// Latest slow burn (NaN until evaluable).
+    pub slow_burn: f64,
+    /// Threshold.
+    pub threshold: f64,
+}
+
+/// Scrape view of the whole engine; fleet scrapes absorb per-chip
+/// snapshots with [`AlertSnapshot::absorb`].
+#[derive(Debug, Clone, Default)]
+pub struct AlertSnapshot {
+    /// Per-rule status (fleet: worst across chips, matched by name).
+    pub rules: Vec<RuleStatus>,
+    /// Transitions observed (including any beyond the tape cap).
+    pub events_total: u64,
+    /// Fire transitions over the run.
+    pub fired_total: u64,
+}
+
+impl AlertSnapshot {
+    /// Fold a chip's snapshot in: a fleet rule fires if any chip's rule
+    /// fires, and reports the worst burn rates across chips.
+    pub fn absorb(&mut self, other: &AlertSnapshot) {
+        self.events_total += other.events_total;
+        self.fired_total += other.fired_total;
+        for theirs in &other.rules {
+            if let Some(mine) = self.rules.iter_mut().find(|r| r.name == theirs.name) {
+                mine.firing |= theirs.firing;
+                if !theirs.fast_burn.is_nan()
+                    && (mine.fast_burn.is_nan() || theirs.fast_burn > mine.fast_burn)
+                {
+                    mine.fast_burn = theirs.fast_burn;
+                }
+                if !theirs.slow_burn.is_nan()
+                    && (mine.slow_burn.is_nan() || theirs.slow_burn > mine.slow_burn)
+                {
+                    mine.slow_burn = theirs.slow_burn;
+                }
+            } else {
+                self.rules.push(theirs.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{WindowRollup, WindowStats};
+
+    fn window(i: u64, quanta: u64, slo_bad: u64, shed: u64) -> WindowRollup {
+        let mut stats = WindowStats::new();
+        stats.quanta = quanta;
+        stats.slo_bad_quanta = slo_bad;
+        stats.shed = shed;
+        WindowRollup {
+            start_us: i * 1_000_000,
+            end_us: (i + 1) * 1_000_000,
+            stats,
+        }
+    }
+
+    #[test]
+    fn stays_silent_until_slow_window_fills() {
+        let mut e = AlertEngine::new(BurnRule::defaults());
+        for i in 0..5 {
+            e.observe_window(&window(i, 1000, 1000, 0)); // 100% bad!
+            assert_eq!(e.firing_count(), 0, "silent before 6 windows");
+        }
+        e.observe_window(&window(5, 1000, 1000, 0));
+        assert_eq!(e.firing_count(), 1);
+        assert_eq!(e.events().len(), 1);
+        assert!(e.events()[0].firing);
+        assert_eq!(e.events()[0].kind, AlertKind::SloBurn);
+    }
+
+    #[test]
+    fn fires_and_resolves_on_both_window_agreement() {
+        let rules = vec![BurnRule {
+            kind: AlertKind::SloBurn,
+            budget: 0.001,
+            fast_windows: 1,
+            slow_windows: 3,
+            threshold: 10.0,
+        }];
+        let mut e = AlertEngine::new(rules);
+        // Three clean windows: evaluable, silent.
+        for i in 0..3 {
+            e.observe_window(&window(i, 1000, 0, 0));
+        }
+        assert_eq!(e.firing_count(), 0);
+        // One hot window: fast burn = 1.0/0.001 = 1000x; slow = 333x → fire.
+        e.observe_window(&window(3, 1000, 1000, 0));
+        assert_eq!(e.firing_count(), 1);
+        // Clean again: fast drops instantly → resolve, even though slow
+        // is still hot (both must exceed to fire).
+        e.observe_window(&window(4, 1000, 0, 0));
+        assert_eq!(e.firing_count(), 0);
+        assert_eq!(e.events().len(), 2);
+        assert!(!e.events()[1].firing);
+        assert_eq!(e.fired_total(), 1);
+    }
+
+    #[test]
+    fn rate_signals_use_sim_seconds() {
+        let rules = vec![BurnRule {
+            kind: AlertKind::ShedRate,
+            budget: 1.0,
+            fast_windows: 1,
+            slow_windows: 2,
+            threshold: 5.0,
+        }];
+        let mut e = AlertEngine::new(rules);
+        e.observe_window(&window(0, 1000, 0, 0));
+        // 20 sheds in a 1 s window = 20/s → fast 20x, slow 10x → fire.
+        e.observe_window(&window(1, 1000, 0, 20));
+        assert_eq!(e.firing_count(), 1);
+        let s = e.states()[0];
+        assert!((s.fast_burn - 20.0).abs() < 1e-9);
+        assert!((s.slow_burn - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_self_describing() {
+        let mut e = AlertEngine::new(vec![BurnRule {
+            kind: AlertKind::SloBurn,
+            budget: 0.001,
+            fast_windows: 1,
+            slow_windows: 1,
+            threshold: 1.0,
+        }]);
+        e.observe_window(&window(0, 100, 100, 0));
+        let r = e.render();
+        assert!(r.contains("FIRING"), "{r}");
+        assert!(r.contains("slo_burn"), "{r}");
+        assert!(r.starts_with("alert tape: 1 transition(s), 1 rule(s) firing"));
+    }
+
+    #[test]
+    fn event_tape_is_bounded() {
+        let mut e = AlertEngine::new(vec![BurnRule {
+            kind: AlertKind::SloBurn,
+            budget: 0.001,
+            fast_windows: 1,
+            slow_windows: 1,
+            threshold: 1.0,
+        }]);
+        for i in 0..2 * EVENTS_CAP as u64 {
+            // Alternate hot/clean so every window transitions.
+            e.observe_window(&window(i, 100, if i % 2 == 0 { 100 } else { 0 }, 0));
+        }
+        assert_eq!(e.events().len(), EVENTS_CAP);
+        assert!(e.events_dropped() > 0);
+        assert_eq!(
+            e.snapshot().events_total,
+            EVENTS_CAP as u64 + e.events_dropped()
+        );
+    }
+
+    #[test]
+    fn fleet_absorb_takes_worst_across_chips() {
+        let mut quiet = AlertEngine::new(vec![BurnRule {
+            kind: AlertKind::SloBurn,
+            budget: 0.001,
+            fast_windows: 1,
+            slow_windows: 1,
+            threshold: 10.0,
+        }]);
+        let mut loud = AlertEngine::new(vec![BurnRule {
+            kind: AlertKind::SloBurn,
+            budget: 0.001,
+            fast_windows: 1,
+            slow_windows: 1,
+            threshold: 10.0,
+        }]);
+        quiet.observe_window(&window(0, 1000, 0, 0));
+        loud.observe_window(&window(0, 1000, 500, 0));
+        let mut fleet = quiet.snapshot();
+        fleet.absorb(&loud.snapshot());
+        assert!(fleet.rules[0].firing);
+        assert_eq!(fleet.fired_total, 1);
+        assert!((fleet.rules[0].fast_burn - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "slow window")]
+    fn bad_rule_panics() {
+        let _ = AlertEngine::new(vec![BurnRule {
+            kind: AlertKind::SloBurn,
+            budget: 0.001,
+            fast_windows: 3,
+            slow_windows: 2,
+            threshold: 1.0,
+        }]);
+    }
+}

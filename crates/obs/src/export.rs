@@ -22,7 +22,9 @@ pub fn csv_header(rec: &SeriesRecorder) -> String {
     let mut h = String::from(
         "t_s,chip_power_w,tdp_headroom_w,hottest_c,allowance,money_supply,\
          market_fast_hit,market_dirty_stages,market_workers,\
-         sensor_fallbacks,dvfs_retries,migration_retries,tasks_orphaned",
+         sensor_fallbacks,dvfs_retries,migration_retries,tasks_orphaned,\
+         obs_dropped_rows,obs_alerts_firing,obs_stream_rows,obs_stream_lost,\
+         obs_stream_flushes",
     );
     for p in Phase::ALL {
         h.push_str(&format!(",ph_{}_ns", p.name()));
@@ -76,8 +78,18 @@ fn csv_row_cells(rec: &SeriesRecorder, i: usize, line: &mut String) {
         rec.dvfs_retries[i],
         rec.migration_retries[i],
         rec.tasks_orphaned[i],
+        rec.obs_dropped_rows[i],
+        rec.obs_alerts_firing[i],
     ] {
         line.push_str(&format!(",{v}"));
+    }
+    for v in [
+        rec.obs_stream_rows[i],
+        rec.obs_stream_lost[i],
+        rec.obs_stream_flushes[i],
+    ] {
+        line.push(',');
+        line.push_str(&cell(v));
     }
     for p in 0..Phase::COUNT {
         line.push_str(&format!(",{}", rec.phase_ns[p][i]));
@@ -228,8 +240,17 @@ pub(crate) fn jsonl_row(rec: &SeriesRecorder, i: usize, line: &mut String) {
             ("dvfs_retries", rec.dvfs_retries[i]),
             ("migration_retries", rec.migration_retries[i]),
             ("tasks_orphaned", rec.tasks_orphaned[i]),
+            ("obs_dropped_rows", rec.obs_dropped_rows[i]),
+            ("obs_alerts_firing", rec.obs_alerts_firing[i]),
         ] {
             line.push_str(&format!(",\"{k}\":{v}"));
+        }
+        for (k, v) in [
+            ("obs_stream_rows", rec.obs_stream_rows[i]),
+            ("obs_stream_lost", rec.obs_stream_lost[i]),
+            ("obs_stream_flushes", rec.obs_stream_flushes[i]),
+        ] {
+            line.push_str(&format!(",\"{k}\":{}", jnum(v)));
         }
         line.push_str(",\"phase_ns\":{");
         for (k, p) in Phase::ALL.iter().enumerate() {
@@ -637,8 +658,9 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 1 + 3);
         let cols = lines[0].split(',').count();
-        // 13 scalars + 11 phases + 2·4 cluster + 3·2 core + 2·8 task = 54.
-        assert_eq!(cols, 54);
+        // 13 scalars + 5 obs self-metrics + 11 phases + 2·4 cluster
+        // + 3·2 core + 2·8 task = 59.
+        assert_eq!(cols, 59);
         for row in &lines[1..] {
             assert_eq!(row.split(',').count(), cols, "ragged row: {row}");
         }
@@ -670,9 +692,9 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 1 + 3);
-        // 1 shared t_s + chip 0's 53 columns + chip 1's 39 columns.
+        // 1 shared t_s + chip 0's 58 columns + chip 1's 44 columns.
         let cols = lines[0].split(',').count();
-        assert_eq!(cols, 1 + 53 + 39);
+        assert_eq!(cols, 1 + 58 + 44);
         assert!(lines[0].starts_with("t_s,c0_chip_power_w,"));
         assert!(lines[0].contains(",c1_chip_power_w,"));
         assert!(lines[0].contains(",c1_cl0_freq_mhz,"));

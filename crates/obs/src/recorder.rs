@@ -108,6 +108,13 @@ pub struct SeriesRecorder {
     pub(crate) dvfs_retries: Vec<u64>,
     pub(crate) migration_retries: Vec<u64>,
     pub(crate) tasks_orphaned: Vec<u64>,
+    // Observability self-metrics: the recorder/stream watching itself, so
+    // telemetry loss is itself telemetry (ring wrap, stream backlog).
+    pub(crate) obs_dropped_rows: Vec<u64>,
+    pub(crate) obs_stream_rows: Col,
+    pub(crate) obs_stream_lost: Col,
+    pub(crate) obs_stream_flushes: Col,
+    pub(crate) obs_alerts_firing: Vec<u64>,
     /// Per-phase wall ns spent on this quantum, indexed `[phase][row]`.
     pub(crate) phase_ns: Vec<Vec<u64>>,
 
@@ -156,6 +163,11 @@ impl SeriesRecorder {
             dvfs_retries: vec![0; capacity],
             migration_retries: vec![0; capacity],
             tasks_orphaned: vec![0; capacity],
+            obs_dropped_rows: vec![0; capacity],
+            obs_stream_rows: vec![f64::NAN; capacity],
+            obs_stream_lost: vec![f64::NAN; capacity],
+            obs_stream_flushes: vec![f64::NAN; capacity],
+            obs_alerts_firing: vec![0; capacity],
             phase_ns: (0..Phase::COUNT).map(|_| vec![0; capacity]).collect(),
             cluster_freq_mhz: Vec::new(),
             cluster_volt_mv: Vec::new(),
@@ -228,6 +240,11 @@ impl SeriesRecorder {
         self.dvfs_retries[i] = 0;
         self.migration_retries[i] = 0;
         self.tasks_orphaned[i] = 0;
+        self.obs_dropped_rows[i] = self.total.saturating_sub(self.cap as u64);
+        self.obs_stream_rows[i] = f64::NAN;
+        self.obs_stream_lost[i] = f64::NAN;
+        self.obs_stream_flushes[i] = f64::NAN;
+        self.obs_alerts_firing[i] = 0;
         for col in &mut self.phase_ns {
             col[i] = 0;
         }
@@ -382,6 +399,19 @@ impl RowWriter<'_> {
             self.rec.task_hr[t][self.i] = hr;
             self.rec.task_hr_norm[t][self.i] = hr_norm;
         }
+        self
+    }
+
+    /// The streaming exporter's own counters
+    /// ([`StreamStats`](crate::stream::StreamStats)-shaped:
+    /// rows flushed, rows lost to wrap, flushes), so stream backlog is
+    /// itself on the record. Runs without a stream skip the call and the
+    /// columns stay `NaN`; the ring-wrap count is written unconditionally
+    /// by [`SeriesRecorder::push_row`].
+    pub fn obs_stream(&mut self, rows: f64, lost: f64, flushes: f64) -> &mut Self {
+        self.rec.obs_stream_rows[self.i] = rows;
+        self.rec.obs_stream_lost[self.i] = lost;
+        self.rec.obs_stream_flushes[self.i] = flushes;
         self
     }
 

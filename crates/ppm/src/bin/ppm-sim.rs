@@ -15,6 +15,9 @@
 //!   --profile                profile manager phases, print the summary table
 //!   --faults SEED            inject deterministic sensor/actuator faults
 //!   --audit                  run the every-quantum invariant auditor
+//!   --serve ADDR             live Prometheus/JSON scrape endpoint
+//!   --alerts                 burn-rate alert rules (exit 1 when fired)
+//!   --linger SECS            hold the endpoint open after the run
 //!
 //! ppm-sim fleet [OPTIONS]
 //!   --chips N                fleet width (default 4)
@@ -27,6 +30,10 @@
 //!   --trace PATH             one Chrome trace: chip-tagged track pairs +
 //!                            the exchange counter track
 //!   --metrics PATH           one wide chip-tagged CSV joined on time
+//!   --stream PATH            per-chip streamed series (out.c0.csv, ...)
+//!   --serve ADDR             live fleet rollup endpoint
+//!   --alerts                 per-chip burn-rate alerts (exit 1 when fired)
+//!   --linger SECS            hold the endpoint open after the run
 //!   --ledger                 print the exchange ledger
 //! ```
 
@@ -80,6 +87,14 @@ struct Args {
     audit: bool,
     /// Custom task specs (`--task`), replacing the workload set when given.
     tasks: Vec<String>,
+    /// Serve live Prometheus/JSON snapshots on this address (`--serve`).
+    serve: Option<String>,
+    /// Evaluate the burn-rate alert rules and print the alert tape
+    /// (`--alerts`); any alert firing over the run exits 1.
+    alerts: bool,
+    /// Keep the scrape endpoint up for this many wall-clock seconds after
+    /// the run (`--linger`), breaking early once a post-run scrape lands.
+    linger: u64,
 }
 
 impl Args {
@@ -100,6 +115,9 @@ impl Args {
             faults: None,
             audit: false,
             tasks: Vec::new(),
+            serve: None,
+            alerts: false,
+            linger: 0,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -138,12 +156,22 @@ impl Args {
                 "--metrics" => args.metrics = Some(value("--metrics")?),
                 "--stream" => args.stream = Some(value("--stream")?),
                 "--profile" => args.profile = true,
+                "--serve" => args.serve = Some(value("--serve")?),
+                "--alerts" => args.alerts = true,
+                "--linger" => {
+                    args.linger = value("--linger")?
+                        .parse()
+                        .map_err(|e| format!("--linger: {e}"))?
+                }
                 "--help" | "-h" => {
                     println!("{}", HELP);
                     exit(0);
                 }
                 other => return Err(format!("unknown flag `{other}` (try --help)")),
             }
+        }
+        if args.linger > 0 && args.serve.is_none() {
+            return Err("--linger needs --serve (there is no endpoint to hold open)".into());
         }
         Ok(args)
     }
@@ -174,6 +202,16 @@ const HELP: &str = "ppm-sim — simulate a power manager on a big.LITTLE chip
                            and migrations) seeded by SEED
   --audit                  run the every-quantum invariant auditor and
                            print its report (exit 1 on violations)
+  --serve ADDR             serve live windowed rollups while the run executes:
+                           GET /metrics (Prometheus text) and /metrics.json
+                           on ADDR (e.g. 127.0.0.1:9898; port 0 picks one and
+                           prints it)
+  --alerts                 evaluate the multi-window burn-rate alert rules
+                           (SLO burn, shed rate, TDP headroom, degradation),
+                           print the alert tape, exit 1 if any rule fired
+  --linger SECS            keep the --serve endpoint up for SECS wall-clock
+                           seconds after the run (ends early once a post-run
+                           scrape is served)
   --task SPEC              custom task instead of the workload set; repeatable.
                            SPEC: hr=30,demand=500[,speedup=1.8][,prio=1]
                                  [,trace=0:1;30:1.5]  (trace uses ; separators)
@@ -268,23 +306,55 @@ fn simulate<M: PowerManager>(args: &Args, sys: System, mgr: M) -> Result<bool, S
     if args.audit {
         sim = sim.with_auditor();
     }
-    if args.trace.is_some() || args.metrics.is_some() || args.profile {
-        // One row per 1 ms quantum, sized so the ring never wraps.
-        let mut tel = Telemetry::new(args.duration as usize * 1000 + 8);
+    let full_ring = args.trace.is_some() || args.metrics.is_some() || args.profile;
+    if full_ring || args.stream.is_some() || args.serve.is_some() || args.alerts {
+        // One row per 1 ms quantum, sized so the ring never wraps — unless
+        // only streaming/serving/alerting is on, where a small ring does:
+        // the stream preserves every row on disk and the aggregation
+        // windows fold rows into rollups as they land.
+        let cap = if full_ring {
+            args.duration as usize * 1000 + 8
+        } else {
+            256
+        };
+        let mut tel = Telemetry::new(cap);
         if args.profile {
             tel = tel.with_profiling();
         }
+        if args.serve.is_some() {
+            tel = tel.with_aggregation(ppm::obs::DEFAULT_AGG_WINDOW_US);
+        }
+        if args.alerts {
+            tel = tel.with_alerts();
+        }
+        if args.serve.is_some() {
+            tel = tel.with_hub(ppm::obs::SnapshotHub::new());
+        }
         sim = sim.with_telemetry(tel);
-    } else if args.stream.is_some() {
-        // Streaming needs a recorder but not a run-sized one: the ring is
-        // deliberately small and the stream preserves every row anyway.
-        sim = sim.with_telemetry(Telemetry::new(256));
     }
     if let Some(path) = &args.stream {
         let stream = ppm::obs::TelemetryStream::create(path, 64)
             .map_err(|e| format!("cannot create {path}: {e}"))?;
         sim = sim.with_stream(stream);
     }
+    let server = match &args.serve {
+        Some(addr) => {
+            let hub = sim
+                .telemetry()
+                .and_then(|t| t.hub())
+                .cloned()
+                .expect("--serve attaches a snapshot hub");
+            let srv = ppm::obs::ScrapeServer::serve(addr, hub)
+                .map_err(|e| format!("cannot serve on {addr}: {e}"))?;
+            // Flushed before the run so scrapers learn the bound port
+            // (`--serve 127.0.0.1:0`) while the simulation executes.
+            println!("serving           : http://{}/metrics", srv.local_addr());
+            use io::Write as _;
+            io::stdout().flush().ok();
+            Some(srv)
+        }
+        None => None,
+    };
     if let Some(every) = args.sample {
         println!("time_s,power_w,hottest_c,task_hr_normalized...");
         let mut elapsed = 0;
@@ -379,6 +449,18 @@ fn simulate<M: PowerManager>(args: &Args, sys: System, mgr: M) -> Result<bool, S
         clean = a.violations().is_empty();
     }
 
+    if let Some(srv) = &server {
+        // Publish the end-of-run state (including the live partial window)
+        // so post-run scrapes see the whole run, then hold the endpoint
+        // open; one served scrape after this point ends the linger early.
+        if let Some(tel) = sim.telemetry() {
+            if let Some(hub) = tel.hub() {
+                hub.publish(tel.scrape_snapshot());
+            }
+        }
+        linger(srv, args.linger);
+    }
+
     if let Some(result) = sim.finish_stream() {
         let stats = result.map_err(|e| format!("stream write failed: {e}"))?;
         if let Some(path) = &args.stream {
@@ -418,6 +500,11 @@ fn simulate<M: PowerManager>(args: &Args, sys: System, mgr: M) -> Result<bool, S
                 summary_table(&tel.profiler)
             );
         }
+        if let Some(engine) = &tel.alerts {
+            println!("\n# alerts\n{}", engine.render());
+            // `--alerts` turns a fired rule into a failing exit code.
+            clean &= engine.fired_total() == 0;
+        }
     }
     Ok(clean)
 }
@@ -434,6 +521,15 @@ struct FleetArgs {
     faults: Option<u64>,
     trace: Option<String>,
     metrics: Option<String>,
+    /// Stream every chip's time-series during the run: `out.csv` becomes
+    /// `out.c0.csv`, `out.c1.csv`, ... (one chip-tagged file per chip).
+    stream: Option<String>,
+    /// Serve the merged fleet rollup (plus per-chip sections) live.
+    serve: Option<String>,
+    /// Evaluate per-chip burn-rate alerts; any firing exits 1.
+    alerts: bool,
+    /// Hold the scrape endpoint open after the run (needs `--serve`).
+    linger: u64,
     ledger: bool,
 }
 
@@ -450,6 +546,10 @@ impl FleetArgs {
             faults: None,
             trace: None,
             metrics: None,
+            stream: None,
+            serve: None,
+            alerts: false,
+            linger: 0,
             ledger: false,
         };
         while let Some(flag) = it.next() {
@@ -470,6 +570,10 @@ impl FleetArgs {
                 "--faults" => args.faults = Some(num("--faults", value("--faults"))?),
                 "--trace" => args.trace = Some(value("--trace")?),
                 "--metrics" => args.metrics = Some(value("--metrics")?),
+                "--stream" => args.stream = Some(value("--stream")?),
+                "--serve" => args.serve = Some(value("--serve")?),
+                "--alerts" => args.alerts = true,
+                "--linger" => args.linger = num("--linger", value("--linger"))?,
                 "--ledger" => args.ledger = true,
                 "--help" | "-h" => {
                     println!("{}", FLEET_HELP);
@@ -480,6 +584,9 @@ impl FleetArgs {
         }
         if args.chips == 0 {
             return Err("--chips must be at least 1".into());
+        }
+        if args.linger > 0 && args.serve.is_none() {
+            return Err("--linger needs --serve (there is no endpoint to hold open)".into());
         }
         Ok(args)
     }
@@ -500,6 +607,16 @@ const FLEET_HELP: &str = "ppm-sim fleet — N chip simulations under one datacen
   --trace PATH             write one Chrome trace_event JSON: a counter/span
                            track pair per chip plus the exchange counter track
   --metrics PATH           write one wide chip-tagged CSV (t_s,c0_...,c1_...)
+  --stream PATH            stream every chip's time-series during the run to
+                           chip-tagged files: out.csv -> out.c0.csv, out.c1.csv
+                           (.jsonl extension selects JSON lines per chip)
+  --serve ADDR             serve the live fleet rollup on ADDR: GET /metrics
+                           (Prometheus text, fleet + per-chip sections) and
+                           /metrics.json; snapshots refresh every trading epoch
+  --alerts                 evaluate per-chip burn-rate alert rules, print the
+                           fleet alert tape, exit 1 if any chip's rule fired
+  --linger SECS            keep the --serve endpoint up for SECS after the run
+                           (ends early once a post-run scrape is served)
   --ledger                 print the exchange ledger (one line per epoch)
 
 The fleet always runs with the per-chip auditors and, when a cap is given,
@@ -520,14 +637,64 @@ fn run_fleet(args: &FleetArgs) -> Result<bool, String> {
         args.faults.map(FaultConfig::with_seed),
     )
     .with_threads(args.threads);
-    if args.trace.is_some() || args.metrics.is_some() {
-        for chip in fleet.chips_mut() {
-            // One row per 1 ms quantum, sized so the ring never wraps.
-            chip.sim_mut()
-                .set_telemetry(Telemetry::new(args.duration as usize * 1000 + 8));
+    let full_ring = args.trace.is_some() || args.metrics.is_some();
+    if full_ring || args.stream.is_some() || args.serve.is_some() || args.alerts {
+        // One row per 1 ms quantum, sized so the ring never wraps — unless
+        // only streaming/serving/alerting is on, where a small ring does
+        // (streams keep every row on disk; aggregation folds rows live).
+        let cap = if full_ring {
+            args.duration as usize * 1000 + 8
+        } else {
+            256
+        };
+        for (i, chip) in fleet.chips_mut().iter_mut().enumerate() {
+            let mut tel = Telemetry::new(cap).with_label(&format!("chip {i}"));
+            if args.serve.is_some() || args.alerts {
+                tel = tel.with_aggregation(ppm::obs::DEFAULT_AGG_WINDOW_US);
+            }
+            if args.alerts {
+                tel = tel.with_alerts();
+            }
+            chip.sim_mut().set_telemetry(tel);
+            if let Some(path) = &args.stream {
+                let path = chip_tagged_path(path, i);
+                let stream = ppm::obs::TelemetryStream::create(&path, 64)
+                    .map_err(|e| format!("cannot create {path}: {e}"))?;
+                chip.sim_mut().set_stream(stream);
+            }
         }
     }
-    fleet.run_for(SimDuration::from_secs(args.duration));
+    let server = match &args.serve {
+        Some(addr) => {
+            let hub = ppm::obs::SnapshotHub::new();
+            let srv = ppm::obs::ScrapeServer::serve(addr, hub.clone())
+                .map_err(|e| format!("cannot serve on {addr}: {e}"))?;
+            // Flushed before the run so scrapers learn the bound port
+            // (`--serve 127.0.0.1:0`) while the fleet executes.
+            println!("serving           : http://{}/metrics", srv.local_addr());
+            use io::Write as _;
+            io::stdout().flush().ok();
+            Some((srv, hub))
+        }
+        None => None,
+    };
+    match &server {
+        // When serving, step epoch by epoch and publish the merged fleet
+        // snapshot after each trade — scrapers watch the run move. Epoch
+        // slicing is exactly what `run_for` does internally, so the
+        // trajectory is byte-identical to the unserved run.
+        Some((_, hub)) => {
+            let epoch = fleet.epoch();
+            let mut remaining = SimDuration::from_secs(args.duration).as_micros();
+            while remaining > 0 {
+                let dt = remaining.min(epoch.as_micros());
+                fleet.run_for(SimDuration(dt));
+                remaining -= dt;
+                hub.publish(fleet_trace::fleet_scrape_snapshot(&fleet));
+            }
+        }
+        None => fleet.run_for(SimDuration::from_secs(args.duration)),
+    }
 
     println!(
         "# fleet summary ({} chips x V{} C{} T{}, {} s, {} thread(s))",
@@ -570,6 +737,28 @@ fn run_fleet(args: &FleetArgs) -> Result<bool, String> {
         }
     }
 
+    if let Some(path) = &args.stream {
+        for i in 0..fleet.len() {
+            if let Some(result) = fleet.chip_mut(i).sim_mut().finish_stream() {
+                let stats = result.map_err(|e| format!("stream write failed: {e}"))?;
+                println!(
+                    "stream chip {i:<4} : {} ({} rows, {} flushes, {} lost)",
+                    chip_tagged_path(path, i),
+                    stats.rows,
+                    stats.flushes,
+                    stats.lost
+                );
+            }
+        }
+    }
+    let mut fired = false;
+    if args.alerts {
+        fired = fleet_trace::fleet_alerts_fired(&fleet);
+        let tape = fleet_trace::fleet_alert_tape(&fleet)
+            .unwrap_or_else(|| "no chip has an alert engine attached\n".to_string());
+        print!("\n# fleet alerts\n{tape}");
+    }
+
     let roll = fleet.audit_rollup();
     println!("\n# fleet audit\n{}", roll.render());
 
@@ -595,7 +784,49 @@ fn run_fleet(args: &FleetArgs) -> Result<bool, String> {
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("fleet trace       : {path} (stride {stride})");
     }
-    Ok(roll.is_clean())
+
+    if let Some((srv, hub)) = &server {
+        // Publish the end-of-run state (final partial windows included),
+        // then hold the endpoint open; one served scrape after this point
+        // ends the linger early.
+        hub.publish(fleet_trace::fleet_scrape_snapshot(&fleet));
+        linger(srv, args.linger);
+    }
+    Ok(roll.is_clean() && !fired)
+}
+
+/// Hold a scrape endpoint open for up to `secs` wall-clock seconds after
+/// the run. Once at least one post-run scrape has been served, exit as
+/// soon as the endpoint has been quiet for 250 ms — scrapers typically
+/// issue a couple of requests back to back (`/metrics`, `/metrics.json`)
+/// and all of them should land before the process goes away.
+fn linger(srv: &ppm::obs::ScrapeServer, secs: u64) {
+    use std::time::{Duration, Instant};
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    let mut last_served = srv.served();
+    let mut quiet_since = None;
+    while Instant::now() < deadline {
+        let served = srv.served();
+        if served > last_served {
+            last_served = served;
+            quiet_since = Some(Instant::now());
+        }
+        if quiet_since.is_some_and(|t| t.elapsed() > Duration::from_millis(250)) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// `out.csv` → `out.c3.csv`: tag a per-chip stream path with the chip
+/// index, keeping the extension (which selects CSV vs JSON lines).
+fn chip_tagged_path(path: &str, chip: usize) -> String {
+    match path.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() && !ext.contains('/') => {
+            format!("{stem}.c{chip}.{ext}")
+        }
+        _ => format!("{path}.c{chip}"),
+    }
 }
 
 fn main() {

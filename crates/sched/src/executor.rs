@@ -938,6 +938,13 @@ impl<M: PowerManager> Simulation<M> {
         self
     }
 
+    /// Attach a telemetry stream in place — [`Simulation::with_stream`]
+    /// for simulations already owned by a containing structure (a fleet
+    /// chip's per-chip stream, for instance).
+    pub fn set_stream(&mut self, stream: ppm_obs::TelemetryStream) {
+        self.stream = Some(stream);
+    }
+
     /// Flush the stream's unflushed tail, join its writer thread, and
     /// report totals. `None` when no stream was attached.
     pub fn finish_stream(&mut self) -> Option<std::io::Result<ppm_obs::StreamStats>> {
@@ -1148,7 +1155,11 @@ impl<M: PowerManager> Simulation<M> {
             self.system.metrics.degradation = self.manager.degradation();
             if let Some(tel) = &mut self.telemetry {
                 self.manager.sample_policy(&mut tel.policy);
-                record_telemetry_row(&self.system, tel, self.snap.now);
+                let stream_stats = self.stream.as_ref().map(ppm_obs::TelemetryStream::stats);
+                record_telemetry_row(&self.system, tel, self.snap.now, stream_stats);
+                // Fold the fresh row into the live aggregation windows and
+                // the alert engine (one branch when neither is attached).
+                tel.roll_forward();
                 if let Some(stream) = &mut self.stream {
                     stream.pump(&tel.recorder);
                 }
@@ -1178,7 +1189,12 @@ impl<M: PowerManager> Simulation<M> {
 /// and the profiler's per-quantum spans; writes are indexed stores into
 /// the recorder's preallocated ring — no allocation once the entity
 /// population has been seen.
-fn record_telemetry_row(sys: &System, tel: &mut Telemetry, at: SimTime) {
+fn record_telemetry_row(
+    sys: &System,
+    tel: &mut Telemetry,
+    at: SimTime,
+    stream_stats: Option<ppm_obs::StreamStats>,
+) {
     let n_clusters = sys.chip.clusters().len();
     let n_cores = sys.chip.cores().len();
     let n_tasks = sys.entries.len();
@@ -1199,6 +1215,9 @@ fn record_telemetry_row(sys: &System, tel: &mut Telemetry, at: SimTime) {
         )
         .phases(&last_phases)
         .policy(&tel.policy);
+    if let Some(s) = stream_stats {
+        row.obs_stream(s.rows as f64, s.lost as f64, s.flushes as f64);
+    }
     for ci in 0..n_clusters {
         let id = ClusterId(ci);
         let cluster = sys.chip.cluster(id);

@@ -560,6 +560,99 @@ mod tests {
     }
 
     #[test]
+    fn slo_monitor_empty_window_reads_zero() {
+        let mut m = SloMonitor::new(SimDuration::from_millis(100), 8);
+        m.refresh();
+        assert_eq!(m.p50_secs(), 0.0);
+        assert_eq!(m.p99_secs(), 0.0);
+        assert!(!m.misses_slo(), "an empty window is not an SLO miss");
+        assert_eq!(m.completed(), 0);
+    }
+
+    #[test]
+    fn slo_monitor_exact_percentile_rank_boundaries() {
+        // A single completion IS every percentile.
+        let mut m = SloMonitor::new(SimDuration::from_millis(100), 8);
+        m.record(SimDuration::from_millis(42));
+        m.refresh();
+        assert!((m.p50_secs() - 0.042).abs() < 1e-12);
+        assert!((m.p99_secs() - 0.042).abs() < 1e-12);
+
+        // Exactly 100 distinct latencies: the nearest-rank rule lands p50
+        // on the 51st order statistic and p99 on the 100th — no
+        // interpolation between observed values, ever.
+        let mut m = SloMonitor::new(SimDuration::from_millis(500), 100);
+        for i in 1..=100u64 {
+            m.record(SimDuration::from_millis(i));
+        }
+        m.refresh();
+        assert!((m.p50_secs() - 0.051).abs() < 1e-12);
+        assert!((m.p99_secs() - 0.100).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slo_monitor_full_eviction_forgets_the_old_tail() {
+        // Fill the window with slow completions, then push a full window
+        // of fast ones: the slow tail must be completely evicted, so the
+        // refreshed p99 drops back under the SLO (guards the ring
+        // head/len arithmetic at the exact wrap boundary).
+        let mut m = SloMonitor::new(SimDuration::from_millis(100), 64);
+        for _ in 0..64 {
+            m.record(SimDuration::from_millis(500));
+        }
+        m.refresh();
+        assert!(m.misses_slo());
+        for _ in 0..64 {
+            m.record(SimDuration::from_millis(1));
+        }
+        m.refresh();
+        assert!((m.p99_secs() - 0.001).abs() < 1e-12);
+        assert!(!m.misses_slo());
+        assert_eq!(m.completed(), 128, "eviction never uncounts completions");
+    }
+
+    #[test]
+    fn admission_clock_regression_admits_nothing_twice() {
+        // The executor's clock only moves forward, but a stalled or
+        // repeated `now` must be a no-op: re-admitting up to the same
+        // instant (or an earlier one) may not re-deliver arrivals, shed,
+        // or resample service draws.
+        let mut s = OpenLoopState::new(spec());
+        s.admit_until(SimTime::from_secs(1));
+        let (depth, beats, shed) = (s.queue_depth(), s.queued_beats(), s.shed_total());
+        assert!(depth > 0, "1 s at 100 req/s must admit something");
+        s.admit_until(SimTime::from_secs(1));
+        s.admit_until(SimTime::from_millis(1));
+        assert_eq!(s.queue_depth(), depth);
+        assert_eq!(s.queued_beats(), beats);
+        assert_eq!(s.shed_total(), shed);
+    }
+
+    proptest! {
+        /// Percentiles are ordered and always one of the windowed
+        /// observations — the nearest-rank estimator never interpolates.
+        #[test]
+        fn slo_monitor_percentiles_ordered_and_observed(
+            lat in proptest::collection::vec(1_u64..1_000_000, 1..300),
+        ) {
+            let mut m = SloMonitor::new(SimDuration::from_millis(100), 128);
+            for &l in &lat {
+                m.record(SimDuration(l));
+            }
+            m.refresh();
+            prop_assert!(m.p50_secs() <= m.p99_secs());
+            let windowed: Vec<f64> = lat
+                .iter()
+                .rev()
+                .take(128)
+                .map(|&l| SimDuration(l).as_secs_f64())
+                .collect();
+            prop_assert!(windowed.iter().any(|&s| (s - m.p99_secs()).abs() < 1e-15));
+            prop_assert!(windowed.iter().any(|&s| (s - m.p50_secs()).abs() < 1e-15));
+        }
+    }
+
+    #[test]
     fn service_mean_respects_weibull_normalization() {
         let mut s = OpenLoopState::new(spec());
         s.admit_until(SimTime::from_secs(20));

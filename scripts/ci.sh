@@ -66,4 +66,23 @@ cargo run --release --quiet -p ppm-obs --bin obs_validate -- "$obs_tmp/openloop.
 echo ">>> bench_openloop --check (tape digest pinned, p99 within SLO, 1/2/4 workers bit-identical)"
 cargo run --release --quiet -p ppm-bench --bin bench_openloop -- --check
 
+echo ">>> live scrape smoke (serving fleet on port 0, obs_validate scrapes both endpoints)"
+cargo run --release --quiet -p ppm --bin ppm-sim -- fleet \
+  --chips 4 --cap 12 --duration 3 --serve 127.0.0.1:0 --alerts --linger 60 \
+  > "$obs_tmp/serve.log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 300); do
+  # Wait for the post-run audit report so the scrape lands inside the
+  # linger window (a post-run scrape is what ends the linger early).
+  if grep -q '# fleet audit' "$obs_tmp/serve.log"; then
+    addr="$(sed -n 's|^serving.*http://\([^/]*\)/metrics$|\1|p' "$obs_tmp/serve.log")"
+    break
+  fi
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "serving fleet never reached its audit report"; exit 1; }
+cargo run --release --quiet -p ppm-obs --bin obs_validate -- --scrape "$addr"
+wait "$serve_pid"
+
 echo "ci: all green"

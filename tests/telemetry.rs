@@ -63,6 +63,100 @@ fn all_golden_cells_are_bit_identical_with_telemetry_on() {
     }
 }
 
+/// The aggregation + alert plane is observation-only too: with tumbling
+/// windowed rollups AND the burn-rate alert engine folding every quantum,
+/// all 22 golden tapes (the 18 figure cells plus the 4 open-loop ol2
+/// cells) stay byte-identical — and the windows demonstrably closed.
+#[test]
+fn all_golden_cells_are_bit_identical_with_aggregation_and_alerts() {
+    let observed = || Harness {
+        tape: true,
+        alerts: true,
+        ..Harness::default()
+    };
+    let check = |name: &str, run: &HardenedRun| {
+        let committed = fs::read_to_string(goldens_dir().join(name))
+            .unwrap_or_else(|e| panic!("missing golden {name} ({e})"));
+        let fresh = format!("{:?}\n{}", run.summary, run.tape);
+        assert_eq!(
+            committed, fresh,
+            "aggregation/alerting must be observation-only, but {name} drifted"
+        );
+        let tel = run.telemetry.as_ref().expect("telemetry attached");
+        let agg = tel.aggregate.as_ref().expect("aggregation attached");
+        // 8 s of quanta over 1 s windows: exactly 7 closed, one live.
+        assert_eq!(agg.windows_closed(), 7, "{name}: windows did not tumble");
+        assert_eq!(agg.totals().quanta, DURATION.0 / 1000);
+        tel.alerts.as_ref().expect("alert engine attached");
+    };
+    for (fig, tdp) in [("fig4_fig5", None), ("fig6", Some(Watts(4.0)))] {
+        for set_name in SETS {
+            for scheme in Scheme::ALL {
+                let name = format!("{fig}_{set_name}_{}.tape", scheme.name().to_lowercase());
+                let set = set_by_name(set_name).expect("known workload set");
+                let run = run_workload_hardened(&set, scheme, tdp, DURATION, observed());
+                check(&name, &run);
+            }
+        }
+    }
+    for scheme in [Scheme::Ppm, Scheme::Hpm, Scheme::Hl, Scheme::Null] {
+        let name = format!("openloop_ol2_{}.tape", scheme.name().to_lowercase());
+        let set = ppm_bench::resolve_set("ol2").expect("ol2");
+        let run = run_workload_hardened(&set, scheme, Some(Watts(4.0)), DURATION, observed());
+        check(&name, &run);
+    }
+}
+
+/// Attaching the scrape endpoint — hub, server thread, and concurrent
+/// HTTP scrapes while the simulation runs — must not perturb the
+/// trajectory: an identical unobserved run produces the identical tape.
+#[test]
+fn live_scrape_endpoint_is_observation_only() {
+    use ppm::core::config::PpmConfig;
+    use ppm::core::manager::{place_on_little, PpmManager};
+    use ppm::platform::chip::Chip;
+    use ppm::platform::core::CoreId;
+    use ppm::sched::{AllocationPolicy, Simulation, System};
+    use ppm::workload::task::Priority;
+
+    let build = || {
+        let mut sys = System::new(Chip::tc2(), AllocationPolicy::Market);
+        let set = set_by_name("m2").expect("m2 exists");
+        for task in set.spawn(0, Priority::NORMAL) {
+            sys.add_task(task, CoreId(0));
+        }
+        place_on_little(&mut sys);
+        Simulation::new(sys, PpmManager::new(PpmConfig::tc2())).with_tape()
+    };
+
+    let mut plain = build();
+    plain.run_for(SimDuration::from_secs(2));
+
+    let hub = ppm::obs::SnapshotHub::new();
+    let server = ppm::obs::ScrapeServer::serve("127.0.0.1:0", hub.clone()).expect("bind");
+    let addr = server.local_addr().to_string();
+    let mut observed = build().with_telemetry(
+        Telemetry::new(256)
+            .with_aggregation(100_000)
+            .with_alerts()
+            .with_hub(hub),
+    );
+    // Scrape between slices so requests land while windows are closing.
+    for _ in 0..20 {
+        observed.run_for(SimDuration::from_millis(100));
+        ppm::obs::http::fetch(&addr, "/metrics").expect("mid-run scrape");
+    }
+    assert!(server.served() >= 20);
+    let text = ppm::obs::http::fetch(&addr, "/metrics").expect("final scrape");
+    assert!(text.contains("ppm_up 1"));
+    assert!(text.contains("ppm_windows_closed_total{chip=\"fleet\"}"));
+
+    let a = plain.tape().expect("tape").render();
+    let b = observed.tape().expect("tape").render();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "serving live snapshots perturbed the simulation");
+}
+
 /// CSV export: one row per quantum, a header naming the figure-grade
 /// columns, and every row rectangular.
 #[test]
@@ -84,6 +178,11 @@ fn csv_has_one_row_per_quantum_and_the_expected_columns() {
         "core0_supply_pu",
         "task0_share_pu",
         "task0_hr_norm",
+        "obs_dropped_rows",
+        "obs_alerts_firing",
+        "obs_stream_rows",
+        "obs_stream_lost",
+        "obs_stream_flushes",
     ] {
         assert!(header.contains(needle), "header misses {needle}: {header}");
     }
@@ -230,4 +329,54 @@ fn ring_wrap_keeps_the_most_recent_quanta() {
     assert!(times.windows(2).all(|w| w[0] < w[1]), "oldest-first order");
     // The retained window is exactly the last 100 quanta.
     assert_eq!(*times.last().expect("rows"), 999_000);
+}
+
+/// The recorder exports its own health: dropped-row totals and the
+/// stream's rows/lost/flush counters land in the `obs_*` columns, so an
+/// exported file carries the evidence of its own completeness.
+#[test]
+fn obs_self_metrics_report_drops_and_stream_totals() {
+    use ppm::core::config::PpmConfig;
+    use ppm::core::manager::{place_on_little, PpmManager};
+    use ppm::obs::{StreamFormat, TelemetryStream};
+    use ppm::platform::chip::Chip;
+    use ppm::platform::core::CoreId;
+    use ppm::sched::{AllocationPolicy, Simulation, System};
+    use ppm::workload::task::Priority;
+
+    let mut sys = System::new(Chip::tc2(), AllocationPolicy::Market);
+    let set = set_by_name("l1").expect("l1 exists");
+    for task in set.spawn(0, Priority::NORMAL) {
+        sys.add_task(task, CoreId(0));
+    }
+    place_on_little(&mut sys);
+    let mut sim = Simulation::new(sys, PpmManager::new(PpmConfig::tc2()))
+        .with_telemetry(Telemetry::new(100))
+        .with_stream(TelemetryStream::with_writer(
+            std::io::sink(),
+            StreamFormat::Csv,
+            64,
+        ));
+    sim.run_for(SimDuration::from_secs(1));
+
+    let tel = sim.take_telemetry().expect("telemetry attached");
+    let mut buf = Vec::new();
+    write_jsonl(&tel.recorder, &mut buf).expect("write jsonl");
+    let text = String::from_utf8(buf).expect("utf8");
+    let last = json::parse(text.lines().last().expect("rows")).expect("row");
+    let num = |key: &str| {
+        last.get(key)
+            .and_then(Json::as_num)
+            .unwrap_or_else(|| panic!("missing {key} in jsonl row"))
+    };
+    // 1000 quanta through a 100-row ring: the last row knows 900 dropped.
+    assert_eq!(num("obs_dropped_rows"), tel.recorder.dropped() as f64);
+    assert_eq!(num("obs_dropped_rows"), 900.0);
+    // Stream stats are sampled before the row is recorded, so the final
+    // row reports at least everything pumped up to the previous quantum.
+    assert!(num("obs_stream_rows") >= 64.0, "stream rows under-reported");
+    assert_eq!(num("obs_stream_lost"), 0.0);
+    assert!(num("obs_stream_flushes") >= 1.0);
+    // No alert engine attached: the firing gauge stays zero.
+    assert_eq!(num("obs_alerts_firing"), 0.0);
 }

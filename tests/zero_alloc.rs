@@ -372,6 +372,55 @@ fn steady_state_quantum_with_telemetry_does_not_allocate() {
     );
 }
 
+/// The live observability plane stays on the zero-alloc hot path: with
+/// tumbling windowed aggregation AND the burn-rate alert engine attached
+/// (10 ms windows, so the measured second closes ~100 windows and runs
+/// the rule evaluation each time), steady-state quanta never touch the
+/// allocator. Window close is an inline struct copy and the engine's
+/// signal ring and event tape are preallocated; only snapshot
+/// *publishing* allocates, and that needs an attached hub — absent here,
+/// as in any unserved run.
+#[test]
+fn steady_state_quantum_with_aggregation_and_alerts_does_not_allocate() {
+    use ppm::obs::Telemetry;
+    use ppm::platform::chip::Chip;
+    use ppm::sched::{AllocationPolicy, Simulation, System as SimSystem};
+    use ppm::workload::benchmarks::{Benchmark, BenchmarkSpec, Input};
+    use ppm::workload::task::{Priority, Task};
+
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let mut sys = SimSystem::new(Chip::tc2(), AllocationPolicy::Market);
+    for i in 0..4 {
+        sys.add_task(
+            Task::new(
+                TaskId(i),
+                BenchmarkSpec::of(Benchmark::Swaptions, Input::Large).expect("variant"),
+                Priority(1),
+            ),
+            CoreId(i % 5),
+        );
+    }
+    let mut sim = Simulation::new(sys, TogglingManager { flip: false })
+        .with_telemetry(Telemetry::new(512).with_aggregation(10_000).with_alerts());
+
+    // Warm-up: ring shaping, first window closes, alert ring fills past
+    // its slow lookback so the rules are genuinely evaluated under test.
+    sim.run_for(SimDuration::from_secs(2));
+
+    assert_no_alloc("aggregation+alerts steady-state quanta", || {
+        sim.run_for(SimDuration::from_secs(1));
+    });
+    let tel = sim.take_telemetry().expect("telemetry attached");
+    let agg = tel.aggregate.as_ref().expect("aggregation attached");
+    assert!(
+        agg.windows_closed() >= 290,
+        "3 s over 10 ms windows must close ~299 rollups, got {}",
+        agg.windows_closed()
+    );
+    let engine = tel.alerts.as_ref().expect("alert engine attached");
+    assert_eq!(engine.fired_total(), 0, "an uncapped healthy run is silent");
+}
+
 /// Open-loop request traffic in steady state is allocation-free too: the
 /// request ring, the SLO monitor's sample window and percentile scratch,
 /// and the arrival/service samplers are all sized at admission, so quanta
